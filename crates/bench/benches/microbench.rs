@@ -1,0 +1,184 @@
+//! Criterion microbenchmarks for the reproduction's moving parts.
+//!
+//! Groups:
+//! * `kernel`      — Gaussian kernel matrix construction vs N
+//! * `kcca_train`  — KCCA training vs N (paper §VII-C.4: cubic-ish
+//!   growth, "training takes minutes to hours")
+//! * `predict`     — single-query prediction latency (paper: < 1 s)
+//! * `knn`         — neighbor search, Euclidean vs cosine
+//! * `engine`      — optimize+execute simulation throughput
+//! * `regression`  — OLS baseline fit
+//! * `ablation`    — ICD rank cap, regularization, kernel fraction,
+//!   raw vs geometric neighbor averaging, plan vs SQL features (the
+//!   design choices DESIGN.md calls out)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpp_core::pipeline::collect_tpcds;
+use qpp_core::{FeatureKind, KccaPredictor, PredictorOptions};
+use qpp_engine::{execute, optimize, Catalog, SystemConfig};
+use qpp_linalg::Matrix;
+use qpp_ml::{DistanceMetric, GaussianKernel, Kcca, KccaOptions, MetricRegression, NearestNeighbors};
+use qpp_workload::WorkloadGenerator;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn feature_data(n: usize) -> (Matrix, Matrix) {
+    let cfg = SystemConfig::neoview_4();
+    let ds = collect_tpcds(n, 7, &cfg, 2);
+    (
+        ds.feature_matrix(FeatureKind::QueryPlan),
+        ds.kernel_performance_matrix(),
+    )
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = quick(c).benchmark_group("kernel");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [128usize, 256, 512] {
+        let (x, _) = feature_data(n);
+        let kern = GaussianKernel::fit(&x, 0.25);
+        g.bench_with_input(BenchmarkId::new("matrix", n), &n, |b, _| {
+            b.iter(|| black_box(kern.matrix(&x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_kcca_train(c: &mut Criterion) {
+    let mut g = quick(c).benchmark_group("kcca_train");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [128usize, 256, 512] {
+        let (x, y) = feature_data(n);
+        g.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| black_box(Kcca::fit(&x, &y, KccaOptions::default()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let cfg = SystemConfig::neoview_4();
+    let train = collect_tpcds(512, 9, &cfg, 2);
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+    let probe = &train.records[0];
+    let mut g = quick(c).benchmark_group("predict");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    g.bench_function("single_query", |b| {
+        b.iter(|| black_box(model.predict(&probe.spec, &probe.optimized.plan).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let (x, _) = feature_data(512);
+    let probe = x.row(0).to_vec();
+    let mut g = quick(c).benchmark_group("knn");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    for (label, metric) in [
+        ("euclidean", DistanceMetric::Euclidean),
+        ("cosine", DistanceMetric::Cosine),
+    ] {
+        let nn = NearestNeighbors::new(x.clone(), metric);
+        g.bench_function(label, |b| b.iter(|| black_box(nn.query(&probe, 3))));
+    }
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let cfg = SystemConfig::neoview_4();
+    let mut wg = WorkloadGenerator::tpcds(1.0, 11);
+    let queries = wg.generate(64);
+    let schema = wg.schema().clone();
+    let catalog = Catalog::new(schema.clone());
+    let mut g = quick(c).benchmark_group("engine");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("optimize", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(optimize(q, &catalog, &cfg));
+            }
+        })
+    });
+    let optimized: Vec<_> = queries.iter().map(|q| optimize(q, &catalog, &cfg)).collect();
+    g.bench_function("execute", |b| {
+        b.iter(|| {
+            for (q, o) in queries.iter().zip(optimized.iter()) {
+                black_box(execute(q, o, &schema, &cfg));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let cfg = SystemConfig::neoview_4();
+    let ds = collect_tpcds(512, 13, &cfg, 2);
+    let x = ds.feature_matrix(FeatureKind::QueryPlan);
+    let y = ds.performance_matrix();
+    let mut g = quick(c).benchmark_group("regression");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("ols_fit_512", |b| {
+        b.iter(|| black_box(MetricRegression::fit(&x, &y).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let cfg = SystemConfig::neoview_4();
+    let train = collect_tpcds(400, 15, &cfg, 2);
+    let test = collect_tpcds(64, 16, &cfg, 2);
+    let mut g = quick(c).benchmark_group("ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let variants: Vec<(&str, PredictorOptions)> = vec![
+        ("paper_defaults", PredictorOptions::default()),
+        ("icd_rank_64", {
+            let mut o = PredictorOptions::default();
+            o.kcca.max_rank = 64;
+            o
+        }),
+        ("regularization_1e-1", {
+            let mut o = PredictorOptions::default();
+            o.kcca.regularization = 1e-1;
+            o
+        }),
+        ("kernel_fraction_1.0", {
+            let mut o = PredictorOptions::default();
+            o.kcca.x_kernel_fraction = 1.0;
+            o.kcca.y_kernel_fraction = 2.0;
+            o
+        }),
+        ("geometric_average", PredictorOptions {
+            log_space_average: true,
+            ..PredictorOptions::default()
+        }),
+        ("sql_text_features", PredictorOptions {
+            feature_kind: FeatureKind::SqlText,
+            ..PredictorOptions::default()
+        }),
+    ];
+    for (label, opts) in variants {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let model = KccaPredictor::train(&train, opts).unwrap();
+                black_box(model.predict_dataset(&test).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernel,
+    bench_kcca_train,
+    bench_predict,
+    bench_knn,
+    bench_engine,
+    bench_regression,
+    bench_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,845 @@
+//! One function per paper table/figure.
+//!
+//! All experiments run against the simulated Neoview testbed with fixed
+//! seeds, using the paper's training/test pool sizes:
+//!
+//! * Experiment 1 (Figs. 10–12): 1027 training queries (767 feathers,
+//!   230 golf balls, 30 bowling balls), 61 test queries (45/7/9).
+//! * Experiment 2 (Fig. 13): 30 training queries of each category.
+//! * Experiment 3 (Fig. 14): two-step prediction, same pools as Exp 1.
+//! * Experiment 4 (Fig. 15): customer-schema mini-feathers.
+//! * Fig. 16: 4/8/16/32-CPU configurations of the 32-node system,
+//!   197 training / 83 test queries rerun per configuration.
+//! * Fig. 17: optimizer cost vs. actual elapsed time.
+//!
+//! Six of the nine test bowling balls are re-executed on a drifted
+//! configuration before testing, recreating the paper's mid-study OS
+//! upgrade ("the accuracy of our predictions for the six bowling balls
+//! we then ran and added was not as good").
+
+use crate::report::{hms, risk_cell, Report};
+use qpp_core::baselines::{OptimizerCostModel, PqrPredictor, RegressionPredictor};
+use qpp_core::feature_importance::{join_feature_share, rank_features};
+use qpp_core::categories::summarize_pools;
+use qpp_core::pipeline::{collect_tpcds, evaluate, Evaluation};
+use qpp_core::{
+    Dataset, FeatureKind, KccaPredictor, PredictorOptions, QueryCategory, TwoStepPredictor,
+};
+use qpp_engine::{execute, optimize, Catalog, PerfMetrics, SystemConfig};
+use qpp_ml::metrics::predictive_risk_dropping_outliers;
+use qpp_ml::{fraction_within, predictive_risk, DistanceMetric, NeighborWeighting};
+use qpp_workload::customer::{customer_schema, customer_suite};
+use qpp_workload::WorkloadGenerator;
+
+/// Master seed for all experiments (fixed for reproducibility).
+pub const SEED: u64 = 20090401;
+
+/// Size of the generated master population the pools are drawn from.
+pub const POPULATION: usize = 20000;
+
+/// Shared state across experiments.
+pub struct Context {
+    /// The 4-node research system.
+    pub config: SystemConfig,
+    /// Master population executed on the 4-node system.
+    pub all: Dataset,
+    /// Experiment 1 training pool (767/230/30).
+    pub train: Dataset,
+    /// Experiment 1 test pool (45/7/9, with 6 post-"upgrade" bowling
+    /// balls).
+    pub test: Dataset,
+}
+
+/// Key numbers an experiment reports (used by the binary's summary and
+/// the integration tests).
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `fig10`.
+    pub id: &'static str,
+    /// Headline measured value (meaning depends on the experiment).
+    pub headline: f64,
+    /// Secondary values by name.
+    pub values: Vec<(&'static str, f64)>,
+}
+
+impl Context {
+    /// Collects the master population and draws the Experiment 1 pools.
+    pub fn build() -> Context {
+        Self::build_sized(POPULATION)
+    }
+
+    /// Like [`Context::build`] with a custom population size (tests use
+    /// a smaller population; pool sizes scale down accordingly).
+    pub fn build_sized(population: usize) -> Context {
+        let config = SystemConfig::neoview_4();
+        let all = collect_tpcds(population, SEED, &config, 4);
+        let scale = (population as f64 / POPULATION as f64).min(1.0);
+        let n = |x: usize| ((x as f64 * scale).round() as usize).max(1);
+        let pool_seed = std::env::var("QPP_POOL_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(23u64);
+        let (train_idx, test_idx) = all.sample_pools(
+            &[
+                (QueryCategory::Feather, n(767)),
+                (QueryCategory::GolfBall, n(230)),
+                (QueryCategory::BowlingBall, n(30)),
+            ],
+            &[
+                (QueryCategory::Feather, n(45)),
+                (QueryCategory::GolfBall, n(7)),
+                (QueryCategory::BowlingBall, n(9)),
+            ],
+            pool_seed,
+        );
+        let train = all.subset(&train_idx);
+        let mut test = all.subset(&test_idx);
+
+        // Recreate the paper's mid-study OS upgrade: six of the test
+        // bowling balls were measured after the system drifted.
+        let drift_cfg = config.clone().with_drift(1.4);
+        let catalog = Catalog::new(all.schema.clone());
+        let mut replaced = 0;
+        for r in test.records.iter_mut() {
+            if r.category != QueryCategory::BowlingBall || replaced >= 6 {
+                continue;
+            }
+            let opt = optimize(&r.spec, &catalog, &drift_cfg);
+            let out = execute(&r.spec, &opt, &all.schema, &drift_cfg);
+            r.metrics = out.metrics;
+            r.optimized = opt;
+            replaced += 1;
+        }
+        Context {
+            config,
+            all,
+            train,
+            test,
+        }
+    }
+}
+
+fn scatter_summary(report: &mut Report, predicted: &[f64], actual: &[f64], unit: &str) {
+    let mut pairs: Vec<(f64, f64)> = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(&p, &a)| (p, a))
+        .collect();
+    pairs.sort_by(|x, y| {
+        let rx = ratio(x.0, x.1);
+        let ry = ratio(y.0, y.1);
+        ry.partial_cmp(&rx).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .take(5)
+        .map(|(p, a)| vec![format!("{p:.2} {unit}"), format!("{a:.2} {unit}"), format!("{:.1}x", ratio(*p, *a))])
+        .collect();
+    report.para("Widest misses (the plotted outliers):");
+    report.table(&["predicted", "actual", "off by"], &rows);
+}
+
+fn ratio(p: f64, a: f64) -> f64 {
+    let p = p.abs().max(1e-9);
+    let a = a.abs().max(1e-9);
+    (p / a).max(a / p)
+}
+
+/// Fig. 2 — query pools by category with elapsed-time statistics.
+pub fn fig2(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    report.heading(2, "Fig. 2 — query pools (feather / golf ball / bowling ball)");
+    report.para(&format!(
+        "Pools drawn from {} generated TPC-DS-style queries executed in \
+         single-query mode on the 4-processor system. Paper: feathers \
+         < 3 min, golf balls 3–30 min, bowling balls 30 min – 2 h; \
+         wrecking balls beyond 2 h are excluded.",
+        ctx.all.len()
+    ));
+    let pools = summarize_pools(&ctx.all.elapsed());
+    let rows: Vec<Vec<String>> = pools
+        .iter()
+        .map(|p| {
+            vec![
+                p.category.name().to_string(),
+                p.instances.to_string(),
+                hms(p.mean_elapsed),
+                hms(p.min_elapsed),
+                hms(p.max_elapsed),
+            ]
+        })
+        .collect();
+    report.table(
+        &["query type", "number of instances", "mean", "minimum", "maximum"],
+        &rows,
+    );
+    ExperimentResult {
+        id: "fig2",
+        headline: pools[0].instances as f64,
+        values: vec![
+            ("golf_instances", pools[1].instances as f64),
+            ("bowling_instances", pools[2].instances as f64),
+        ],
+    }
+}
+
+/// Figs. 3 & 4 — the linear-regression baseline on the training set.
+pub fn fig3_fig4(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    let model = RegressionPredictor::train(&ctx.train, FeatureKind::QueryPlan)
+        .expect("regression trains");
+    let preds = model.predict_dataset(&ctx.train).expect("predicts");
+    let actual = ctx.train.performance_matrix();
+
+    let elapsed_pred: Vec<f64> = (0..preds.rows()).map(|i| preds[(i, 0)]).collect();
+    let elapsed_act: Vec<f64> = actual.col(0);
+    let used_pred: Vec<f64> = (0..preds.rows()).map(|i| preds[(i, 5)]).collect();
+    let used_act: Vec<f64> = actual.col(5);
+
+    let neg_elapsed = elapsed_pred.iter().filter(|v| **v < 0.0).count();
+    let neg_used = used_pred.iter().filter(|v| **v < 0.0).count();
+    let min_used = used_pred.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    report.heading(2, "Figs. 3 & 4 — linear regression baseline (training set)");
+    report.para(&format!(
+        "Per-metric OLS over the raw plan features, evaluated on the {} \
+         training queries, as in the paper's Figs. 3–4. Paper: \
+         predictions orders of magnitude off; 76 negative elapsed-time \
+         predictions (e.g. −82 s); 105 negative records-used predictions \
+         reaching −1.8 M records.",
+        ctx.train.len()
+    ));
+    report.table(
+        &["metric", "in-sample predictive risk", "negative predictions", "most negative"],
+        &[
+            vec![
+                "elapsed time".into(),
+                format!("{:.3}", predictive_risk(&elapsed_pred, &elapsed_act)),
+                neg_elapsed.to_string(),
+                format!(
+                    "{:.1} s",
+                    elapsed_pred.iter().cloned().fold(f64::INFINITY, f64::min)
+                ),
+            ],
+            vec![
+                "records used".into(),
+                format!("{:.3}", predictive_risk(&used_pred, &used_act)),
+                neg_used.to_string(),
+                format!("{:.2e} records", min_used),
+            ],
+        ],
+    );
+    scatter_summary(report, &elapsed_pred, &elapsed_act, "s");
+    ExperimentResult {
+        id: "fig3",
+        headline: neg_elapsed as f64,
+        values: vec![
+            ("neg_records_used", neg_used as f64),
+            ("elapsed_risk", predictive_risk(&elapsed_pred, &elapsed_act)),
+        ],
+    }
+}
+
+/// Fig. 8 — KCCA over SQL-text features.
+pub fn fig8(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    let opts = PredictorOptions {
+        feature_kind: FeatureKind::SqlText,
+        ..PredictorOptions::default()
+    };
+    let model = KccaPredictor::train(&ctx.train, opts).expect("trains");
+    let preds = model.predict_dataset(&ctx.test).expect("predicts");
+    let eval = evaluate(&preds, &ctx.test);
+    let risk = eval.predictive_risk[0].unwrap_or(f64::NAN);
+    report.heading(2, "Fig. 8 — KCCA with SQL-text features");
+    report.para(&format!(
+        "Nine SQL-statement statistics as the query feature vector. \
+         Paper: predictive risk −0.10 for elapsed time — 'two textually \
+         similar queries may have dramatically different performance'. \
+         Measured elapsed-time risk: **{risk:.3}** (within 20%: {:.0}%).",
+        eval.elapsed_within_20pct * 100.0
+    ));
+    let p: Vec<f64> = preds.iter().map(|x| x.metrics.elapsed_seconds).collect();
+    scatter_summary(report, &p, &ctx.test.elapsed(), "s");
+    ExperimentResult {
+        id: "fig8",
+        headline: risk,
+        values: vec![("within20", eval.elapsed_within_20pct)],
+    }
+}
+
+fn risks_row(label: &str, eval: &Evaluation) -> Vec<String> {
+    let mut row = vec![label.to_string()];
+    row.extend(eval.predictive_risk.iter().map(|r| risk_cell(*r)));
+    row
+}
+
+fn metric_headers() -> Vec<&'static str> {
+    let mut h = vec!["variant"];
+    h.extend(PerfMetrics::NAMES);
+    h
+}
+
+/// Table I — Euclidean vs. cosine neighbor distance.
+pub fn table1(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut euclid_risk = 0.0;
+    let mut cosine_risk = 0.0;
+    for (label, metric) in [
+        ("Euclidean distance", DistanceMetric::Euclidean),
+        ("cosine distance", DistanceMetric::Cosine),
+    ] {
+        let opts = PredictorOptions {
+            metric,
+            ..PredictorOptions::default()
+        };
+        let model = KccaPredictor::train(&ctx.train, opts).expect("trains");
+        let eval = evaluate(&model.predict_dataset(&ctx.test).expect("predicts"), &ctx.test);
+        if metric == DistanceMetric::Euclidean {
+            euclid_risk = eval.predictive_risk[0].unwrap_or(f64::NAN);
+        } else {
+            cosine_risk = eval.predictive_risk[0].unwrap_or(f64::NAN);
+        }
+        rows.push(risks_row(label, &eval));
+    }
+    report.heading(2, "Table I — distance metric for nearest neighbors");
+    report.para(
+        "Predictive risk per metric. Paper: Euclidean distance beats \
+         cosine distance on every metric.",
+    );
+    report.table(&metric_headers(), &rows);
+    ExperimentResult {
+        id: "table1",
+        headline: euclid_risk - cosine_risk,
+        values: vec![("euclid", euclid_risk), ("cosine", cosine_risk)],
+    }
+}
+
+/// Table II — number of neighbors k ∈ 3..7.
+pub fn table2(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut risks = Vec::new();
+    for k in 3..=7usize {
+        let opts = PredictorOptions {
+            neighbors: k,
+            ..PredictorOptions::default()
+        };
+        let model = KccaPredictor::train(&ctx.train, opts).expect("trains");
+        let eval = evaluate(&model.predict_dataset(&ctx.test).expect("predicts"), &ctx.test);
+        risks.push(eval.predictive_risk[0].unwrap_or(f64::NAN));
+        rows.push(risks_row(&format!("{k}NN"), &eval));
+    }
+    report.heading(2, "Table II — number of neighbors");
+    report.para(
+        "Paper: negligible difference between k = 3..7; k = 3 chosen. \
+         Disk I/O risk is Null/poor because most queries do zero disk \
+         I/O on this configuration.",
+    );
+    report.table(&metric_headers(), &rows);
+    let spread = risks.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - risks.iter().cloned().fold(f64::INFINITY, f64::min);
+    ExperimentResult {
+        id: "table2",
+        headline: spread,
+        values: risks
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (["k3", "k4", "k5", "k6", "k7"][i], r))
+            .collect(),
+    }
+}
+
+/// Table III — neighbor weighting schemes.
+pub fn table3(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut risks = Vec::new();
+    for (label, weighting) in [
+        ("equal", NeighborWeighting::Equal),
+        ("3:2:1 ratio", NeighborWeighting::RankRatio),
+        ("distance ratio", NeighborWeighting::InverseDistance),
+    ] {
+        let opts = PredictorOptions {
+            weighting,
+            ..PredictorOptions::default()
+        };
+        let model = KccaPredictor::train(&ctx.train, opts).expect("trains");
+        let eval = evaluate(&model.predict_dataset(&ctx.test).expect("predicts"), &ctx.test);
+        risks.push(eval.predictive_risk[0].unwrap_or(f64::NAN));
+        rows.push(risks_row(label, &eval));
+    }
+    report.heading(2, "Table III — neighbor weighting");
+    report.para(
+        "Paper: no weighting scheme wins consistently across metrics; \
+         equal weighting chosen for simplicity.",
+    );
+    report.table(&metric_headers(), &rows);
+    let spread = risks.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - risks.iter().cloned().fold(f64::INFINITY, f64::min);
+    ExperimentResult {
+        id: "table3",
+        headline: spread,
+        values: vec![
+            ("equal", risks[0]),
+            ("rank_ratio", risks[1]),
+            ("inverse_distance", risks[2]),
+        ],
+    }
+}
+
+/// Experiment 1 (Figs. 10–12) — the headline one-model KCCA result.
+pub fn experiment1(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    let model =
+        KccaPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
+    let preds = model.predict_dataset(&ctx.test).expect("predicts");
+    let eval = evaluate(&preds, &ctx.test);
+
+    let pred_elapsed: Vec<f64> = preds.iter().map(|p| p.metrics.elapsed_seconds).collect();
+    let actual_elapsed = ctx.test.elapsed();
+    let risk = eval.predictive_risk[0].unwrap_or(f64::NAN);
+    let risk_minus_outlier =
+        predictive_risk_dropping_outliers(&pred_elapsed, &actual_elapsed, 1);
+
+    report.heading(2, "Experiment 1 (Figs. 10–12) — one-model KCCA");
+    report.para(&format!(
+        "Training: {} queries (767 feathers / 230 golf balls / 30 bowling \
+         balls at full scale); test: {} queries (45/7/9), six of the test \
+         bowling balls executed after a simulated system upgrade. Paper: \
+         elapsed-time risk 0.55 (0.61 after dropping the worst outlier); \
+         records-used risk 0.98; message-count risk 0.35; elapsed time \
+         within 20% of actual for at least 85% of test queries.",
+        ctx.train.len(),
+        ctx.test.len()
+    ));
+    report.table(
+        &metric_headers(),
+        &[risks_row("one-model KCCA", &eval)],
+    );
+    report.para(&format!(
+        "Elapsed-time risk dropping the worst outlier: **{risk_minus_outlier:.3}**. \
+         Elapsed within 20% of actual: **{:.0}%**; within 2x: **{:.0}%**.",
+        eval.elapsed_within_20pct * 100.0,
+        eval.elapsed_within_2x * 100.0
+    ));
+    scatter_summary(report, &pred_elapsed, &actual_elapsed, "s");
+    let mut values = vec![
+        ("risk_no_outlier", risk_minus_outlier),
+        ("within20", eval.elapsed_within_20pct),
+        ("within2x", eval.elapsed_within_2x),
+    ];
+    values.push((
+        "records_used_risk",
+        eval.predictive_risk[5].unwrap_or(f64::NAN),
+    ));
+    values.push((
+        "message_count_risk",
+        eval.predictive_risk[2].unwrap_or(f64::NAN),
+    ));
+    ExperimentResult {
+        id: "fig10",
+        headline: risk,
+        values,
+    }
+}
+
+/// Experiment 2 (Fig. 13) — training with only 30 queries per category.
+pub fn experiment2(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    let scale = (ctx.all.len() as f64 / POPULATION as f64).min(1.0);
+    let n = ((30.0 * scale).round() as usize).max(1);
+    let (train_idx, _) = ctx.all.sample_pools(
+        &[
+            (QueryCategory::Feather, n),
+            (QueryCategory::GolfBall, n),
+            (QueryCategory::BowlingBall, n),
+        ],
+        &[],
+        99,
+    );
+    let small_train = ctx.all.subset(&train_idx);
+    let mut opts = PredictorOptions::default();
+    opts.kcca.max_rank = opts.kcca.max_rank.min(small_train.len());
+    let model = KccaPredictor::train(&small_train, opts).expect("trains");
+    let preds = model.predict_dataset(&ctx.test).expect("predicts");
+    let eval = evaluate(&preds, &ctx.test);
+    let risk = eval.predictive_risk[0].unwrap_or(f64::NAN);
+    report.heading(2, "Experiment 2 (Fig. 13) — balanced 30/30/30 training set");
+    report.para(&format!(
+        "Training shrunk to {} queries ({} per category). Paper: \
+         noticeably less accurate than Experiment 1 — 'more data in the \
+         training set is always better'. Measured elapsed-time risk: \
+         **{risk:.3}** (within 20%: {:.0}%).",
+        small_train.len(),
+        n,
+        eval.elapsed_within_20pct * 100.0
+    ));
+    let p: Vec<f64> = preds.iter().map(|x| x.metrics.elapsed_seconds).collect();
+    scatter_summary(report, &p, &ctx.test.elapsed(), "s");
+    ExperimentResult {
+        id: "fig13",
+        headline: risk,
+        values: vec![("within20", eval.elapsed_within_20pct)],
+    }
+}
+
+/// Experiment 3 (Fig. 14) — two-step prediction.
+pub fn experiment3(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    let model =
+        TwoStepPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
+    let preds = model.predict_dataset(&ctx.test).expect("predicts");
+    let eval = evaluate(&preds, &ctx.test);
+    let risk = eval.predictive_risk[0].unwrap_or(f64::NAN);
+    report.heading(2, "Experiment 3 (Fig. 14) — two-step prediction");
+    report.para(&format!(
+        "Step 1 classifies the query as feather / golf ball / bowling \
+         ball by neighbor vote; step 2 predicts with a category-specific \
+         model. Paper: risk 0.82, fewer outliers than Experiment 1 \
+         (0.55); occasional losses when a query sits near a category \
+         boundary. Measured elapsed-time risk: **{risk:.3}** (within \
+         20%: {:.0}%).",
+        eval.elapsed_within_20pct * 100.0
+    ));
+    let p: Vec<f64> = preds.iter().map(|x| x.metrics.elapsed_seconds).collect();
+    scatter_summary(report, &p, &ctx.test.elapsed(), "s");
+    ExperimentResult {
+        id: "fig14",
+        headline: risk,
+        values: vec![("within20", eval.elapsed_within_20pct)],
+    }
+}
+
+/// Experiment 4 (Fig. 15) — transfer to a different schema.
+pub fn experiment4(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    // 45 short-running customer queries on the same 4-node system.
+    let mut gen = WorkloadGenerator::new(customer_schema(1.0), customer_suite(), SEED + 4);
+    let queries = gen.generate(45);
+    let customer = Dataset::collect(&customer_schema(1.0), queries, &ctx.config, 4);
+
+    let one = KccaPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
+    let two = TwoStepPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
+    let p1 = one.predict_dataset(&customer).expect("predicts");
+    let p2 = two.predict_dataset(&customer).expect("predicts");
+    let actual = customer.elapsed();
+
+    let summarize = |preds: &[qpp_core::Prediction]| -> (f64, f64, usize) {
+        let mut log_ratio_sum = 0.0;
+        let mut worst: f64 = 0.0;
+        let mut over10 = 0;
+        for (p, a) in preds.iter().zip(actual.iter()) {
+            let r = (p.metrics.elapsed_seconds.max(1e-9) / a.max(1e-9)).max(1e-12);
+            log_ratio_sum += r.ln();
+            worst = worst.max(r);
+            if r > 10.0 {
+                over10 += 1;
+            }
+        }
+        (
+            (log_ratio_sum / preds.len() as f64).exp(),
+            worst,
+            over10,
+        )
+    };
+    let (geo1, worst1, over10_1) = summarize(&p1);
+    let (geo2, worst2, over10_2) = summarize(&p2);
+
+    report.heading(2, "Experiment 4 (Fig. 15) — different schema (customer queries)");
+    report.para(&format!(
+        "Model trained on TPC-DS, tested on {} very short customer \
+         queries against a different schema. Paper: one-model KCCA \
+         over-predicts by one to three orders of magnitude; two-step is \
+         'relatively more accurate'; relative errors look huge because \
+         the queries are mini-feathers.",
+        customer.len()
+    ));
+    report.table(
+        &[
+            "model",
+            "geometric mean over-prediction",
+            "worst over-prediction",
+            "queries over-predicted >10x",
+        ],
+        &[
+            vec![
+                "one-model KCCA".into(),
+                format!("{geo1:.1}x"),
+                format!("{worst1:.0}x"),
+                format!("{over10_1}/{}", customer.len()),
+            ],
+            vec![
+                "two-step KCCA".into(),
+                format!("{geo2:.1}x"),
+                format!("{worst2:.0}x"),
+                format!("{over10_2}/{}", customer.len()),
+            ],
+        ],
+    );
+    ExperimentResult {
+        id: "fig15",
+        headline: geo1,
+        values: vec![
+            ("two_step_geo", geo2),
+            ("one_model_worst", worst1),
+            ("one_model_over10", over10_1 as f64),
+        ],
+    }
+}
+
+/// Fig. 16 — configurations of the 32-node system.
+pub fn fig16(report: &mut Report) -> ExperimentResult {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut disk_null = 0;
+    let mut elapsed_risks = Vec::new();
+    // 280 queries rerun (same specs) on each configuration. The paper
+    // reran the *standard* TPC-DS templates here — not the hand-written
+    // problem templates — and found every query short-running on the
+    // 32-node system.
+    let mut gen = WorkloadGenerator::tpcds(1.0, SEED + 16);
+    let mut queries = gen.generate_class(qpp_workload::TemplateClass::Reporting, 180);
+    queries.extend(gen.generate_class(qpp_workload::TemplateClass::AdHoc, 70));
+    queries.extend(gen.generate_class(qpp_workload::TemplateClass::CrossFact, 30));
+    // Shuffle (deterministically) so the 197/83 split sees every class
+    // on both sides.
+    {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(SEED + 17);
+        queries.shuffle(&mut rng);
+    }
+    let schema = gen.schema().clone();
+    for cpus in [4u32, 8, 16, 32] {
+        let config = SystemConfig::neoview_32(cpus);
+        let ds = Dataset::collect(&schema, queries.clone(), &config, 4);
+        let train_idx: Vec<usize> = (0..197).collect();
+        let test_idx: Vec<usize> = (197..280).collect();
+        let train = ds.subset(&train_idx);
+        let test = ds.subset(&test_idx);
+        let model =
+            KccaPredictor::train(&train, PredictorOptions::default()).expect("trains");
+        let preds = model.predict_dataset(&test).expect("predicts");
+        let eval = evaluate(&preds, &test);
+        if eval.predictive_risk[1].is_none() {
+            disk_null += 1;
+        }
+        // The paper notes predictive risk "tends to be sensitive to
+        // outliers and in several cases improved significantly by
+        // removing the top one or two outliers" (§VI-C); with the
+        // narrow elapsed spread of the 32-node system a single miss
+        // dominates, so this table reports risks with the single worst
+        // residual removed per metric.
+        let actual = test.performance_matrix();
+        let trimmed: Vec<Option<f64>> = (0..PerfMetrics::DIM)
+            .map(|m| {
+                let a: Vec<f64> = actual.col(m);
+                let p: Vec<f64> = preds.iter().map(|pr| pr.metrics.to_vec()[m]).collect();
+                let mean = a.iter().sum::<f64>() / a.len().max(1) as f64;
+                let var: f64 = a.iter().map(|v| (v - mean) * (v - mean)).sum();
+                if var <= 1e-12 {
+                    None
+                } else {
+                    Some(predictive_risk_dropping_outliers(&p, &a, 1))
+                }
+            })
+            .collect();
+        elapsed_risks.push(trimmed[0].unwrap_or(f64::NAN));
+        let mut row = vec![format!("{cpus} nodes")];
+        row.extend(trimmed.iter().map(|r| risk_cell(*r)));
+        rows.push(row);
+        let _ = eval;
+    }
+    report.heading(2, "Fig. 16 — 32-node system, 4/8/16/32-CPU configurations");
+    report.para(
+        "197 training / 83 test TPC-DS queries rerun per configuration \
+         (data stays partitioned across all 32 disks). Paper: effective \
+         prediction on every configuration; disk I/O risk is Null on \
+         8/16/32 CPUs because the added memory caches all tables — only \
+         the 4-CPU configuration pays disk I/O. Risks shown with the \
+         single worst residual removed per metric, following the \
+         paper's §VI-C remark on outlier sensitivity.",
+    );
+    report.table(&metric_headers(), &rows);
+    ExperimentResult {
+        id: "fig16",
+        headline: elapsed_risks.iter().cloned().fold(f64::INFINITY, f64::min),
+        values: vec![
+            ("disk_null_configs", disk_null as f64),
+            ("risk_4cpu", elapsed_risks[0]),
+            ("risk_32cpu", elapsed_risks[3]),
+        ],
+    }
+}
+
+/// Fig. 17 — optimizer cost estimates vs. actual elapsed time.
+pub fn fig17(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    let model = OptimizerCostModel::train(&ctx.train).expect("trains");
+    let preds = model.predict_dataset(&ctx.test);
+    let actual = ctx.test.elapsed();
+    let risk = predictive_risk(&preds, &actual);
+    let over10 = preds
+        .iter()
+        .zip(actual.iter())
+        .filter(|(p, a)| ratio(**p, **a) > 10.0)
+        .count();
+    let within20 = fraction_within(&preds, &actual, 0.2);
+    report.heading(2, "Fig. 17 — optimizer cost vs. actual elapsed time");
+    report.para(&format!(
+        "Optimizer cost units mapped to time through a log-log line of \
+         best fit on the training set (cost units are not time units, \
+         so no 'perfect prediction' line exists). Paper: estimates do \
+         not correspond to actual resource usage for many queries — \
+         several points 10x–100x from the best fit — and the KCCA model \
+         (Fig. 14) is clearly more accurate. Measured: best-fit \
+         ln t = {:.2} + {:.2} ln cost; elapsed-time risk **{risk:.3}**; \
+         {over10}/{} queries 10x+ from the fit; within 20%: {:.0}%.",
+        model.intercept,
+        model.slope,
+        ctx.test.len(),
+        within20 * 100.0,
+    ));
+    scatter_summary(report, &preds, &actual, "s");
+    ExperimentResult {
+        id: "fig17",
+        headline: risk,
+        values: vec![("over10", over10 as f64), ("within20", within20)],
+    }
+}
+
+/// Extension — PQR-style runtime-range baseline (related work, §III).
+pub fn pqr(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    let model = PqrPredictor::train(
+        &ctx.train,
+        FeatureKind::QueryPlan,
+        PqrPredictor::default_bounds(),
+    )
+    .expect("pqr trains");
+    let accuracy = model.range_accuracy(&ctx.test);
+    // KCCA point predictions scored the same way: does the point land
+    // in the same bucket as the actual time?
+    let kcca = KccaPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
+    let bounds = PqrPredictor::default_bounds();
+    let bucket = |t: f64| bounds.iter().position(|&b| t < b).unwrap_or(bounds.len() - 1);
+    let kcca_bucket_acc = ctx
+        .test
+        .records
+        .iter()
+        .filter(|r| {
+            let p = kcca.predict(&r.spec, &r.optimized.plan).unwrap();
+            bucket(p.metrics.elapsed_seconds) == bucket(r.metrics.elapsed_seconds)
+        })
+        .count() as f64
+        / ctx.test.len() as f64;
+    report.heading(2, "Extension — PQR runtime-range baseline (related work §III)");
+    report.para(&format!(
+        "PQR predicts only coarse elapsed-time *ranges* via a decision          tree over plan features, and no other metric. Measured range          accuracy over six log-spaced buckets: **{:.0}%**; the KCCA          point prediction lands in the correct bucket {:.0}% of the time          while additionally providing five more metrics and continuous          values.",
+        accuracy * 100.0,
+        kcca_bucket_acc * 100.0
+    ));
+    ExperimentResult {
+        id: "pqr",
+        headline: accuracy,
+        values: vec![("kcca_bucket_accuracy", kcca_bucket_acc)],
+    }
+}
+
+/// Extension — feature-importance analysis (paper §VII-C.2).
+pub fn feature_importance(ctx: &Context, report: &mut Report) -> ExperimentResult {
+    let model = KccaPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
+    let ranking = rank_features(&model, &ctx.train, &ctx.test).expect("ranking");
+    let share = join_feature_share(&ranking);
+    report.heading(2, "Extension — which plan features does the model key on? (§VII-C.2)");
+    report.para(&format!(
+        "Per-feature agreement between test queries and their nearest          neighbors, relative to random training pairs (1.0 = neighbors          always agree exactly; 0 = no role). The paper's cursory finding          was that join-operator counts and cardinalities contribute the          most; here join-family features carry **{:.0}%** of the total          positive importance.",
+        share * 100.0
+    ));
+    let rows: Vec<Vec<String>> = ranking
+        .iter()
+        .take(10)
+        .map(|f| {
+            vec![
+                f.feature.clone(),
+                format!("{:.3}", f.importance),
+                format!("{:.3}", f.neighbor_disagreement),
+                format!("{:.3}", f.baseline_disagreement),
+            ]
+        })
+        .collect();
+    report.table(
+        &["feature", "importance", "neighbor disagreement", "chance disagreement"],
+        &rows,
+    );
+    ExperimentResult {
+        id: "feature_importance",
+        headline: share,
+        values: vec![("top_importance", ranking[0].importance)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One shared small context keeps the test suite fast; the full-size
+    // experiments run through the binary / integration tests.
+    fn small_ctx() -> Context {
+        Context::build_sized(3000)
+    }
+
+    #[test]
+    fn context_pools_have_requested_mix() {
+        let ctx = small_ctx();
+        assert!(ctx.train.len() > 100);
+        assert!(!ctx.test.is_empty());
+        assert!(ctx
+            .test
+            .records
+            .iter()
+            .any(|r| r.category == QueryCategory::BowlingBall));
+    }
+
+    #[test]
+    fn experiment1_produces_sane_report() {
+        // The pools at this reduced population are tiny, so risk
+        // *orderings* are asserted at full scale by the root
+        // integration tests; here we check the machinery and that the
+        // one-model KCCA is at least in a usable band.
+        let ctx = small_ctx();
+        let mut report = Report::new();
+        let e1 = experiment1(&ctx, &mut report);
+        assert!(e1.headline.is_finite());
+        let within2x = e1
+            .values
+            .iter()
+            .find(|(k, _)| *k == "within2x")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(within2x > 0.5, "within 2x only {within2x}");
+        let md = report.finish();
+        assert!(md.contains("Experiment 1"));
+        assert!(md.contains("Widest misses"));
+    }
+
+    #[test]
+    fn regression_baseline_goes_negative() {
+        let ctx = small_ctx();
+        let mut report = Report::new();
+        let r = fig3_fig4(&ctx, &mut report);
+        assert!(
+            r.headline + r.values[0].1 > 0.0,
+            "expected negative OLS predictions somewhere"
+        );
+    }
+
+    #[test]
+    fn experiment4_runs_on_foreign_schema() {
+        let ctx = small_ctx();
+        let mut report = Report::new();
+        let r = experiment4(&ctx, &mut report);
+        // At this reduced scale only the machinery is asserted (the
+        // over-prediction magnitude is checked at full scale through
+        // the harness); the worst-case ratio must still show the
+        // foreign-schema mismatch.
+        assert!(r.headline.is_finite() && r.headline > 0.0);
+        let worst = r
+            .values
+            .iter()
+            .find(|(k, _)| *k == "one_model_worst")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(worst > 2.0, "worst over-prediction only {worst}");
+        assert!(report.finish().contains("customer"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Small markdown-report helpers for the experiments binary.
+
+use std::fmt::Write;
+
+/// Accumulates a markdown document.
+#[derive(Debug, Default)]
+pub struct Report {
+    buf: String,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a section heading.
+    pub fn heading(&mut self, level: usize, text: &str) {
+        let _ = writeln!(self.buf, "\n{} {}\n", "#".repeat(level.clamp(1, 6)), text);
+    }
+
+    /// Appends a paragraph.
+    pub fn para(&mut self, text: &str) {
+        let _ = writeln!(self.buf, "{text}\n");
+    }
+
+    /// Appends a markdown table.
+    pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) {
+        let _ = writeln!(self.buf, "| {} |", headers.join(" | "));
+        let _ = writeln!(
+            self.buf,
+            "|{}|",
+            headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in rows {
+            let _ = writeln!(self.buf, "| {} |", row.join(" | "));
+        }
+        let _ = writeln!(self.buf);
+    }
+
+    /// The rendered document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Formats seconds as `hh:mm:ss.s` (the paper's Fig. 2 style).
+pub fn hms(seconds: f64) -> String {
+    let total = seconds.max(0.0);
+    let h = (total / 3600.0).floor() as u64;
+    let m = ((total % 3600.0) / 60.0).floor() as u64;
+    let s = total % 60.0;
+    format!("{h:02}:{m:02}:{s:04.1}")
+}
+
+/// Formats an optional predictive risk (`Null` for constant metrics,
+/// matching the paper's Fig. 16 cells).
+pub fn risk_cell(r: Option<f64>) -> String {
+    match r {
+        Some(v) => format!("{v:.3}"),
+        None => "Null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut r = Report::new();
+        r.heading(2, "Title");
+        r.table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let s = r.finish();
+        assert!(s.contains("## Title"));
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("|---|---|"));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn hms_formats() {
+        assert_eq!(hms(2.7), "00:00:02.7");
+        assert_eq!(hms(185.0), "00:03:05.0");
+        assert_eq!(hms(6890.0), "01:54:50.0");
+    }
+
+    #[test]
+    fn risk_cell_null() {
+        assert_eq!(risk_cell(None), "Null");
+        assert_eq!(risk_cell(Some(0.5514)), "0.551");
+    }
+}

@@ -1,0 +1,285 @@
+//! Baseline predictors the paper compares against.
+//!
+//! * [`RegressionPredictor`] — per-metric ordinary least squares on the
+//!   raw plan features (§V-A, Figs. 3–4). Kept deliberately unclamped
+//!   so experiments can count the physically impossible negative
+//!   predictions the paper reports.
+//! * [`OptimizerCostModel`] — the query optimizer's abstract cost plus
+//!   a log-log line of best fit to elapsed time (Fig. 17; "since the
+//!   optimizer cost units are not time units, we cannot draw a perfect
+//!   prediction line — we instead draw a line of best fit").
+//! * [`PqrPredictor`] — the PQR approach from related work (§III):
+//!   a decision tree over plan features predicting *ranges* of
+//!   execution time only. Useful as the "single metric, coarse
+//!   granularity" contrast to KCCA's six simultaneous point estimates.
+
+use crate::categories::QueryCategory;
+use crate::dataset::Dataset;
+use crate::features::{query_features, FeatureKind};
+use qpp_engine::{PerfMetrics, Plan};
+use qpp_linalg::{LinalgError, Matrix};
+use qpp_ml::MetricRegression;
+use qpp_workload::QuerySpec;
+
+/// Linear-regression baseline over plan features.
+#[derive(Debug, Clone)]
+pub struct RegressionPredictor {
+    model: MetricRegression,
+    feature_kind: FeatureKind,
+}
+
+impl RegressionPredictor {
+    /// Fits one OLS model per metric.
+    pub fn train(dataset: &Dataset, feature_kind: FeatureKind) -> Result<Self, LinalgError> {
+        let x = dataset.feature_matrix(feature_kind);
+        let y = dataset.performance_matrix();
+        Ok(RegressionPredictor {
+            model: MetricRegression::fit(&x, &y)?,
+            feature_kind,
+        })
+    }
+
+    /// Predicts all six metrics; values may be negative (that is the
+    /// documented failure mode of this baseline).
+    pub fn predict(&self, spec: &QuerySpec, plan: &Plan) -> Result<Vec<f64>, LinalgError> {
+        let f = query_features(self.feature_kind, spec, plan);
+        self.model.predict(&f)
+    }
+
+    /// Predicts a whole dataset; rows align with records.
+    pub fn predict_dataset(&self, dataset: &Dataset) -> Result<Matrix, LinalgError> {
+        let x = dataset.feature_matrix(self.feature_kind);
+        self.model.predict_matrix(&x)
+    }
+
+    /// Counts predictions of `metric` (canonical index) that went
+    /// negative — the paper's "76 data points had negative predicted
+    /// times" observation.
+    pub fn count_negative(&self, dataset: &Dataset, metric: usize) -> Result<usize, LinalgError> {
+        assert!(metric < PerfMetrics::DIM);
+        let p = self.predict_dataset(dataset)?;
+        Ok((0..p.rows()).filter(|&i| p[(i, metric)] < 0.0).count())
+    }
+}
+
+/// The optimizer-cost baseline: predicts elapsed time by fitting
+/// `ln(time) = a + b ln(cost)` on training data.
+#[derive(Debug, Clone)]
+pub struct OptimizerCostModel {
+    /// Intercept of the log-log best-fit line.
+    pub intercept: f64,
+    /// Slope of the log-log best-fit line.
+    pub slope: f64,
+}
+
+impl OptimizerCostModel {
+    /// Fits the line of best fit on (cost, elapsed) pairs.
+    pub fn train(dataset: &Dataset) -> Result<Self, LinalgError> {
+        let n = dataset.len();
+        if n < 2 {
+            return Err(LinalgError::Empty("optimizer cost model"));
+        }
+        let mut x = Matrix::zeros(n, 1);
+        let mut y = Matrix::zeros(n, 1);
+        for (i, r) in dataset.records.iter().enumerate() {
+            x[(i, 0)] = r.optimized.plan.optimizer_cost.max(1e-9).ln();
+            y[(i, 0)] = r.metrics.elapsed_seconds.max(1e-9).ln();
+        }
+        let ls = qpp_linalg::LeastSquares::fit(&x, &y)?;
+        let coef = ls.coefficients();
+        Ok(OptimizerCostModel {
+            intercept: coef[(0, 0)],
+            slope: coef[(1, 0)],
+        })
+    }
+
+    /// Predicted elapsed seconds for a plan's optimizer cost.
+    pub fn predict_elapsed(&self, plan: &Plan) -> f64 {
+        (self.intercept + self.slope * plan.optimizer_cost.max(1e-9).ln()).exp()
+    }
+
+    /// Predicts elapsed time for every record.
+    pub fn predict_dataset(&self, dataset: &Dataset) -> Vec<f64> {
+        dataset
+            .records
+            .iter()
+            .map(|r| self.predict_elapsed(&r.optimized.plan))
+            .collect()
+    }
+}
+
+/// PQR-style runtime-range predictor: a classification tree over plan
+/// features whose classes are log-spaced elapsed-time buckets.
+#[derive(Debug, Clone)]
+pub struct PqrPredictor {
+    tree: qpp_ml::DecisionTree,
+    feature_kind: FeatureKind,
+    /// Bucket upper bounds, seconds (ascending; last is +inf).
+    bounds: Vec<f64>,
+}
+
+impl PqrPredictor {
+    /// Default PQR buckets: sub-second, second-scale, the paper's
+    /// feather/golf/bowling boundaries, and beyond.
+    pub fn default_bounds() -> Vec<f64> {
+        vec![
+            1.0,
+            10.0,
+            QueryCategory::FEATHER_MAX,
+            QueryCategory::GOLF_MAX,
+            QueryCategory::BOWLING_MAX,
+            f64::INFINITY,
+        ]
+    }
+
+    /// Trains the range tree.
+    pub fn train(
+        dataset: &Dataset,
+        feature_kind: FeatureKind,
+        bounds: Vec<f64>,
+    ) -> Result<Self, LinalgError> {
+        assert!(!bounds.is_empty(), "need at least one bucket bound");
+        if dataset.is_empty() {
+            return Err(LinalgError::Empty("pqr training set"));
+        }
+        let x = dataset.feature_matrix(feature_kind);
+        let labels: Vec<usize> = dataset
+            .elapsed()
+            .iter()
+            .map(|&t| bucket_of(&bounds, t))
+            .collect();
+        let tree = qpp_ml::DecisionTree::fit(&x, &labels, qpp_ml::TreeOptions::default());
+        Ok(PqrPredictor {
+            tree,
+            feature_kind,
+            bounds,
+        })
+    }
+
+    /// Predicted elapsed-time range `(lo, hi)` in seconds.
+    pub fn predict_range(&self, spec: &QuerySpec, plan: &Plan) -> (f64, f64) {
+        let f = query_features(self.feature_kind, spec, plan);
+        let class = self.tree.predict(&f);
+        let hi = self.bounds[class.min(self.bounds.len() - 1)];
+        let lo = if class == 0 { 0.0 } else { self.bounds[class - 1] };
+        (lo, hi)
+    }
+
+    /// Fraction of `dataset` whose actual elapsed time falls inside the
+    /// predicted range.
+    pub fn range_accuracy(&self, dataset: &Dataset) -> f64 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let hits = dataset
+            .records
+            .iter()
+            .filter(|r| {
+                let (lo, hi) = self.predict_range(&r.spec, &r.optimized.plan);
+                let t = r.metrics.elapsed_seconds;
+                t >= lo && t < hi
+            })
+            .count();
+        hits as f64 / dataset.len() as f64
+    }
+}
+
+fn bucket_of(bounds: &[f64], t: f64) -> usize {
+    bounds
+        .iter()
+        .position(|&b| t < b)
+        .unwrap_or(bounds.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_engine::SystemConfig;
+    use qpp_workload::{Schema, WorkloadGenerator};
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let schema = Schema::tpcds(1.0);
+        let mut g = WorkloadGenerator::tpcds(1.0, seed);
+        Dataset::collect(&schema, g.generate(n), &SystemConfig::neoview_4(), 2)
+    }
+
+    #[test]
+    fn regression_trains_and_predicts() {
+        let d = dataset(120, 31);
+        let m = RegressionPredictor::train(&d, FeatureKind::QueryPlan).unwrap();
+        let p = m.predict(&d.records[0].spec, &d.records[0].optimized.plan).unwrap();
+        assert_eq!(p.len(), PerfMetrics::DIM);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn regression_produces_negative_predictions_on_skewed_targets() {
+        // The Figs. 3–4 phenomenon: heavy-tailed targets + OLS ⇒ some
+        // negative predictions on the training set itself.
+        let d = dataset(400, 33);
+        let m = RegressionPredictor::train(&d, FeatureKind::QueryPlan).unwrap();
+        let neg_elapsed = m.count_negative(&d, 0).unwrap();
+        let neg_used = m.count_negative(&d, 5).unwrap();
+        assert!(
+            neg_elapsed + neg_used > 0,
+            "expected some negative OLS predictions"
+        );
+    }
+
+    #[test]
+    fn cost_model_is_order_of_magnitude_only() {
+        let d = dataset(150, 35);
+        let m = OptimizerCostModel::train(&d).unwrap();
+        assert!(m.slope.is_finite() && m.intercept.is_finite());
+        let preds = m.predict_dataset(&d);
+        assert!(preds.iter().all(|p| *p > 0.0));
+        // Fig. 17's point: cost units do not map to time — a healthy
+        // share of estimates miss by several-fold even after the best
+        // fit (the widest misses in the pooled experiment reach 10-100x,
+        // see the experiments harness).
+        let big_misses = preds
+            .iter()
+            .zip(d.elapsed().iter())
+            .filter(|(p, a)| {
+                let ratio = (*p / *a).max(*a / *p);
+                ratio > 3.0
+            })
+            .count();
+        assert!(
+            big_misses > d.len() / 20,
+            "only {big_misses}/{} cost estimates are 3x off",
+            d.len()
+        );
+    }
+
+    #[test]
+    fn cost_model_needs_data() {
+        let d = dataset(1, 37);
+        assert!(OptimizerCostModel::train(&d).is_err());
+    }
+
+    #[test]
+    fn pqr_predicts_ranges_better_than_chance() {
+        let train = dataset(400, 39);
+        let test = dataset(80, 40);
+        let m = PqrPredictor::train(&train, FeatureKind::QueryPlan, PqrPredictor::default_bounds())
+            .unwrap();
+        let acc = m.range_accuracy(&test);
+        // Six buckets; chance would be well under 40%.
+        assert!(acc > 0.4, "range accuracy {acc}");
+        // Ranges are well-formed.
+        let (lo, hi) = m.predict_range(&test.records[0].spec, &test.records[0].optimized.plan);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn pqr_bucketing_is_exhaustive() {
+        let bounds = PqrPredictor::default_bounds();
+        assert_eq!(bucket_of(&bounds, 0.1), 0);
+        assert_eq!(bucket_of(&bounds, 5.0), 1);
+        assert_eq!(bucket_of(&bounds, 100.0), 2);
+        assert_eq!(bucket_of(&bounds, 500.0), 3);
+        assert_eq!(bucket_of(&bounds, 3000.0), 4);
+        assert_eq!(bucket_of(&bounds, 1e9), 5);
+    }
+}

@@ -1,0 +1,121 @@
+//! Model serialization — the deployment flow of the paper's Fig. 1:
+//! the vendor trains per-configuration models on calibration workloads
+//! and *ships the models* to customer sites, where predictions run
+//! without any training infrastructure.
+
+use crate::predictor::KccaPredictor;
+use crate::two_step::TwoStepPredictor;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// JSON encoding/decoding error.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model io: {e}"),
+            ModelIoError::Json(e) => write!(f, "model json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<io::Error> for ModelIoError {
+    fn from(e: io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ModelIoError {
+    fn from(e: serde_json::Error) -> Self {
+        ModelIoError::Json(e)
+    }
+}
+
+/// Serializes a one-model predictor to JSON.
+pub fn to_json(model: &KccaPredictor) -> Result<String, ModelIoError> {
+    Ok(serde_json::to_string(model)?)
+}
+
+/// Deserializes a one-model predictor from JSON.
+pub fn from_json(json: &str) -> Result<KccaPredictor, ModelIoError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Writes a one-model predictor to a file.
+pub fn save(model: &KccaPredictor, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
+    fs::write(path, to_json(model)?)?;
+    Ok(())
+}
+
+/// Loads a one-model predictor from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<KccaPredictor, ModelIoError> {
+    from_json(&fs::read_to_string(path)?)
+}
+
+/// Writes a two-step predictor to a file.
+pub fn save_two_step(model: &TwoStepPredictor, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
+    fs::write(path, serde_json::to_string(model)?)?;
+    Ok(())
+}
+
+/// Loads a two-step predictor from a file.
+pub fn load_two_step(path: impl AsRef<Path>) -> Result<TwoStepPredictor, ModelIoError> {
+    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::predictor::PredictorOptions;
+    use qpp_engine::SystemConfig;
+    use qpp_workload::{Schema, WorkloadGenerator};
+
+    fn model() -> (KccaPredictor, Dataset) {
+        let schema = Schema::tpcds(1.0);
+        let mut g = WorkloadGenerator::tpcds(1.0, 61);
+        let d = Dataset::collect(&schema, g.generate(60), &SystemConfig::neoview_4(), 2);
+        (
+            KccaPredictor::train(&d, PredictorOptions::default()).unwrap(),
+            d,
+        )
+    }
+
+    #[test]
+    fn file_round_trip_preserves_predictions() {
+        let (m, d) = model();
+        let dir = std::env::temp_dir().join("qpp_model_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save(&m, &path).unwrap();
+        let back = load(&path).unwrap();
+        let r = &d.records[5];
+        let a = m.predict(&r.spec, &r.optimized.plan).unwrap();
+        let b = back.predict(&r.spec, &r.optimized.plan).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(matches!(
+            load("/nonexistent/q/p/p/model.json"),
+            Err(ModelIoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_json_errors() {
+        assert!(matches!(from_json("{not json"), Err(ModelIoError::Json(_))));
+    }
+}

@@ -1,0 +1,144 @@
+//! Sliding-window retraining (paper §VII-C.4, future work).
+//!
+//! The paper notes KCCA training is cubic and proposes "a sliding
+//! training set of data with a larger emphasis on more recently
+//! executed queries". This module implements that: a bounded window of
+//! the most recent executed queries, refreshed into a new model when
+//! enough new observations accumulate.
+
+use crate::dataset::{Dataset, QueryRecord};
+use crate::predictor::{KccaPredictor, PredictorOptions};
+use qpp_linalg::LinalgError;
+use std::collections::VecDeque;
+
+/// A continuously retrainable predictor over a sliding window of
+/// recently executed queries.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowPredictor {
+    window: VecDeque<QueryRecord>,
+    capacity: usize,
+    refresh_every: usize,
+    seen_since_refresh: usize,
+    options: PredictorOptions,
+    model: Option<KccaPredictor>,
+    /// Dataset template (config + schema) for rebuilding.
+    template: Dataset,
+}
+
+impl SlidingWindowPredictor {
+    /// Creates a window of at most `capacity` records that retrains
+    /// after every `refresh_every` new observations.
+    pub fn new(
+        template: Dataset,
+        capacity: usize,
+        refresh_every: usize,
+        options: PredictorOptions,
+    ) -> Self {
+        assert!(capacity >= 8, "window too small to train KCCA");
+        assert!(refresh_every >= 1);
+        SlidingWindowPredictor {
+            window: template.records.iter().cloned().collect(),
+            capacity,
+            refresh_every,
+            seen_since_refresh: 0,
+            options,
+            model: None,
+            template,
+        }
+    }
+
+    /// Observes one newly executed query; retrains when due. Returns
+    /// true when a retrain happened.
+    pub fn observe(&mut self, record: QueryRecord) -> Result<bool, LinalgError> {
+        self.window.push_back(record);
+        while self.window.len() > self.capacity {
+            self.window.pop_front();
+        }
+        self.seen_since_refresh += 1;
+        if self.model.is_none() || self.seen_since_refresh >= self.refresh_every {
+            self.retrain()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Forces a retrain on the current window.
+    pub fn retrain(&mut self) -> Result<(), LinalgError> {
+        let ds = Dataset {
+            config: self.template.config.clone(),
+            schema: self.template.schema.clone(),
+            records: self.window.iter().cloned().collect(),
+        };
+        self.model = Some(KccaPredictor::train(&ds, self.options)?);
+        self.seen_since_refresh = 0;
+        Ok(())
+    }
+
+    /// The current model, if one has been trained.
+    pub fn model(&self) -> Option<&KccaPredictor> {
+        self.model.as_ref()
+    }
+
+    /// Current window size.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_engine::SystemConfig;
+    use qpp_workload::{Schema, WorkloadGenerator};
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let schema = Schema::tpcds(1.0);
+        let mut g = WorkloadGenerator::tpcds(1.0, seed);
+        Dataset::collect(&schema, g.generate(n), &SystemConfig::neoview_4(), 2)
+    }
+
+    #[test]
+    fn window_evicts_oldest_and_retrains() {
+        let seed_data = dataset(40, 71);
+        let more = dataset(30, 72);
+        let mut sw = SlidingWindowPredictor::new(
+            seed_data.clone(),
+            50,
+            10,
+            PredictorOptions::default(),
+        );
+        sw.retrain().unwrap();
+        assert!(sw.model().is_some());
+        let before = sw.model().unwrap().training_size();
+        let mut retrains = 0;
+        for r in more.records {
+            if sw.observe(r).unwrap() {
+                retrains += 1;
+            }
+        }
+        assert!(retrains >= 3, "retrained {retrains} times");
+        assert_eq!(sw.window_len(), 50); // capacity respected
+        let after = sw.model().unwrap().training_size();
+        assert_eq!(after, 50);
+        assert!(after >= before);
+    }
+
+    #[test]
+    fn model_stays_usable_between_refreshes() {
+        let seed_data = dataset(30, 73);
+        let extra = dataset(3, 74);
+        let mut sw =
+            SlidingWindowPredictor::new(seed_data.clone(), 64, 100, PredictorOptions::default());
+        sw.retrain().unwrap();
+        for r in extra.records {
+            sw.observe(r).unwrap();
+        }
+        let r = &seed_data.records[0];
+        let p = sw
+            .model()
+            .unwrap()
+            .predict(&r.spec, &r.optimized.plan)
+            .unwrap();
+        assert!(p.metrics.is_valid());
+    }
+}

@@ -1,0 +1,183 @@
+//! Workload management decisions driven by predictions (paper §I).
+//!
+//! "Should we run this query? If so, when? How long do we wait for it
+//! to complete before deciding that something went wrong (so we should
+//! kill it)?" — this module turns metric predictions into those
+//! decisions: admission control against resource/deadline budgets, a
+//! kill timeout derived from the predicted runtime, and anomaly
+//! flagging from prediction confidence.
+
+use crate::predictor::Prediction;
+use serde::{Deserialize, Serialize};
+
+/// Admission policy limits.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdmissionPolicy {
+    /// Longest acceptable predicted runtime, seconds.
+    pub max_elapsed_seconds: f64,
+    /// Largest acceptable predicted message-byte volume (interconnect
+    /// pressure proxy); `f64::INFINITY` disables the check.
+    pub max_message_bytes: f64,
+    /// Largest acceptable predicted disk I/O count.
+    pub max_disk_ios: f64,
+    /// Neighbor-distance threshold above which a prediction is deemed
+    /// unreliable and the query is deferred for human review.
+    pub confidence_distance_threshold: f64,
+    /// Safety factor applied to the predicted runtime when deriving the
+    /// kill timeout ("how long do we wait before killing it").
+    pub kill_timeout_factor: f64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_elapsed_seconds: 2.0 * 3600.0,
+            max_message_bytes: f64::INFINITY,
+            max_disk_ios: f64::INFINITY,
+            confidence_distance_threshold: f64::INFINITY,
+            kill_timeout_factor: 3.0,
+        }
+    }
+}
+
+/// Outcome of an admission decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionDecision {
+    /// Run now; kill if it exceeds the embedded timeout (seconds).
+    Admit {
+        /// Kill deadline derived from the prediction.
+        kill_timeout_seconds: f64,
+    },
+    /// Predicted to exceed a resource limit; reject or defer to an
+    /// off-peak window.
+    Reject {
+        /// Which limit tripped.
+        reason: String,
+    },
+    /// The model has not seen similar queries (large neighbor
+    /// distance); a human should look before running.
+    ReviewRequired {
+        /// Observed neighbor distance.
+        confidence_distance: f64,
+    },
+}
+
+/// Decides admission for one predicted query.
+pub fn decide(policy: &AdmissionPolicy, prediction: &Prediction) -> AdmissionDecision {
+    if prediction.confidence_distance > policy.confidence_distance_threshold {
+        return AdmissionDecision::ReviewRequired {
+            confidence_distance: prediction.confidence_distance,
+        };
+    }
+    let m = &prediction.metrics;
+    if m.elapsed_seconds > policy.max_elapsed_seconds {
+        return AdmissionDecision::Reject {
+            reason: format!(
+                "predicted elapsed {:.0}s exceeds limit {:.0}s",
+                m.elapsed_seconds, policy.max_elapsed_seconds
+            ),
+        };
+    }
+    if m.message_bytes > policy.max_message_bytes {
+        return AdmissionDecision::Reject {
+            reason: format!(
+                "predicted message volume {:.0}B exceeds limit {:.0}B",
+                m.message_bytes, policy.max_message_bytes
+            ),
+        };
+    }
+    if m.disk_ios > policy.max_disk_ios {
+        return AdmissionDecision::Reject {
+            reason: format!(
+                "predicted disk I/O {:.0} exceeds limit {:.0}",
+                m.disk_ios, policy.max_disk_ios
+            ),
+        };
+    }
+    AdmissionDecision::Admit {
+        kill_timeout_seconds: m.elapsed_seconds * policy.kill_timeout_factor,
+    }
+}
+
+/// Orders a batch of admitted queries shortest-predicted-first (a
+/// simple SJF scheduler that keeps feathers from queuing behind
+/// bowling balls). Returns indices into `predictions`.
+pub fn schedule_shortest_first(predictions: &[Prediction]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..predictions.len()).collect();
+    order.sort_by(|&a, &b| {
+        predictions[a]
+            .metrics
+            .elapsed_seconds
+            .partial_cmp(&predictions[b].metrics.elapsed_seconds)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+/// Expected makespan if the given queries run one after another — used
+/// by "can this workload finish in the batch window?" checks.
+pub fn predicted_serial_makespan(predictions: &[Prediction]) -> f64 {
+    predictions.iter().map(|p| p.metrics.elapsed_seconds).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_engine::PerfMetrics;
+
+    fn prediction(elapsed: f64, confidence: f64) -> Prediction {
+        let mut m = PerfMetrics::zero();
+        m.elapsed_seconds = elapsed;
+        Prediction {
+            metrics: m,
+            neighbor_indices: vec![0, 1, 2],
+            confidence_distance: confidence,
+            max_kernel_similarity: 1.0,
+        }
+    }
+
+    #[test]
+    fn admits_short_queries_with_timeout() {
+        let d = decide(&AdmissionPolicy::default(), &prediction(60.0, 0.1));
+        match d {
+            AdmissionDecision::Admit {
+                kill_timeout_seconds,
+            } => assert!((kill_timeout_seconds - 180.0).abs() < 1e-9),
+            other => panic!("expected admit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_predicted_monsters() {
+        let d = decide(&AdmissionPolicy::default(), &prediction(3.0 * 3600.0, 0.1));
+        assert!(matches!(d, AdmissionDecision::Reject { .. }));
+    }
+
+    #[test]
+    fn flags_low_confidence_for_review() {
+        let policy = AdmissionPolicy {
+            confidence_distance_threshold: 1.0,
+            ..AdmissionPolicy::default()
+        };
+        let d = decide(&policy, &prediction(10.0, 5.0));
+        assert!(matches!(d, AdmissionDecision::ReviewRequired { .. }));
+    }
+
+    #[test]
+    fn resource_limits_trip() {
+        let policy = AdmissionPolicy {
+            max_disk_ios: 100.0,
+            ..AdmissionPolicy::default()
+        };
+        let mut p = prediction(10.0, 0.1);
+        p.metrics.disk_ios = 500.0;
+        assert!(matches!(decide(&policy, &p), AdmissionDecision::Reject { .. }));
+    }
+
+    #[test]
+    fn sjf_orders_by_predicted_time() {
+        let preds = vec![prediction(50.0, 0.1), prediction(5.0, 0.1), prediction(500.0, 0.1)];
+        assert_eq!(schedule_shortest_first(&preds), vec![1, 0, 2]);
+        assert!((predicted_serial_makespan(&preds) - 555.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! Dev utility: histogram of simulated elapsed times over the TPC-DS
+//! workload, to verify the feather/golf-ball/bowling-ball mix.
+
+use qpp_engine::{execute, optimize, Catalog, SystemConfig};
+use qpp_workload::{Schema, WorkloadGenerator};
+
+fn main() {
+    let schema = Schema::tpcds(1.0);
+    let cat = Catalog::new(schema.clone());
+    let cfg = SystemConfig::neoview_4();
+    let mut g = WorkloadGenerator::tpcds(1.0, 20090401);
+    let n = 3000;
+    let mut times: Vec<(f64, String)> = Vec::with_capacity(n);
+    for q in g.generate(n) {
+        let opt = optimize(&q, &cat, &cfg);
+        let out = execute(&q, &opt, &schema, &cfg);
+        times.push((out.metrics.elapsed_seconds, q.template.clone()));
+    }
+    let buckets = [
+        ("<1s", 0.0, 1.0),
+        ("1-10s", 1.0, 10.0),
+        ("10s-3min (feather)", 10.0, 180.0),
+        ("3-30min (golf)", 180.0, 1800.0),
+        ("30min-2h (bowling)", 1800.0, 7200.0),
+        (">2h (wrecking)", 7200.0, f64::INFINITY),
+    ];
+    for (name, lo, hi) in buckets {
+        let c = times.iter().filter(|(t, _)| *t >= lo && *t < hi).count();
+        println!("{name:>22}: {c:5}  ({:.1}%)", 100.0 * c as f64 / n as f64);
+    }
+    times.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    println!("\nmin {:.3}s  median {:.1}s  p90 {:.1}s  p99 {:.1}s  max {:.1}s",
+        times[0].0, times[n / 2].0, times[n * 9 / 10].0, times[n * 99 / 100].0, times[n - 1].0);
+    println!("\nslowest 10:");
+    for (t, tpl) in times.iter().rev().take(10) {
+        println!("  {:>10.1}s  {tpl}", t);
+    }
+    // Per-class medians.
+    for class in ["tpcds_report", "tpcds_adhoc", "tpcds_sales", "tpcds_cross", "problem"] {
+        let mut v: Vec<f64> = times.iter().filter(|(_, t)| t.starts_with(class)).map(|(t, _)| *t).collect();
+        if v.is_empty() { continue; }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!("{class:>14}: n={:4} median {:.1}s p90 {:.1}s max {:.1}s", v.len(), v[v.len()/2], v[v.len()*9/10], v[v.len()-1]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Catalog: the statistics the optimizer is allowed to see.
+//!
+//! Wraps a workload [`Schema`] and answers the estimation questions a
+//! cost-based optimizer asks. The estimation model mirrors a mature
+//! commercial optimizer:
+//!
+//! * **single-column predicates** are estimated from histograms, so
+//!   the estimate tracks the data's truth up to a modest, systematic
+//!   (per-constant) error — equality/range predicates land within a
+//!   few tens of percent, `LIKE` is much cruder;
+//! * **joins** use the textbook `|L||R| / max(ndv)` formula corrected
+//!   by sampled frequency statistics that capture *most* but not all
+//!   of the key skew — the heavy-tailed residual is exactly the
+//!   "erroneous cardinality estimates" the paper names as the hard
+//!   part of performance prediction (§I, §III-A);
+//! * **group counts** fall back to coarse rules.
+//!
+//! Estimation errors are deterministic per (column, operator,
+//! constant): re-planning the same query always produces the same
+//! estimates, and distinct queries over the same constants agree.
+
+use qpp_workload::spec::{JoinSpec, PredOp, PredicateSpec};
+use qpp_workload::world::hashed_normal;
+use qpp_workload::Schema;
+
+/// Histogram estimation error (log10 σ) for hash-friendly predicates.
+const HIST_SIGMA: f64 = 0.05;
+/// Estimation error for `LIKE` (no histogram support).
+const LIKE_SIGMA: f64 = 0.6;
+/// Residual join-skew estimation error (log10 σ).
+const JOIN_SIGMA: f64 = 0.3;
+/// Fraction of the join fan-out (in log space) the optimizer's sampled
+/// statistics capture; the rest is the surprise at run time.
+const JOIN_SKEW_CAPTURED: f64 = 0.5;
+
+/// Statistics catalog over a schema.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    schema: Schema,
+}
+
+impl Catalog {
+    /// Builds a catalog over the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Catalog { schema }
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Row count of a table at the schema's scale factor; 0 if unknown.
+    pub fn rows(&self, table: &str) -> f64 {
+        self.schema.rows(table) as f64
+    }
+
+    /// Row width of a table in bytes; a default if unknown.
+    pub fn row_width(&self, table: &str) -> f64 {
+        self.schema
+            .table(table)
+            .map(|t| t.row_width() as f64)
+            .unwrap_or(64.0)
+    }
+
+    /// NDV of a column, with the usual optimizer default when the
+    /// column is not in the catalog.
+    pub fn ndv(&self, table: &str, column: &str) -> f64 {
+        self.schema
+            .table(table)
+            .and_then(|t| t.column(column))
+            .map(|c| c.ndv.max(1) as f64)
+            .unwrap_or(100.0)
+    }
+
+    /// Histogram-based selectivity estimate: tracks the data's truth
+    /// (as a real optimizer's equi-depth histograms do for single
+    /// columns) up to a systematic per-constant error. `LIKE` gets the
+    /// crude magic-number treatment.
+    pub fn estimate_selectivity(&self, table: &str, pred: &PredicateSpec) -> f64 {
+        let (tag, sigma) = match pred.op {
+            PredOp::Eq => ("eq", HIST_SIGMA),
+            PredOp::Neq => ("neq", HIST_SIGMA * 0.5),
+            PredOp::Range { .. } => ("range", HIST_SIGMA),
+            PredOp::InList { .. } => ("in", HIST_SIGMA),
+            PredOp::Like => ("like", LIKE_SIGMA),
+        };
+        // The error is pinned to the predicate's identity (column, op,
+        // truth value stands in for the constant): re-estimating the
+        // same predicate is repeatable.
+        let z = hashed_normal(
+            &[table, &pred.column, tag, "hist"],
+            pred.true_selectivity.to_bits(),
+        );
+        (pred.true_selectivity * 10f64.powf(sigma * z)).clamp(1e-9, 1.0)
+    }
+
+    /// Estimated equi-/band-join output cardinality for the given edge.
+    ///
+    /// Starts from the textbook `|L||R| / max(ndv)` (or band-fraction)
+    /// formula, then applies the skew correction the optimizer's
+    /// sampled frequency statistics provide: a fixed fraction of the
+    /// true fan-out in log space, blurred by a per-edge systematic
+    /// error. The uncaptured remainder is the run-time cardinality
+    /// surprise.
+    pub fn estimate_join(
+        &self,
+        edge: &JoinSpec,
+        left_table: &str,
+        right_table: &str,
+        left_rows: f64,
+        right_rows: f64,
+        band_width: f64,
+    ) -> f64 {
+        let base = match edge.kind {
+            qpp_workload::spec::JoinKind::Equi => {
+                let d = self
+                    .ndv(left_table, &edge.left_column)
+                    .max(self.ndv(right_table, &edge.right_column));
+                left_rows * right_rows / d
+            }
+            qpp_workload::spec::JoinKind::NonEqui => {
+                let frac = (band_width / self.ndv(right_table, &edge.right_column)).min(1.0);
+                left_rows * right_rows * frac
+            }
+        };
+        let captured = edge.true_fanout_factor.powf(JOIN_SKEW_CAPTURED);
+        let z = hashed_normal(
+            &[&edge.left_column, &edge.right_column, "jhist"],
+            edge.true_fanout_factor.to_bits(),
+        );
+        (base * captured * 10f64.powf(JOIN_SIGMA * z)).max(0.0)
+    }
+
+    /// Estimated distinct-group count for a GROUP BY of `cols` columns
+    /// over `input_rows` rows (square-root style attenuation — the kind
+    /// of coarse rule real optimizers fall back to without histograms).
+    pub fn estimate_groups(&self, input_rows: f64, cols: u32) -> f64 {
+        if cols == 0 || input_rows <= 1.0 {
+            return 1.0;
+        }
+        // Each extra grouping column multiplies distinct groups, capped
+        // by the input size.
+        let per_col = 40.0f64;
+        (per_col.powi(cols as i32)).min(input_rows * 0.8).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_workload::spec::{JoinKind, PredOp, PredicateSpec};
+
+    fn pred(op: PredOp, truth: f64) -> PredicateSpec {
+        PredicateSpec {
+            table: 0,
+            column: "d_year".into(),
+            op,
+            true_selectivity: truth,
+        }
+    }
+
+    #[test]
+    fn histogram_estimates_track_truth_within_bounds() {
+        let cat = Catalog::new(Schema::tpcds(1.0));
+        for (op, truth) in [
+            (PredOp::Eq, 0.004),
+            (PredOp::Range { fraction: 0.2 }, 0.17),
+            (PredOp::InList { items: 4 }, 0.02),
+        ] {
+            let est = cat.estimate_selectivity("date_dim", &pred(op, truth));
+            let ratio = (est / truth).max(truth / est);
+            // HIST_SIGMA = 0.1 log10 → 4σ bound is a factor ~2.5.
+            assert!(ratio < 2.5, "{op:?}: est {est} vs truth {truth}");
+        }
+    }
+
+    #[test]
+    fn like_estimates_are_cruder() {
+        let cat = Catalog::new(Schema::tpcds(1.0));
+        // LIKE errors wander farther: verify at least one constant out
+        // of many misses by more than the histogram bound.
+        let worst = (0..40)
+            .map(|i| {
+                let truth = 0.01 + i as f64 * 0.001;
+                let est = cat.estimate_selectivity("date_dim", &pred(PredOp::Like, truth));
+                (est / truth).max(truth / est)
+            })
+            .fold(0.0f64, f64::max);
+        assert!(worst > 2.0, "worst LIKE ratio only {worst}");
+    }
+
+    #[test]
+    fn estimates_are_repeatable() {
+        let cat = Catalog::new(Schema::tpcds(1.0));
+        let p = pred(PredOp::Eq, 0.013);
+        assert_eq!(
+            cat.estimate_selectivity("date_dim", &p),
+            cat.estimate_selectivity("date_dim", &p)
+        );
+    }
+
+    fn edge(kind: JoinKind, fanout: f64) -> JoinSpec {
+        JoinSpec {
+            left: 0,
+            right: 1,
+            left_column: "ss_item_sk".into(),
+            right_column: "i_item_sk".into(),
+            kind,
+            true_fanout_factor: fanout,
+        }
+    }
+
+    #[test]
+    fn equijoin_baseline_uses_max_ndv() {
+        let cat = Catalog::new(Schema::tpcds(1.0));
+        // fanout 1.0 → skew correction is exactly 1; only the blur
+        // remains (bounded by a few x).
+        let est = cat.estimate_join(
+            &edge(JoinKind::Equi, 1.0),
+            "store_sales",
+            "item",
+            1000.0,
+            18000.0,
+            61.0,
+        );
+        let textbook = 1000.0 * 18000.0 / 18000.0;
+        let ratio = (est / textbook).max(textbook / est);
+        assert!(ratio < 8.0, "est {est} vs textbook {textbook}");
+    }
+
+    #[test]
+    fn join_estimates_capture_skew_partially() {
+        let cat = Catalog::new(Schema::tpcds(1.0));
+        let small = cat.estimate_join(
+            &edge(JoinKind::Equi, 1.0),
+            "store_sales",
+            "item",
+            1e6,
+            1e6,
+            61.0,
+        );
+        let big = cat.estimate_join(
+            &edge(JoinKind::Equi, 100.0),
+            "store_sales",
+            "item",
+            1e6,
+            1e6,
+            61.0,
+        );
+        // 100x true fan-out → estimate grows, but by less than 100x.
+        assert!(big > small * 3.0, "skew not captured: {small} vs {big}");
+        assert!(big < small * 300.0);
+    }
+
+    #[test]
+    fn band_join_uses_band_fraction() {
+        let cat = Catalog::new(Schema::tpcds(1.0));
+        // i_item_sk ndv 18000, band 61 → fraction ~61/18000.
+        let est = cat.estimate_join(
+            &edge(JoinKind::NonEqui, 1.0),
+            "store_sales",
+            "item",
+            1e4,
+            1e4,
+            61.0,
+        );
+        let textbook = 1e4 * 1e4 * (61.0 / 18000.0);
+        let ratio = (est / textbook).max(textbook / est);
+        assert!(ratio < 8.0, "est {est} vs textbook {textbook}");
+    }
+
+    #[test]
+    fn unknown_column_gets_default_ndv() {
+        let cat = Catalog::new(Schema::tpcds(1.0));
+        assert_eq!(cat.ndv("date_dim", "nonexistent"), 100.0);
+    }
+
+    #[test]
+    fn group_estimate_caps_at_input() {
+        let cat = Catalog::new(Schema::tpcds(1.0));
+        assert_eq!(cat.estimate_groups(100.0, 0), 1.0);
+        assert!(cat.estimate_groups(50.0, 5) <= 40.0);
+        assert!(cat.estimate_groups(1e9, 3) <= 40.0f64.powi(3));
+    }
+}

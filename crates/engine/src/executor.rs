@@ -1,0 +1,453 @@
+//! Execution model: turns a physical plan into measured metrics.
+//!
+//! The executor is the part of the simulator that knows the *ground
+//! truth*: it propagates the workload's true selectivities and join
+//! fan-outs through the plan (where the optimizer used catalog
+//! estimates) and charges each operator for CPU work, disk I/O, and
+//! interconnect traffic on the given [`SystemConfig`].
+//!
+//! Behaviours preserved from the paper's testbed:
+//!
+//! * **memory cliffs** — tables that fit in the buffer pool are read
+//!   without disk I/O (most TPC-DS SF-1 queries did zero I/O on the
+//!   4-node system); hash joins and sorts whose working set exceeds
+//!   memory spill and pay 2x read+write passes;
+//! * **parallel speedup with skew** — operators run on all CPUs, with a
+//!   multiplicative skew penalty, except final result composition which
+//!   is single-node;
+//! * **message traffic** — every exchange charges per-message and
+//!   per-byte costs, nested-loop joins broadcast their inner;
+//! * **run-to-run noise** — deterministic per (query, configuration),
+//!   log-normal on elapsed time.
+
+use crate::config::SystemConfig;
+use crate::metrics::PerfMetrics;
+use crate::optimizer::{Annotation, OptimizedQuery, BAND_WIDTH};
+use crate::plan::OpKind;
+use qpp_workload::spec::{JoinKind, PredOp, QuerySpec};
+use qpp_workload::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// Result of simulating one query execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionOutcome {
+    /// The six measured metrics.
+    pub metrics: PerfMetrics,
+    /// True output cardinality per plan node (node-aligned).
+    pub true_rows: Vec<f64>,
+}
+
+/// Fraction of total memory usable as a buffer pool for base tables.
+const CACHE_FRACTION: f64 = 0.4;
+/// Fraction of total memory usable as operator working memory.
+const WORK_MEM_FRACTION: f64 = 0.3;
+
+/// Simulates executing `opt` (a plan for `q`) on `config`.
+///
+/// Deterministic: the same `(query, schema, config)` triple always
+/// produces the same metrics. Rerunning on a different configuration
+/// draws fresh noise but keeps the query's data-dependent truth fixed,
+/// mirroring reruns of a workload on resized hardware.
+pub fn execute(
+    q: &QuerySpec,
+    opt: &OptimizedQuery,
+    schema: &Schema,
+    config: &SystemConfig,
+) -> ExecutionOutcome {
+    let mut rng = noise_rng(q, config);
+    let plan = &opt.plan;
+    let n = plan.nodes.len();
+    let mut true_rows = vec![0.0f64; n];
+
+    let cpus = config.cpus as f64;
+    let cpu_rate = config.cpu_tuple_rate * cpus;
+    let work_mem = config.total_memory() as f64 * WORK_MEM_FRACTION;
+    let cache_budget = config.total_memory() as f64 * CACHE_FRACTION;
+    let disk_rate = config.disk_bandwidth * config.data_partitions as f64;
+    let net_rate = config.net_bandwidth * cpus;
+
+    let mut elapsed = config.startup_seconds;
+    let mut disk_bytes = 0.0f64;
+    let mut msg_count = 0.0f64;
+    let mut msg_bytes = 0.0f64;
+    let mut records_accessed = 0.0f64;
+    let mut records_used = 0.0f64;
+
+    for i in 0..n {
+        let node = &plan.nodes[i];
+        let child_rows: Vec<f64> = node.children.iter().map(|&c| true_rows[c]).collect();
+        let child_widths: Vec<f64> = node
+            .children
+            .iter()
+            .map(|&c| plan.nodes[c].row_width)
+            .collect();
+
+        let mut cpu_ops = 0.0f64;
+        let mut io_bytes = 0.0f64;
+        let mut net_bytes_here = 0.0f64;
+
+        let out_rows = match node.kind {
+            OpKind::FileScan => {
+                let table_name = node.table.as_deref().unwrap_or("");
+                let table_rows = schema.rows(table_name) as f64;
+                let (accessed, used) = match opt.annotations[i] {
+                    Some(Annotation::Scan { spec_table }) => {
+                        scan_truth(q, spec_table, table_rows)
+                    }
+                    // Subquery inner scans carry no pushed predicates.
+                    _ => (table_rows, table_rows),
+                };
+                records_accessed += accessed;
+                records_used += used;
+                cpu_ops += accessed * 1.0 + used * 0.5;
+                let table_bytes = table_rows * node.row_width;
+                if table_bytes > cache_budget {
+                    io_bytes += accessed * node.row_width;
+                }
+                used
+            }
+            OpKind::NestedLoopJoin => {
+                let (outer, inner) = (child_rows[0], child_rows[1]);
+                let out = join_truth(q, &opt.annotations[i], outer, inner, schema);
+                // Broadcast the inner to every CPU.
+                let inner_bytes = inner * child_widths[1];
+                net_bytes_here += inner_bytes * cpus;
+                cpu_ops += outer * inner * 0.1 + out * 0.5;
+                out
+            }
+            OpKind::HashJoin => {
+                let (outer, inner) = (child_rows[0], child_rows[1]);
+                let out = join_truth(q, &opt.annotations[i], outer, inner, schema);
+                cpu_ops += inner * 3.0 + outer * 1.5 + out * 0.5;
+                let build_bytes = inner * child_widths[1];
+                if build_bytes > work_mem {
+                    // Grace hash join: write + re-read both sides.
+                    io_bytes += 2.0 * (build_bytes + outer * child_widths[0]);
+                }
+                out
+            }
+            OpKind::MergeJoin => {
+                let (outer, inner) = (child_rows[0], child_rows[1]);
+                let out = join_truth(q, &opt.annotations[i], outer, inner, schema);
+                let total = outer + inner;
+                cpu_ops += total * total.max(2.0).log2() * 0.5 + out * 0.5;
+                let bytes = outer * child_widths[0] + inner * child_widths[1];
+                if bytes > work_mem {
+                    io_bytes += 2.0 * bytes;
+                }
+                out
+            }
+            OpKind::SemiJoin => {
+                let (outer, inner) = (child_rows[0], child_rows[1]);
+                let pass = match opt.annotations[i] {
+                    Some(Annotation::Semi { subquery }) => {
+                        q.subqueries[subquery].true_pass_fraction
+                    }
+                    _ => 0.3,
+                };
+                cpu_ops += outer * 1.5 + inner * 3.0;
+                (outer * pass).max(1.0)
+            }
+            OpKind::Sort => {
+                let input = child_rows[0];
+                cpu_ops += input * input.max(2.0).log2() * 0.4;
+                let bytes = input * child_widths[0];
+                if bytes > work_mem {
+                    io_bytes += 2.0 * bytes;
+                }
+                input
+            }
+            OpKind::HashGroupBy => {
+                let input = child_rows[0];
+                // True group count wobbles around the estimate.
+                let factor = 10f64.powf(standard_normal(&mut rng) * 0.12);
+                let groups = (node.est_rows * factor).clamp(1.0, input.max(1.0));
+                cpu_ops += input * 2.0 + groups * 0.5;
+                let bytes = groups * node.row_width;
+                if bytes > work_mem {
+                    io_bytes += 2.0 * bytes;
+                }
+                groups
+            }
+            OpKind::Exchange => {
+                let input = child_rows[0];
+                let bytes = input * child_widths[0];
+                net_bytes_here += bytes;
+                cpu_ops += input * 0.6;
+                input
+            }
+            OpKind::Split => {
+                cpu_ops += child_rows[0] * 0.1;
+                child_rows[0]
+            }
+            OpKind::Top => {
+                let input = child_rows[0];
+                cpu_ops += input * 0.2;
+                input.min(node.est_rows.max(1.0))
+            }
+            OpKind::Filter => {
+                cpu_ops += child_rows[0] * 0.3;
+                child_rows[0]
+            }
+            OpKind::Root => {
+                // Final composition is single-node (paper §IV-A).
+                let input = child_rows[0];
+                elapsed += input * 0.5 / config.cpu_tuple_rate;
+                input
+            }
+        };
+        true_rows[i] = out_rows;
+
+        if net_bytes_here > 0.0 {
+            msg_bytes += net_bytes_here;
+            msg_count +=
+                cpus * cpus + (net_bytes_here / config.message_unit as f64).ceil();
+        }
+        disk_bytes += io_bytes;
+
+        let cpu_time = cpu_ops / cpu_rate;
+        let io_time = io_bytes / disk_rate;
+        let net_time = net_bytes_here / net_rate;
+        elapsed += cpu_time.max(io_time).max(net_time);
+    }
+
+    // Partition skew, systematic drift, and run-to-run noise.
+    let skew = 1.0 + standard_normal(&mut rng).abs() * 0.045;
+    let noise = (standard_normal(&mut rng) * config.elapsed_noise_sigma).exp();
+    elapsed *= skew * config.drift * noise;
+
+    let metrics = PerfMetrics {
+        elapsed_seconds: elapsed,
+        disk_ios: (disk_bytes / config.io_unit as f64).round(),
+        message_count: msg_count.round(),
+        message_bytes: msg_bytes.round(),
+        records_accessed: records_accessed.round(),
+        records_used: records_used.round(),
+    };
+    debug_assert!(metrics.is_valid());
+    ExecutionOutcome { metrics, true_rows }
+}
+
+/// True (accessed, used) cardinalities of a scan: partition pruning on
+/// the leading column reduces what is read; remaining predicates only
+/// reduce what is used.
+fn scan_truth(q: &QuerySpec, spec_table: usize, table_rows: f64) -> (f64, f64) {
+    let leading = leading_column(q, spec_table);
+    let mut accessed_frac = 1.0;
+    let mut used_frac = 1.0;
+    for p in q.predicates.iter().filter(|p| p.table == spec_table) {
+        used_frac *= p.true_selectivity;
+        let prunes = matches!(p.op, PredOp::Range { .. })
+            && Some(p.column.as_str()) == leading.as_deref();
+        if prunes {
+            accessed_frac *= p.true_selectivity;
+        }
+    }
+    let accessed = (table_rows * accessed_frac).max(1.0);
+    let used = (table_rows * used_frac).max(1.0).min(accessed);
+    (accessed, used)
+}
+
+fn leading_column(q: &QuerySpec, spec_table: usize) -> Option<String> {
+    // The generator places driving Range predicates on the table's first
+    // column; the executor treats that column as the clustering key.
+    q.predicates
+        .iter()
+        .filter(|p| p.table == spec_table)
+        .filter(|p| matches!(p.op, PredOp::Range { .. }))
+        .map(|p| p.column.clone())
+        .next()
+}
+
+/// True join output cardinality: the textbook formula applied to *true*
+/// input sizes, times the data's fan-out factor.
+fn join_truth(
+    q: &QuerySpec,
+    annotation: &Option<Annotation>,
+    outer: f64,
+    inner: f64,
+    schema: &Schema,
+) -> f64 {
+    let Some(Annotation::Join { edge }) = annotation else {
+        return outer.max(inner);
+    };
+    let e = &q.joins[*edge];
+    let ndv = |t: &str, c: &str| -> f64 {
+        schema
+            .table(t)
+            .and_then(|tb| tb.column(c))
+            .map(|col| col.ndv.max(1) as f64)
+            .unwrap_or(100.0)
+    };
+    let base = match e.kind {
+        JoinKind::Equi => {
+            let d = ndv(&q.tables[e.left], &e.left_column)
+                .max(ndv(&q.tables[e.right], &e.right_column));
+            outer * inner / d
+        }
+        JoinKind::NonEqui => {
+            let frac = (BAND_WIDTH / ndv(&q.tables[e.right], &e.right_column)).min(1.0);
+            outer * inner * frac
+        }
+    };
+    (base * e.true_fanout_factor).max(1.0)
+}
+
+/// Deterministic noise stream per (query, configuration).
+fn noise_rng(q: &QuerySpec, config: &SystemConfig) -> StdRng {
+    let mut h = DefaultHasher::new();
+    q.id.hash(&mut h);
+    q.template.hash(&mut h);
+    config.name.hash(&mut h);
+    StdRng::seed_from_u64(h.finish())
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(1e-12..1.0);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::optimizer::optimize;
+    use qpp_workload::WorkloadGenerator;
+
+    fn run_one(seed: u64) -> (QuerySpec, PerfMetrics) {
+        let schema = qpp_workload::Schema::tpcds(1.0);
+        let cat = Catalog::new(schema.clone());
+        let cfg = SystemConfig::neoview_4();
+        let mut g = WorkloadGenerator::tpcds(1.0, seed);
+        let q = g.generate_one();
+        let opt = optimize(&q, &cat, &cfg);
+        let out = execute(&q, &opt, &schema, &cfg);
+        (q, out.metrics)
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let (_, a) = run_one(5);
+        let (_, b) = run_one(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_valid_for_many_queries() {
+        let schema = qpp_workload::Schema::tpcds(1.0);
+        let cat = Catalog::new(schema.clone());
+        let cfg = SystemConfig::neoview_4();
+        let mut g = WorkloadGenerator::tpcds(1.0, 77);
+        for q in g.generate(200) {
+            let opt = optimize(&q, &cat, &cfg);
+            let out = execute(&q, &opt, &schema, &cfg);
+            assert!(out.metrics.is_valid(), "query {}", q.id);
+            assert!(out.metrics.elapsed_seconds > 0.0);
+            assert!(out.metrics.records_accessed >= out.metrics.records_used);
+        }
+    }
+
+    #[test]
+    fn small_queries_do_no_disk_io_on_research_system() {
+        // The paper: "we had thousands of small queries whose data fit
+        // in memory" → disk I/Os 0 for most queries on the 4-node box.
+        let schema = qpp_workload::Schema::tpcds(1.0);
+        let cat = Catalog::new(schema.clone());
+        let cfg = SystemConfig::neoview_4();
+        let mut g = WorkloadGenerator::tpcds(1.0, 13);
+        let mut zero_io = 0;
+        let mut total = 0;
+        for q in g.generate(100) {
+            let opt = optimize(&q, &cat, &cfg);
+            let out = execute(&q, &opt, &schema, &cfg);
+            total += 1;
+            if out.metrics.disk_ios == 0.0 {
+                zero_io += 1;
+            }
+        }
+        assert!(
+            zero_io * 2 > total,
+            "only {zero_io}/{total} queries avoided disk I/O"
+        );
+    }
+
+    #[test]
+    fn four_cpu_32node_config_does_disk_io() {
+        // Fig. 16: only the 4-CPU configuration of the 32-node system
+        // had too little memory to cache the fact tables.
+        let schema = qpp_workload::Schema::tpcds(1.0);
+        let cat = Catalog::new(schema.clone());
+        let mut g = WorkloadGenerator::tpcds(1.0, 29);
+        let qs = g.generate(60);
+        let io_for = |cpus: u32| -> f64 {
+            let cfg = SystemConfig::neoview_32(cpus);
+            qs.iter()
+                .map(|q| {
+                    let opt = optimize(q, &cat, &cfg);
+                    execute(q, &opt, &schema, &cfg).metrics.disk_ios
+                })
+                .sum()
+        };
+        let io4 = io_for(4);
+        let io32 = io_for(32);
+        assert!(io4 > 0.0, "4-cpu config should incur disk I/O");
+        assert!(
+            io32 < io4 * 0.2,
+            "32-cpu config should cache nearly everything (io4={io4}, io32={io32})"
+        );
+    }
+
+    #[test]
+    fn more_cpus_run_faster() {
+        let schema = qpp_workload::Schema::tpcds(1.0);
+        let cat = Catalog::new(schema.clone());
+        let mut g = WorkloadGenerator::tpcds(1.0, 31);
+        let qs = g.generate(40);
+        let total_for = |cpus: u32| -> f64 {
+            let cfg = SystemConfig::neoview_32(cpus);
+            qs.iter()
+                .map(|q| {
+                    let opt = optimize(q, &cat, &cfg);
+                    execute(q, &opt, &schema, &cfg).metrics.elapsed_seconds
+                })
+                .sum()
+        };
+        let t4 = total_for(4);
+        let t32 = total_for(32);
+        assert!(t32 < t4, "32 cpus ({t32:.1}s) should beat 4 cpus ({t4:.1}s)");
+    }
+
+    #[test]
+    fn drift_scales_elapsed_only() {
+        let schema = qpp_workload::Schema::tpcds(1.0);
+        let cat = Catalog::new(schema.clone());
+        let mut g = WorkloadGenerator::tpcds(1.0, 41);
+        let q = g.generate_one();
+        let base_cfg = SystemConfig::neoview_4();
+        let drift_cfg = SystemConfig::neoview_4().with_drift(2.0);
+        let a = execute(&q, &optimize(&q, &cat, &base_cfg), &schema, &base_cfg).metrics;
+        let b = execute(&q, &optimize(&q, &cat, &drift_cfg), &schema, &drift_cfg).metrics;
+        assert!((b.elapsed_seconds / a.elapsed_seconds - 2.0).abs() < 1e-9);
+        assert_eq!(a.records_used, b.records_used);
+    }
+
+    #[test]
+    fn records_used_reflects_selectivity() {
+        // Tightening every predicate must not increase records used.
+        let schema = qpp_workload::Schema::tpcds(1.0);
+        let cat = Catalog::new(schema.clone());
+        let cfg = SystemConfig::neoview_4();
+        let mut g = WorkloadGenerator::tpcds(1.0, 53);
+        let q1 = g.generate_one();
+        let mut q2 = q1.clone();
+        for p in &mut q2.predicates {
+            p.true_selectivity = (p.true_selectivity * 0.01).max(1e-8);
+        }
+        let m1 = execute(&q1, &optimize(&q1, &cat, &cfg), &schema, &cfg).metrics;
+        let m2 = execute(&q2, &optimize(&q2, &cat, &cfg), &schema, &cfg).metrics;
+        assert!(m2.records_used <= m1.records_used);
+    }
+}

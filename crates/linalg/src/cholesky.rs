@@ -1,0 +1,240 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+// Triangular solves and centroid updates read most clearly with index
+// loops; the iterator forms clippy suggests obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                let v = l[(j, k)];
+                d -= v * v;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j, value: d });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                // dot of rows i and j of L up to column j
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a + jitter * I`, retrying with growing jitter until the
+    /// factorization succeeds or `max_tries` is exhausted.
+    ///
+    /// Kernel Gram matrices are PSD but often numerically semi-definite;
+    /// a tiny ridge restores definiteness without changing the solution
+    /// meaningfully (the KCCA formulation regularizes anyway).
+    pub fn with_jitter(a: &Matrix, mut jitter: f64, max_tries: usize) -> Result<Self> {
+        match Cholesky::new(a) {
+            Ok(c) => return Ok(c),
+            Err(_) if max_tries > 0 => {}
+            Err(e) => return Err(e),
+        }
+        let mut work = a.clone();
+        for _ in 0..max_tries {
+            work = a.clone();
+            work.add_diagonal(jitter);
+            if let Ok(c) = Cholesky::new(&work) {
+                return Ok(c);
+            }
+            jitter *= 10.0;
+        }
+        // Final attempt reports the real failure.
+        Cholesky::new(&work)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Consumes the decomposition, returning `L`.
+    pub fn into_l(self) -> Matrix {
+        self.l
+    }
+
+    /// Solves `A x = b` via forward + back substitution.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.forward_substitute(b)?;
+        self.back_substitute(&y)
+    }
+
+    /// Solves `A X = B` column-wise.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    pub fn forward_substitute(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "forward_substitute",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut s = b[i];
+            for k in 0..i {
+                s -= row[k] * y[k];
+            }
+            y[i] = s / row[i];
+        }
+        Ok(y)
+    }
+
+    /// Solves `Lᵀ x = y` (back substitution).
+    pub fn back_substitute(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if y.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "back_substitute",
+                lhs: (n, n),
+                rhs: (y.len(), 1),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` (`= 2 Σ ln L[i,i]`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I for a random-ish B is SPD; use a fixed instance.
+        Matrix::from_vec(3, 3, vec![4., 2., 0.6, 2., 5., 1., 0.6, 1., 3.]).unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let l = c.l();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = c.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 2., 1.]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-1 PSD matrix: plain Cholesky fails, jittered succeeds.
+        let a = Matrix::from_vec(2, 2, vec![1., 1., 1., 1.]).unwrap();
+        assert!(Cholesky::new(&a).is_err());
+        let c = Cholesky::with_jitter(&a, 1e-10, 12).unwrap();
+        assert!(c.l()[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn solve_matrix_identity() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let inv = c.solve_matrix(&Matrix::identity(3)).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_det_matches_2x2() {
+        let a = Matrix::from_vec(2, 2, vec![2., 0., 0., 8.]).unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        assert!((c.log_det() - (16.0f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Jacobi is slow for very large matrices but unconditionally robust and
+//! delivers small, accurate eigenproblems — exactly what the reduced KCCA
+//! problem needs (a few hundred dimensions after incomplete Cholesky).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+///
+/// Eigenpairs are sorted by descending eigenvalue; `V`'s columns are the
+/// corresponding orthonormal eigenvectors.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes the decomposition of a symmetric matrix.
+    ///
+    /// Only requires approximate symmetry; the matrix is symmetrized
+    /// internally. Fails with [`LinalgError::NoConvergence`] if the
+    /// off-diagonal mass does not vanish within the sweep budget.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty("eigendecomposition"));
+        }
+        let mut m = a.clone();
+        m.symmetrize();
+        let mut v = Matrix::identity(n);
+
+        let max_sweeps = 64;
+        let scale = m.max_abs().max(1.0);
+        let tol = 1e-14 * scale;
+        let mut converged = false;
+        for _sweep in 0..max_sweeps {
+            let off = off_diagonal_norm(&m);
+            if off <= tol * n as f64 {
+                converged = true;
+                break;
+            }
+            for p in 0..n - 1 {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol * 1e-2 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Classic Jacobi rotation.
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Update rows/columns p and q of M.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        if !converged && off_diagonal_norm(&m) > tol * (n as f64) * 100.0 {
+            return Err(LinalgError::NoConvergence {
+                algorithm: "jacobi eigendecomposition",
+                iterations: max_sweeps,
+            });
+        }
+
+        // Extract and sort descending.
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap_or(std::cmp::Ordering::Equal));
+        let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (dst, &src) in order.iter().enumerate() {
+            for k in 0..n {
+                vectors[(k, dst)] = v[(k, src)];
+            }
+        }
+        Ok(SymmetricEigen { values, vectors })
+    }
+
+    /// Returns the top-`k` eigenpairs as `(values, vectors)` where the
+    /// vector matrix is `n x k`.
+    pub fn top_k(&self, k: usize) -> (Vec<f64>, Matrix) {
+        let k = k.min(self.values.len());
+        (self.values[..k].to_vec(), self.vectors.take_cols(k))
+    }
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += m[(i, j)].abs();
+        }
+    }
+    s / ((n * n) as f64).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_vec(3, 3, vec![3., 0., 0., 0., 1., 0., 0., 0., 2.]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4., 1., 0.5, 0.2, 1., 3., 0.3, 0.1, 0.5, 0.3, 2., 0.4, 0.2, 0.1, 0.4, 1.,
+            ],
+        )
+        .unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        // Rebuild A = V Λ Vᵀ.
+        let n = 4;
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let rec = e
+            .vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn vectors_orthonormal() {
+        let a = Matrix::from_vec(3, 3, vec![2., 1., 0., 1., 2., 1., 0., 1., 2.]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvalue_equation_holds() {
+        let a = Matrix::from_vec(3, 3, vec![5., 2., 1., 2., 4., 0.5, 1., 0.5, 3.]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        for k in 0..3 {
+            let v = e.vectors.col(k);
+            let av = a.matvec(&v).unwrap();
+            for i in 0..3 {
+                assert!((av[i] - e.values[k] * v[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let a = Matrix::identity(4);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let (vals, vecs) = e.top_k(2);
+        assert_eq!(vals.len(), 2);
+        assert_eq!(vecs.shape(), (4, 2));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(SymmetricEigen::new(&Matrix::zeros(0, 0)).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Pivoted incomplete Cholesky decomposition of a Gram (kernel) matrix.
+//!
+//! `K ≈ G Gᵀ` with `G` of rank `r ≪ N`, built greedily by largest
+//! remaining diagonal (trace-norm optimal pivoting). This is the
+//! factorization Bach & Jordan use to make KCCA tractable, and it is
+//! *exact* when run to full rank with zero tolerance — which lets the
+//! same code path serve both the "exact" small-N mode and the scalable
+//! low-rank mode.
+//!
+//! Crucially the input is a *Gram oracle* `k(i, j)`, not a materialized
+//! `N x N` matrix: only `N·r` kernel evaluations are performed.
+
+// Triangular solves and centroid updates read most clearly with index
+// loops; the iterator forms clippy suggests obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Options controlling the factorization.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IcdOptions {
+    /// Hard cap on the rank (number of pivots). `usize::MAX` = no cap.
+    pub max_rank: usize,
+    /// Stop when the remaining trace falls below `tol * initial trace`.
+    pub relative_tolerance: f64,
+}
+
+impl Default for IcdOptions {
+    fn default() -> Self {
+        IcdOptions {
+            max_rank: usize::MAX,
+            relative_tolerance: 1e-6,
+        }
+    }
+}
+
+/// The factor `G` (`n x r`), selected pivots, and the triangular pivot
+/// block needed to embed new points into the same feature space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncompleteCholesky {
+    g: Matrix,
+    pivots: Vec<usize>,
+    /// Residual trace after the last accepted pivot (approximation error).
+    residual_trace: f64,
+}
+
+impl IncompleteCholesky {
+    /// Factorizes the `n x n` Gram matrix given by `gram(i, j)`.
+    ///
+    /// `gram` must be symmetric with non-negative diagonal (any kernel
+    /// matrix qualifies).
+    pub fn factor(
+        n: usize,
+        mut gram: impl FnMut(usize, usize) -> f64,
+        opts: IcdOptions,
+    ) -> Result<Self> {
+        if n == 0 {
+            return Err(LinalgError::Empty("incomplete cholesky"));
+        }
+        let max_rank = opts.max_rank.min(n);
+        let mut d: Vec<f64> = (0..n).map(|i| gram(i, i)).collect();
+        let initial_trace: f64 = d.iter().sum();
+        let tol = if initial_trace > 0.0 {
+            opts.relative_tolerance * initial_trace
+        } else {
+            0.0
+        };
+
+        let mut g_cols: Vec<Vec<f64>> = Vec::new();
+        let mut pivots: Vec<usize> = Vec::new();
+        let mut selected = vec![false; n];
+
+        for t in 0..max_rank {
+            // Greedy pivot: largest remaining diagonal.
+            let mut p = usize::MAX;
+            let mut best = 0.0;
+            for i in 0..n {
+                if !selected[i] && d[i] > best {
+                    best = d[i];
+                    p = i;
+                }
+            }
+            let remaining: f64 = d.iter().zip(selected.iter()).filter(|(_, &s)| !s).map(|(v, _)| v.max(0.0)).sum();
+            if p == usize::MAX || best <= 0.0 || (t > 0 && remaining <= tol) {
+                break;
+            }
+            let gpp = best.sqrt();
+            let mut col = vec![0.0; n];
+            col[p] = gpp;
+            for i in 0..n {
+                if selected[i] || i == p {
+                    continue;
+                }
+                let mut v = gram(i, p);
+                for prev in &g_cols {
+                    v -= prev[i] * prev[p];
+                }
+                let gi = v / gpp;
+                col[i] = gi;
+                d[i] -= gi * gi;
+            }
+            selected[p] = true;
+            d[p] = 0.0;
+            pivots.push(p);
+            g_cols.push(col);
+        }
+
+        if pivots.is_empty() {
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: 0,
+                value: d.first().copied().unwrap_or(0.0),
+            });
+        }
+
+        let r = pivots.len();
+        let mut g = Matrix::zeros(n, r);
+        for (t, col) in g_cols.iter().enumerate() {
+            for i in 0..n {
+                g[(i, t)] = col[i];
+            }
+        }
+        let residual_trace = d
+            .iter()
+            .zip(selected.iter())
+            .filter(|(_, &s)| !s)
+            .map(|(v, _)| v.max(0.0))
+            .sum();
+        Ok(IncompleteCholesky {
+            g,
+            pivots,
+            residual_trace,
+        })
+    }
+
+    /// The factor `G` with `K ≈ G Gᵀ` (`n` rows, `rank()` columns).
+    pub fn g(&self) -> &Matrix {
+        &self.g
+    }
+
+    /// Achieved rank.
+    pub fn rank(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Pivot indices in selection order.
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// Remaining trace `tr(K - G Gᵀ)` — the approximation error.
+    pub fn residual_trace(&self) -> f64 {
+        self.residual_trace
+    }
+
+    /// Embeds a *new* point into the same `r`-dimensional feature space.
+    ///
+    /// `kernel_at_pivots[t]` must be `k(x_new, pivot_t)` in pivot order.
+    /// The embedding satisfies `g_new · g_iᵀ ≈ k(x_new, x_i)` for training
+    /// points `i`, i.e. new points live in the same approximate feature
+    /// space as the training rows of `G`.
+    pub fn transform_new(&self, kernel_at_pivots: &[f64]) -> Result<Vec<f64>> {
+        let r = self.rank();
+        if kernel_at_pivots.len() != r {
+            return Err(LinalgError::ShapeMismatch {
+                op: "icd transform_new",
+                lhs: (r, 1),
+                rhs: (kernel_at_pivots.len(), 1),
+            });
+        }
+        // Forward substitution against the lower-triangular pivot block
+        // G[pivots, :] (triangular in selection order by construction).
+        let mut out = vec![0.0; r];
+        for t in 0..r {
+            let p = self.pivots[t];
+            let mut v = kernel_at_pivots[t];
+            for s in 0..t {
+                v -= out[s] * self.g[(p, s)];
+            }
+            out[t] = v / self.g[(p, t)];
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    fn gaussian_points() -> Vec<Vec<f64>> {
+        // Deterministic scattered points.
+        (0..12)
+            .map(|i| {
+                let x = (i as f64 * 0.7).sin() * 3.0;
+                let y = (i as f64 * 1.3).cos() * 2.0;
+                vec![x, y]
+            })
+            .collect()
+    }
+
+    fn kernel(a: &[f64], b: &[f64]) -> f64 {
+        (-vector::sq_dist(a, b) / 4.0).exp()
+    }
+
+    #[test]
+    fn full_rank_is_exact() {
+        let pts = gaussian_points();
+        let n = pts.len();
+        let icd = IncompleteCholesky::factor(
+            n,
+            |i, j| kernel(&pts[i], &pts[j]),
+            IcdOptions {
+                max_rank: n,
+                relative_tolerance: 0.0,
+            },
+        )
+        .unwrap();
+        let g = icd.g();
+        let approx = g.matmul(&g.transpose()).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let k = kernel(&pts[i], &pts[j]);
+                assert!(
+                    (approx[(i, j)] - k).abs() < 1e-8,
+                    "K[{i},{j}] {} vs {}",
+                    approx[(i, j)],
+                    k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_rank_bounds_error_by_residual_trace() {
+        let pts = gaussian_points();
+        let n = pts.len();
+        let icd = IncompleteCholesky::factor(
+            n,
+            |i, j| kernel(&pts[i], &pts[j]),
+            IcdOptions {
+                max_rank: 5,
+                relative_tolerance: 0.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(icd.rank(), 5);
+        let g = icd.g();
+        let approx = g.matmul(&g.transpose()).unwrap();
+        // Diagonal error sums to the residual trace.
+        let diag_err: f64 = (0..n)
+            .map(|i| kernel(&pts[i], &pts[i]) - approx[(i, i)])
+            .sum();
+        assert!((diag_err - icd.residual_trace()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn transform_new_matches_training_row() {
+        // Embedding a training point as if it were new must reproduce its
+        // G row (for full-rank factorization).
+        let pts = gaussian_points();
+        let n = pts.len();
+        let icd = IncompleteCholesky::factor(
+            n,
+            |i, j| kernel(&pts[i], &pts[j]),
+            IcdOptions {
+                max_rank: n,
+                relative_tolerance: 1e-12,
+            },
+        )
+        .unwrap();
+        for probe in [0usize, 3, 7] {
+            let k_row: Vec<f64> = icd
+                .pivots()
+                .iter()
+                .map(|&p| kernel(&pts[probe], &pts[p]))
+                .collect();
+            let emb = icd.transform_new(&k_row).unwrap();
+            for (t, v) in emb.iter().enumerate() {
+                assert!(
+                    (v - icd.g()[(probe, t)]).abs() < 1e-6,
+                    "row {probe} dim {t}: {} vs {}",
+                    v,
+                    icd.g()[(probe, t)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_block_is_triangular() {
+        let pts = gaussian_points();
+        let n = pts.len();
+        let icd = IncompleteCholesky::factor(
+            n,
+            |i, j| kernel(&pts[i], &pts[j]),
+            IcdOptions::default(),
+        )
+        .unwrap();
+        for (t, &p) in icd.pivots().iter().enumerate() {
+            for s in (t + 1)..icd.rank() {
+                assert!(icd.g()[(p, s)].abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(IncompleteCholesky::factor(0, |_, _| 0.0, IcdOptions::default()).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_rejected() {
+        assert!(IncompleteCholesky::factor(4, |_, _| 0.0, IcdOptions::default()).is_err());
+    }
+}

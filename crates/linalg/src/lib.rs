@@ -1,0 +1,41 @@
+//! Dense linear algebra substrate for the `qpp` workspace.
+//!
+//! The ICDE 2009 reproduction needs a small but complete set of dense
+//! routines — none of the heavyweight BLAS/LAPACK bindings are available
+//! offline, and the matrices involved (kernel factors of a few hundred
+//! columns, 6-wide performance blocks) are comfortably in scratch-math
+//! territory. Everything here is pure safe Rust over row-major `f64`
+//! storage.
+//!
+//! Provided:
+//!
+//! * [`Matrix`] — row-major dense matrix with arithmetic, transpose,
+//!   slicing and block helpers.
+//! * [`cholesky`] — Cholesky factorization / SPD solves with optional
+//!   jitter for nearly-singular Gram matrices.
+//! * [`icd`] — pivoted *incomplete* Cholesky over a lazily evaluated Gram
+//!   oracle; the scalable KCCA factorization of Bach & Jordan.
+//! * [`qr`] — Householder QR and least-squares solves (the linear
+//!   regression baseline of the paper's §V-A).
+//! * [`eigen`] — cyclic-Jacobi symmetric eigendecomposition.
+//! * [`geneig`] — generalized symmetric-definite eigenproblem
+//!   `A v = λ B v` via Cholesky reduction (the KCCA core, §VI-A).
+//! * [`stats`] — means, variances, standardization helpers.
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod geneig;
+pub mod icd;
+pub mod matrix;
+pub mod qr;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use error::{LinalgError, Result};
+pub use geneig::GeneralizedEigen;
+pub use icd::{IncompleteCholesky, IcdOptions};
+pub use matrix::Matrix;
+pub use qr::{LeastSquares, QrDecomposition};

@@ -1,0 +1,123 @@
+//! Small vector kernels used across the workspace.
+
+/// Dot product of two equal-length slices.
+///
+/// Panics in debug builds when lengths differ; in release the shorter
+/// length wins (callers in this workspace always pass equal lengths).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Cosine distance `1 - cos(a, b)`; zero vectors are maximally distant.
+#[inline]
+pub fn cosine_dist(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot(a, b) / (na * nb)
+}
+
+/// `y += alpha * x` in place.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a slice in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().sum::<f64>() / a.len() as f64
+}
+
+/// Population variance; 0 for inputs shorter than 2.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_norm_dist() {
+        assert_eq!(dot(&[1., 2.], &[3., 4.]), 11.0);
+        assert!((norm(&[3., 4.]) - 5.0).abs() < 1e-12);
+        assert!((dist(&[0., 0.], &[3., 4.]) - 5.0).abs() < 1e-12);
+        assert_eq!(sq_dist(&[1., 1.], &[1., 1.]), 0.0);
+    }
+
+    #[test]
+    fn cosine_distance_properties() {
+        // Parallel vectors: distance 0 regardless of magnitude.
+        assert!(cosine_dist(&[1., 0.], &[5., 0.]).abs() < 1e-12);
+        // Orthogonal: distance 1.
+        assert!((cosine_dist(&[1., 0.], &[0., 2.]) - 1.0).abs() < 1e-12);
+        // Opposite: distance 2.
+        assert!((cosine_dist(&[1., 0.], &[-1., 0.]) - 2.0).abs() < 1e-12);
+        // Zero vector convention.
+        assert_eq!(cosine_dist(&[0., 0.], &[1., 0.]), 1.0);
+    }
+
+    #[test]
+    fn axpy_scale() {
+        let mut y = vec![1., 2.];
+        axpy(2.0, &[10., 20.], &mut y);
+        assert_eq!(y, vec![21., 42.]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![10.5, 21.]);
+    }
+
+    #[test]
+    fn mean_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2., 4.]), 3.0);
+        assert_eq!(variance(&[5.]), 0.0);
+        assert!((variance(&[1., 3.]) - 1.0).abs() < 1e-12);
+    }
+}

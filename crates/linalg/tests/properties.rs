@@ -1,0 +1,149 @@
+//! Property-based tests over the linear-algebra substrate.
+
+use proptest::prelude::*;
+use qpp_linalg::{Cholesky, GeneralizedEigen, IncompleteCholesky, IcdOptions, LeastSquares, Matrix, QrDecomposition, SymmetricEigen};
+
+const DIM: usize = 5;
+
+/// Strategy: a well-conditioned SPD matrix built as `BᵀB + I`.
+fn spd_matrix() -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f64..2.0, DIM * DIM).prop_map(|vals| {
+        let b = Matrix::from_vec(DIM, DIM, vals).unwrap();
+        let mut a = b.transpose().matmul(&b).unwrap();
+        a.add_diagonal(1.0);
+        a
+    })
+}
+
+/// Strategy: an arbitrary symmetric matrix.
+fn symmetric_matrix() -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f64..3.0, DIM * DIM).prop_map(|vals| {
+        let mut m = Matrix::from_vec(DIM, DIM, vals).unwrap();
+        m.symmetrize();
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix()) {
+        let c = Cholesky::new(&a).unwrap();
+        let l = c.l();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        prop_assert!(rec.sub(&a).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_solve_is_inverse(a in spd_matrix(), b in proptest::collection::vec(-5.0f64..5.0, DIM)) {
+        let c = Cholesky::new(&a).unwrap();
+        let x = c.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(b.iter()) {
+            prop_assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(a in symmetric_matrix()) {
+        let e = SymmetricEigen::new(&a).unwrap();
+        let mut lam = Matrix::zeros(DIM, DIM);
+        for i in 0..DIM { lam[(i, i)] = e.values[i]; }
+        let rec = e.vectors.matmul(&lam).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        prop_assert!(rec.sub(&a).unwrap().max_abs() < 1e-7);
+    }
+
+    #[test]
+    fn eigen_values_sorted_descending(a in symmetric_matrix()) {
+        let e = SymmetricEigen::new(&a).unwrap();
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigen_trace_preserved(a in symmetric_matrix()) {
+        let e = SymmetricEigen::new(&a).unwrap();
+        let trace: f64 = (0..DIM).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn generalized_eigen_residual_small(a in symmetric_matrix(), b in spd_matrix()) {
+        let g = GeneralizedEigen::new(&a, &b).unwrap();
+        for k in 0..DIM {
+            let v = g.vectors.col(k);
+            let av = a.matvec(&v).unwrap();
+            let bv = b.matvec(&v).unwrap();
+            for i in 0..DIM {
+                prop_assert!((av[i] - g.values[k] * bv[i]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_solves_square_systems(a in spd_matrix(), b in proptest::collection::vec(-5.0f64..5.0, DIM)) {
+        // SPD matrices are invertible, so QR must solve exactly.
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(b.iter()) {
+            prop_assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_linear_model(
+        coefs in proptest::collection::vec(-3.0f64..3.0, 3),
+        rows in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 2), 8..20),
+    ) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut y = Matrix::zeros(x.rows(), 1);
+        for i in 0..x.rows() {
+            y[(i, 0)] = coefs[0] + coefs[1] * x[(i, 0)] + coefs[2] * x[(i, 1)];
+        }
+        let ls = LeastSquares::fit(&x, &y).unwrap();
+        let p = ls.predict(&[1.5, -2.5]).unwrap();
+        let expected = coefs[0] + coefs[1] * 1.5 - coefs[2] * 2.5;
+        prop_assert!((p[0] - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn icd_never_overshoots_diag(vals in proptest::collection::vec(-2.0f64..2.0, DIM * 3)) {
+        // Points in 3-d; Gaussian kernel Gram matrix.
+        let pts: Vec<&[f64]> = vals.chunks_exact(3).collect();
+        let n = pts.len();
+        let kern = |i: usize, j: usize| {
+            let d: f64 = pts[i].iter().zip(pts[j].iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+            (-d / 2.0).exp()
+        };
+        let icd = IncompleteCholesky::factor(n, kern, IcdOptions { max_rank: n, relative_tolerance: 0.0 }).unwrap();
+        let g = icd.g();
+        let approx = g.matmul(&g.transpose()).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((approx[(i, j)] - kern(i, j)).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_associative(avals in proptest::collection::vec(-2.0f64..2.0, 12),
+                          bvals in proptest::collection::vec(-2.0f64..2.0, 12),
+                          cvals in proptest::collection::vec(-2.0f64..2.0, 12)) {
+        let a = Matrix::from_vec(3, 4, avals).unwrap();
+        let b = Matrix::from_vec(4, 3, bvals).unwrap();
+        let c = Matrix::from_vec(3, 4, cvals).unwrap();
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.sub(&right).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_involution(vals in proptest::collection::vec(-10.0f64..10.0, 12)) {
+        let m = Matrix::from_vec(3, 4, vals).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+}

@@ -1,0 +1,193 @@
+//! A small MapReduce cluster simulator.
+//!
+//! The same role the Neoview simulator plays for queries: turn a
+//! pre-execution [`JobSpec`](crate::JobSpec) into measured
+//! [`JobOutcome`](crate::JobOutcome) metrics with the phenomena that
+//! make prediction non-trivial — wave effects from task scheduling,
+//! shuffle volume driven by the (hidden) data shape, sort-buffer spills,
+//! and straggler skew pinned to the dataset.
+
+use crate::job::{JobOutcome, JobSpec};
+use serde::{Deserialize, Serialize};
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// Cluster hardware/configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Cluster name (seeds per-cluster noise).
+    pub name: String,
+    /// Concurrent map slots.
+    pub map_slots: u32,
+    /// Concurrent reduce slots.
+    pub reduce_slots: u32,
+    /// Per-slot processing rate, bytes/second.
+    pub slot_bytes_per_sec: f64,
+    /// Aggregate shuffle bandwidth, bytes/second.
+    pub shuffle_bytes_per_sec: f64,
+    /// Sort buffer per task, bytes (overflow spills to disk).
+    pub sort_buffer_bytes: f64,
+    /// Fixed job setup/teardown overhead, seconds.
+    pub startup_seconds: f64,
+}
+
+impl ClusterConfig {
+    /// A 20-node commodity cluster (2 map + 1 reduce slot per node).
+    pub fn small() -> Self {
+        ClusterConfig {
+            name: "mr-20".to_string(),
+            map_slots: 40,
+            reduce_slots: 20,
+            slot_bytes_per_sec: 30.0e6,
+            shuffle_bytes_per_sec: 400.0e6,
+            sort_buffer_bytes: 100.0 * 1024.0 * 1024.0,
+            startup_seconds: 12.0,
+        }
+    }
+
+    /// A 100-node cluster.
+    pub fn large() -> Self {
+        ClusterConfig {
+            name: "mr-100".to_string(),
+            map_slots: 200,
+            reduce_slots: 100,
+            slot_bytes_per_sec: 30.0e6,
+            shuffle_bytes_per_sec: 2.0e9,
+            sort_buffer_bytes: 100.0 * 1024.0 * 1024.0,
+            startup_seconds: 12.0,
+        }
+    }
+}
+
+/// Average record width assumed for record counters, bytes.
+const RECORD_BYTES: f64 = 100.0;
+
+/// Simulates running `job` on `cluster`. Deterministic per
+/// (job, cluster).
+pub fn run(job: &JobSpec, cluster: &ClusterConfig) -> JobOutcome {
+    let (map_sel, shuffle_ratio, reduce_out_ratio, cpu_mult) = job.template.shape();
+    let skew = job.skew();
+
+    let input_records = job.input_bytes / RECORD_BYTES;
+    let map_output_records = (input_records * map_sel * skew).max(1.0);
+    let combine_ratio = if job.combiner { 0.25 } else { 1.0 };
+    let shuffle_bytes = (job.input_bytes * shuffle_ratio * skew * combine_ratio).max(0.0);
+    let reduce_input_records = (shuffle_bytes / RECORD_BYTES).max(0.0);
+    let reduce_output_records = reduce_input_records * reduce_out_ratio;
+
+    // Map phase: waves of tasks over the available slots; the last wave
+    // may be mostly idle (the classic wave effect).
+    let map_waves = (job.map_tasks as f64 / cluster.map_slots as f64).ceil().max(1.0);
+    let bytes_per_map = job.input_bytes / job.map_tasks.max(1) as f64;
+    let map_task_secs = bytes_per_map * cpu_mult / cluster.slot_bytes_per_sec;
+    let map_secs = map_waves * map_task_secs;
+
+    // Shuffle phase: network bound.
+    let shuffle_secs = shuffle_bytes / cluster.shuffle_bytes_per_sec;
+
+    // Reduce phase: waves again, plus a straggler penalty when key skew
+    // concentrates data on few reducers.
+    let reduce_waves = (job.reduce_tasks as f64 / cluster.reduce_slots as f64)
+        .ceil()
+        .max(1.0);
+    let bytes_per_reduce = shuffle_bytes / job.reduce_tasks.max(1) as f64;
+    let straggler = 1.0 + (skew - 1.0) * 0.5;
+    let reduce_task_secs =
+        (bytes_per_reduce + reduce_output_records * RECORD_BYTES) / cluster.slot_bytes_per_sec;
+    let reduce_secs = reduce_waves * reduce_task_secs * straggler;
+
+    // Spills: map-side sort buffers overflow when per-task map output
+    // exceeds the buffer.
+    let map_out_bytes_per_task =
+        map_output_records * RECORD_BYTES * combine_ratio / job.map_tasks.max(1) as f64;
+    let spill_factor = (map_out_bytes_per_task / cluster.sort_buffer_bytes).max(0.0);
+    let spilled_records = if spill_factor > 1.0 {
+        map_output_records * (1.0 - 1.0 / spill_factor)
+    } else {
+        0.0
+    };
+    let spill_secs = spilled_records * RECORD_BYTES / (cluster.slot_bytes_per_sec * 4.0);
+
+    // Deterministic per-(job, cluster) run noise, ±5%.
+    let noise = 1.0 + 0.05 * hashed_unit(job, cluster);
+    let elapsed =
+        (cluster.startup_seconds + map_secs + shuffle_secs + reduce_secs + spill_secs) * noise;
+
+    let outcome = JobOutcome {
+        elapsed_seconds: elapsed,
+        map_output_records: map_output_records.round(),
+        shuffle_bytes: shuffle_bytes.round(),
+        reduce_input_records: reduce_input_records.round(),
+        hdfs_bytes_read: job.input_bytes,
+        spilled_records: spilled_records.round(),
+    };
+    debug_assert!(outcome.is_valid());
+    outcome
+}
+
+fn hashed_unit(job: &JobSpec, cluster: &ClusterConfig) -> f64 {
+    let mut h = DefaultHasher::new();
+    job.id.hash(&mut h);
+    cluster.name.hash(&mut h);
+    (h.finish() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobGenerator;
+
+    #[test]
+    fn outcomes_are_valid_and_deterministic() {
+        let cluster = ClusterConfig::small();
+        let mut g = JobGenerator::new(4);
+        for j in g.generate(100) {
+            let a = run(&j, &cluster);
+            let b = run(&j, &cluster);
+            assert!(a.is_valid());
+            assert_eq!(a, b);
+            assert!(a.elapsed_seconds >= cluster.startup_seconds);
+            assert_eq!(a.hdfs_bytes_read, j.input_bytes);
+        }
+    }
+
+    #[test]
+    fn bigger_cluster_is_faster_on_big_jobs() {
+        let small = ClusterConfig::small();
+        let large = ClusterConfig::large();
+        let mut g = JobGenerator::new(8);
+        let mut faster = 0;
+        let mut big_jobs = 0;
+        for j in g.generate(200) {
+            if j.input_bytes < 10e9 {
+                continue;
+            }
+            big_jobs += 1;
+            if run(&j, &large).elapsed_seconds < run(&j, &small).elapsed_seconds {
+                faster += 1;
+            }
+        }
+        assert!(big_jobs > 10);
+        assert!(faster * 10 >= big_jobs * 9, "{faster}/{big_jobs}");
+    }
+
+    #[test]
+    fn combiner_cuts_shuffle() {
+        let mut g = JobGenerator::new(12);
+        let mut j = g.generate_one();
+        j.template = crate::JobTemplate::Aggregate;
+        j.combiner = false;
+        let without = run(&j, &ClusterConfig::small());
+        j.combiner = true;
+        let with = run(&j, &ClusterConfig::small());
+        assert!(with.shuffle_bytes < without.shuffle_bytes);
+    }
+
+    #[test]
+    fn grep_jobs_barely_shuffle() {
+        let mut g = JobGenerator::new(21);
+        let mut j = g.generate_one();
+        j.template = crate::JobTemplate::Grep;
+        let o = run(&j, &ClusterConfig::small());
+        assert!(o.shuffle_bytes < j.input_bytes * 0.1);
+    }
+}

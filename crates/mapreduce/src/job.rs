@@ -1,0 +1,227 @@
+//! MapReduce job specifications and workload generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// Broad job family (fixes the shape; constants vary per instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobTemplate {
+    /// Log scan + filter: map-heavy, tiny shuffle (grep-style).
+    Grep,
+    /// Aggregation: moderate shuffle, high combine ratio (word-count).
+    Aggregate,
+    /// Join of two datasets: shuffle-heavy.
+    Join,
+    /// Global sort: shuffle ≈ input, reduce-heavy.
+    Sort,
+    /// Iterative ML step: CPU-heavy mappers, small output.
+    MlStep,
+}
+
+impl JobTemplate {
+    /// All templates.
+    pub const ALL: [JobTemplate; 5] = [
+        JobTemplate::Grep,
+        JobTemplate::Aggregate,
+        JobTemplate::Join,
+        JobTemplate::Sort,
+        JobTemplate::MlStep,
+    ];
+
+    /// (map selectivity, shuffle ratio, reduce output ratio, CPU cost
+    /// per input byte multiplier) — the template's data-flow shape.
+    pub(crate) fn shape(self) -> (f64, f64, f64, f64) {
+        match self {
+            JobTemplate::Grep => (0.02, 0.02, 1.0, 1.0),
+            JobTemplate::Aggregate => (1.0, 0.15, 0.05, 1.5),
+            JobTemplate::Join => (1.0, 1.05, 0.6, 2.0),
+            JobTemplate::Sort => (1.0, 1.0, 1.0, 1.2),
+            JobTemplate::MlStep => (1.0, 0.01, 0.01, 8.0),
+        }
+    }
+
+    /// Template name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobTemplate::Grep => "grep",
+            JobTemplate::Aggregate => "aggregate",
+            JobTemplate::Join => "join",
+            JobTemplate::Sort => "sort",
+            JobTemplate::MlStep => "ml_step",
+        }
+    }
+}
+
+/// A concrete job: template + input scale + configuration knobs. All
+/// fields are known *before* the job runs — they are the feature
+/// sources, exactly like the paper's pre-execution query plans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique id.
+    pub id: u64,
+    /// Job family.
+    pub template: JobTemplate,
+    /// Input size, bytes.
+    pub input_bytes: f64,
+    /// Number of map tasks.
+    pub map_tasks: u32,
+    /// Number of reduce tasks.
+    pub reduce_tasks: u32,
+    /// Whether a combiner runs after the map phase.
+    pub combiner: bool,
+}
+
+/// Measured outcome of a simulated job — the performance vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Wall-clock time, seconds.
+    pub elapsed_seconds: f64,
+    /// Records emitted by mappers.
+    pub map_output_records: f64,
+    /// Bytes moved in the shuffle.
+    pub shuffle_bytes: f64,
+    /// Records entering reducers.
+    pub reduce_input_records: f64,
+    /// Bytes read from distributed storage.
+    pub hdfs_bytes_read: f64,
+    /// Records spilled to disk in sort buffers.
+    pub spilled_records: f64,
+}
+
+impl JobOutcome {
+    /// Metric count (vector dimensionality).
+    pub const DIM: usize = 6;
+
+    /// Canonical-order vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.elapsed_seconds,
+            self.map_output_records,
+            self.shuffle_bytes,
+            self.reduce_input_records,
+            self.hdfs_bytes_read,
+            self.spilled_records,
+        ]
+    }
+
+    /// All entries finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        self.to_vec().iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+impl JobSpec {
+    /// Pre-execution feature vector: template one-hot, log input size,
+    /// task counts, bytes per task, combiner flag — the MapReduce
+    /// analogue of the paper's plan feature vector.
+    pub fn features(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(JobTemplate::ALL.len() + 5);
+        for t in JobTemplate::ALL {
+            v.push(if t == self.template { 1.0 } else { 0.0 });
+        }
+        v.push((1.0 + self.input_bytes).ln());
+        v.push(self.map_tasks as f64);
+        v.push(self.reduce_tasks as f64);
+        v.push((1.0 + self.input_bytes / self.map_tasks.max(1) as f64).ln());
+        v.push(if self.combiner { 1.0 } else { 0.0 });
+        v
+    }
+
+    /// Feature dimensionality.
+    pub const FEATURE_DIM: usize = JobTemplate::ALL.len() + 5;
+
+    /// Deterministic per-(template, knobs) data skew factor — the
+    /// "world" of this domain, pinned to the job identity like the
+    /// database generator's ground truth.
+    pub(crate) fn skew(&self) -> f64 {
+        let mut h = DefaultHasher::new();
+        self.template.name().hash(&mut h);
+        // Bucket input size so jobs over the same dataset share skew.
+        ((self.input_bytes.log2() * 4.0) as u64).hash(&mut h);
+        let u = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+        // Log-uniform in [1, ~3.2].
+        10f64.powf(0.5 * u)
+    }
+}
+
+/// Deterministic workload generator over the job templates.
+#[derive(Debug)]
+pub struct JobGenerator {
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl JobGenerator {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        JobGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// One random job: template uniform, input size log-uniform from
+    /// 64 MiB to 1 TiB on a discrete grid, task counts from the usual
+    /// block-size / cluster heuristics.
+    pub fn generate_one(&mut self) -> JobSpec {
+        let template = JobTemplate::ALL[self.rng.random_range(0..JobTemplate::ALL.len())];
+        let grid: u32 = self.rng.random_range(0..15);
+        let input_bytes = 64.0 * 1024.0 * 1024.0 * 2f64.powi(grid as i32);
+        let block = 128.0 * 1024.0 * 1024.0;
+        let map_tasks = (input_bytes / block).ceil().max(1.0) as u32;
+        let reduce_tasks = self.rng.random_range(1..=64u32);
+        let id = self.next_id;
+        self.next_id += 1;
+        JobSpec {
+            id,
+            template,
+            input_bytes,
+            map_tasks,
+            reduce_tasks,
+            combiner: self.rng.random_bool(0.5),
+        }
+    }
+
+    /// A batch of jobs.
+    pub fn generate(&mut self, n: usize) -> Vec<JobSpec> {
+        (0..n).map(|_| self.generate_one()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_have_fixed_dim() {
+        let mut g = JobGenerator::new(1);
+        for _ in 0..50 {
+            let j = g.generate_one();
+            let f = j.features();
+            assert_eq!(f.len(), JobSpec::FEATURE_DIM);
+            assert!(f.iter().all(|v| v.is_finite()));
+            // Exactly one template indicator set.
+            let hot: f64 = f[..JobTemplate::ALL.len()].iter().sum();
+            assert_eq!(hot, 1.0);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = JobGenerator::new(9).generate(20);
+        let b = JobGenerator::new(9).generate(20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skew_pinned_to_job_identity() {
+        let mut g = JobGenerator::new(3);
+        let j = g.generate_one();
+        let mut j2 = j.clone();
+        j2.id = 777;
+        assert_eq!(j.skew(), j2.skew());
+        assert!(j.skew() >= 1.0 && j.skew() < 3.5);
+    }
+}

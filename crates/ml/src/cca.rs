@@ -1,0 +1,244 @@
+//! Regularized linear Canonical Correlation Analysis.
+//!
+//! Finds directions `wx`, `wy` maximizing `corr(X wx, Y wy)` via the
+//! generalized symmetric eigenproblem (paper §V-D / Eq. 2 structure):
+//!
+//! ```text
+//! [ 0    Cxy ] [wx]       [ Cxx + κI   0        ] [wx]
+//! [ Cyx  0   ] [wy] = ρ · [ 0          Cyy + κI ] [wy]
+//! ```
+//!
+//! Eigenvalues come in ±ρ pairs; the positive ones are the canonical
+//! correlations. This module is also the computational backend of
+//! [`crate::kcca`]: KCCA is linear CCA applied to incomplete-Cholesky
+//! feature embeddings.
+
+use qpp_linalg::{stats, GeneralizedEigen, LinalgError, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Options for [`Cca::fit`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CcaOptions {
+    /// Number of canonical components to keep (capped by min(p, q)).
+    pub components: usize,
+    /// Ridge regularization κ added to the within-set covariances.
+    pub regularization: f64,
+}
+
+impl Default for CcaOptions {
+    fn default() -> Self {
+        CcaOptions {
+            components: 8,
+            regularization: 1e-3,
+        }
+    }
+}
+
+/// A fitted CCA model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cca {
+    /// Canonical correlations, descending (length = components kept).
+    pub correlations: Vec<f64>,
+    wx: Matrix,
+    wy: Matrix,
+    x_means: Vec<f64>,
+    y_means: Vec<f64>,
+}
+
+impl Cca {
+    /// Fits CCA on paired rows of `x` (`n x p`) and `y` (`n x q`).
+    pub fn fit(x: &Matrix, y: &Matrix, opts: CcaOptions) -> Result<Cca, LinalgError> {
+        if x.rows() != y.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cca fit",
+                lhs: x.shape(),
+                rhs: y.shape(),
+            });
+        }
+        let n = x.rows();
+        if n < 2 {
+            return Err(LinalgError::Empty("cca needs >= 2 rows"));
+        }
+        let (p, q) = (x.cols(), y.cols());
+        let x_means = stats::column_means(x);
+        let y_means = stats::column_means(y);
+        let xc = center(x, &x_means);
+        let yc = center(y, &y_means);
+
+        let scale = 1.0 / n as f64;
+        let cxx = xc.gram().scale(scale);
+        let cyy = yc.gram().scale(scale);
+        let cxy = xc.transpose().matmul(&yc)?.scale(scale);
+
+        let d = p + q;
+        let mut a = Matrix::zeros(d, d);
+        a.set_block(0, p, &cxy);
+        a.set_block(p, 0, &cxy.transpose());
+        let mut b = Matrix::zeros(d, d);
+        b.set_block(0, 0, &cxx);
+        b.set_block(p, p, &cyy);
+        // Regularize relative to the average variance so κ means the
+        // same thing across differently scaled inputs.
+        let avg_var = (0..d).map(|i| b[(i, i)]).sum::<f64>() / d as f64;
+        let kappa = opts.regularization * avg_var.max(1e-12);
+        b.add_diagonal(kappa);
+
+        let eig = GeneralizedEigen::new(&a, &b)?;
+        let keep = opts.components.min(p.min(q));
+        let mut correlations = Vec::with_capacity(keep);
+        let mut wx = Matrix::zeros(p, keep);
+        let mut wy = Matrix::zeros(q, keep);
+        for k in 0..keep {
+            // Eigenvalues are sorted descending; the top `keep` are the
+            // positive half of the ± pairs.
+            correlations.push(eig.values[k].clamp(-1.0, 1.0));
+            for i in 0..p {
+                wx[(i, k)] = eig.vectors[(i, k)];
+            }
+            for j in 0..q {
+                wy[(j, k)] = eig.vectors[(p + j, k)];
+            }
+        }
+        Ok(Cca {
+            correlations,
+            wx,
+            wy,
+            x_means,
+            y_means,
+        })
+    }
+
+    /// Number of canonical components kept.
+    pub fn components(&self) -> usize {
+        self.correlations.len()
+    }
+
+    /// Projects one x-side row into canonical space.
+    pub fn project_x(&self, row: &[f64]) -> Vec<f64> {
+        project(row, &self.x_means, &self.wx)
+    }
+
+    /// Projects one y-side row into canonical space.
+    pub fn project_y(&self, row: &[f64]) -> Vec<f64> {
+        project(row, &self.y_means, &self.wy)
+    }
+
+    /// Projects every row of an x-side matrix.
+    pub fn project_x_matrix(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.components());
+        for i in 0..x.rows() {
+            out.row_mut(i).copy_from_slice(&self.project_x(x.row(i)));
+        }
+        out
+    }
+
+    /// Projects every row of a y-side matrix.
+    pub fn project_y_matrix(&self, y: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(y.rows(), self.components());
+        for i in 0..y.rows() {
+            out.row_mut(i).copy_from_slice(&self.project_y(y.row(i)));
+        }
+        out
+    }
+}
+
+fn center(m: &Matrix, means: &[f64]) -> Matrix {
+    Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] - means[j])
+}
+
+fn project(row: &[f64], means: &[f64], w: &Matrix) -> Vec<f64> {
+    debug_assert_eq!(row.len(), w.rows());
+    let mut out = vec![0.0; w.cols()];
+    for (i, (&v, &mu)) in row.iter().zip(means.iter()).enumerate() {
+        let c = v - mu;
+        if c == 0.0 {
+            continue;
+        }
+        for (k, o) in out.iter_mut().enumerate() {
+            *o += c * w[(i, k)];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds paired datasets sharing one latent variable.
+    fn correlated_data(n: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Matrix::zeros(n, 3);
+        let mut y = Matrix::zeros(n, 2);
+        for i in 0..n {
+            let latent: f64 = rng.random_range(-1.0..1.0);
+            x[(i, 0)] = latent + 0.01 * rng.random_range(-1.0..1.0);
+            x[(i, 1)] = rng.random_range(-1.0..1.0);
+            x[(i, 2)] = -0.5 * latent + 0.01 * rng.random_range(-1.0..1.0);
+            y[(i, 0)] = 2.0 * latent + 0.01 * rng.random_range(-1.0..1.0);
+            y[(i, 1)] = rng.random_range(-1.0..1.0);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn recovers_shared_latent_direction() {
+        let (x, y) = correlated_data(200, 1);
+        let cca = Cca::fit(&x, &y, CcaOptions { components: 2, regularization: 1e-4 }).unwrap();
+        assert!(
+            cca.correlations[0] > 0.95,
+            "top correlation {}",
+            cca.correlations[0]
+        );
+        // The projections themselves must correlate: check empirically.
+        let px = cca.project_x_matrix(&x).col(0);
+        let py = cca.project_y_matrix(&y).col(0);
+        let r = pearson(&px, &py);
+        assert!(r.abs() > 0.95, "projection correlation {r}");
+    }
+
+    #[test]
+    fn uncorrelated_data_has_low_correlation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 300;
+        let x = Matrix::from_fn(n, 3, |_, _| rng.random_range(-1.0..1.0));
+        let y = Matrix::from_fn(n, 2, |_, _| rng.random_range(-1.0..1.0));
+        let cca = Cca::fit(&x, &y, CcaOptions::default()).unwrap();
+        assert!(
+            cca.correlations[0] < 0.35,
+            "spurious correlation {}",
+            cca.correlations[0]
+        );
+    }
+
+    #[test]
+    fn components_capped_by_dimensions() {
+        let (x, y) = correlated_data(50, 5);
+        let cca = Cca::fit(&x, &y, CcaOptions { components: 10, regularization: 1e-3 }).unwrap();
+        assert_eq!(cca.components(), 2); // min(3, 2)
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let x = Matrix::zeros(10, 2);
+        let y = Matrix::zeros(9, 2);
+        assert!(Cca::fit(&x, &y, CcaOptions::default()).is_err());
+    }
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            num += (x - ma) * (y - mb);
+            da += (x - ma) * (x - ma);
+            db += (y - mb) * (y - mb);
+        }
+        num / (da.sqrt() * db.sqrt()).max(1e-12)
+    }
+}

@@ -1,0 +1,162 @@
+//! Gaussian kernels with the paper's scale heuristic.
+
+use qpp_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Gaussian (RBF) kernel `k(x, y) = exp(-||x - y||² / τ)`.
+///
+/// The paper sets the scale `τ` to "a fixed fraction of the empirical
+/// variance of the norms of the data points" (§VI-A): 0.1 for query
+/// vectors and 0.2 for performance vectors. [`GaussianKernel::fit`]
+/// implements that heuristic; `τ` can also be set directly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianKernel {
+    /// The scale factor τ (denominator of the squared distance).
+    pub tau: f64,
+}
+
+impl GaussianKernel {
+    /// Kernel with an explicit scale.
+    pub fn new(tau: f64) -> Self {
+        assert!(tau > 0.0 && tau.is_finite(), "tau must be positive");
+        GaussianKernel { tau }
+    }
+
+    /// Scale heuristic in the spirit of the paper's "fixed fraction of
+    /// the empirical variance of the norms of the data points" (§VI-A).
+    ///
+    /// The paper kernelized *raw* cardinality vectors, whose norm
+    /// variance is on the same scale as pairwise squared distances, so
+    /// a fixed fraction of it makes a usable τ. Our feature vectors are
+    /// log-transformed and standardized (necessary for the simulator's
+    /// value ranges), which collapses the norm variance to O(1) while
+    /// pairwise squared distances stay O(dims) — a τ of a fraction of
+    /// the norm variance would make the kernel matrix numerically the
+    /// identity. We therefore anchor τ to the *mean pairwise squared
+    /// distance* (same intent: a data-driven scale, one knob), so
+    /// `fraction = 1.0` puts the average pair at `k = e⁻¹`.
+    pub fn fit(data: &Matrix, fraction: f64) -> Self {
+        let tau = (fraction * mean_squared_distance(data)).max(1e-6);
+        GaussianKernel { tau }
+    }
+
+    /// Evaluates `k(a, b)`.
+    #[inline]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        (-qpp_linalg::vector::sq_dist(a, b) / self.tau).exp()
+    }
+
+    /// Full `n x n` kernel matrix over the rows of `data`.
+    pub fn matrix(&self, data: &Matrix) -> Matrix {
+        let n = data.rows();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            k[(i, i)] = 1.0;
+            for j in (i + 1)..n {
+                let v = self.eval(data.row(i), data.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// Kernel evaluations of one new point against every row of `data`.
+    pub fn row(&self, data: &Matrix, point: &[f64]) -> Vec<f64> {
+        data.row_iter().map(|r| self.eval(r, point)).collect()
+    }
+}
+
+/// Mean pairwise squared Euclidean distance over (a deterministic
+/// subsample of) the rows of `data`.
+fn mean_squared_distance(data: &Matrix) -> f64 {
+    let n = data.rows();
+    if n < 2 {
+        return 1.0;
+    }
+    // Cap the O(n²) scan: stride-subsample to ~256 rows.
+    let max_rows = 256;
+    let stride = n.div_ceil(max_rows);
+    let rows: Vec<&[f64]> = (0..n).step_by(stride).map(|i| data.row(i)).collect();
+    let m = rows.len();
+    if m < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            total += qpp_linalg::vector::sq_dist(rows[i], rows[j]);
+            pairs += 1;
+        }
+    }
+    (total / pairs as f64).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_properties() {
+        let k = GaussianKernel::new(2.0);
+        // Self-similarity is 1.
+        assert_eq!(k.eval(&[1.0, 2.0], &[1.0, 2.0]), 1.0);
+        // Symmetry.
+        let a = [0.0, 1.0];
+        let b = [3.0, -1.0];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+        // Bounded in (0, 1].
+        let v = k.eval(&a, &b);
+        assert!(v > 0.0 && v <= 1.0);
+        // Monotone decreasing in distance.
+        assert!(k.eval(&[0.0], &[1.0]) > k.eval(&[0.0], &[2.0]));
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let data = Matrix::from_vec(3, 2, vec![0., 0., 1., 0., 5., 5.]).unwrap();
+        let k = GaussianKernel::new(1.0).matrix(&data);
+        for i in 0..3 {
+            assert_eq!(k[(i, i)], 1.0);
+            for j in 0..3 {
+                assert_eq!(k[(i, j)], k[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn fit_anchors_tau_to_mean_squared_distance() {
+        // Two rows at squared distance 4: mean pairwise d² = 4.
+        let data = Matrix::from_vec(2, 2, vec![1., 0., 3., 0.]).unwrap();
+        let k = GaussianKernel::fit(&data, 0.5);
+        assert!((k.tau - 2.0).abs() < 1e-12);
+        // fraction = 1 ⇒ the average pair evaluates to e⁻¹.
+        let k1 = GaussianKernel::fit(&data, 1.0);
+        assert!((k1.eval(data.row(0), data.row(1)) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_floors_degenerate_scale() {
+        let data = Matrix::from_vec(2, 2, vec![1., 0., 1., 0.]).unwrap(); // identical rows
+        let k = GaussianKernel::fit(&data, 0.1);
+        assert!(k.tau >= 1e-6);
+    }
+
+    #[test]
+    fn row_matches_matrix_column() {
+        let data = Matrix::from_vec(3, 2, vec![0., 0., 1., 1., 2., 0.]).unwrap();
+        let kern = GaussianKernel::new(3.0);
+        let m = kern.matrix(&data);
+        let r = kern.row(&data, data.row(1));
+        for i in 0..3 {
+            assert!((r[i] - m[(i, 1)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be positive")]
+    fn rejects_bad_tau() {
+        GaussianKernel::new(0.0);
+    }
+}

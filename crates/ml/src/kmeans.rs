@@ -1,0 +1,178 @@
+//! K-means clustering (paper §V-B).
+//!
+//! Considered and rejected by the paper: clustering works on a *single*
+//! dataset, so query-feature clusters need not align with
+//! performance-feature clusters. Retained here because the two-step
+//! predictor and several diagnostics use single-dataset clustering, and
+//! the ablation benches compare it against KCCA's "correlated pairs of
+//! clusters".
+
+// Triangular solves and centroid updates read most clearly with index
+// loops; the iterator forms clippy suggests obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+use qpp_linalg::{vector, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Cluster centroids as rows (`k x p`).
+    pub centroids: Matrix,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Fits k-means with k-means++-style seeding, deterministic under
+    /// `seed`. `data` must have at least `k` rows.
+    pub fn fit(data: &Matrix, k: usize, seed: u64, max_iters: usize) -> KMeans {
+        let n = data.rows();
+        let p = data.cols();
+        assert!(k >= 1 && k <= n, "need 1 <= k <= n (k={k}, n={n})");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // k-means++ seeding.
+        let mut centroids = Matrix::zeros(k, p);
+        let first = rng.random_range(0..n);
+        centroids.row_mut(0).copy_from_slice(data.row(first));
+        let mut min_d2: Vec<f64> = (0..n)
+            .map(|i| vector::sq_dist(data.row(i), centroids.row(0)))
+            .collect();
+        for c in 1..k {
+            let total: f64 = min_d2.iter().sum();
+            let pick = if total <= 0.0 {
+                rng.random_range(0..n)
+            } else {
+                let mut roll = rng.random_range(0.0..total);
+                let mut chosen = n - 1;
+                for (i, &d) in min_d2.iter().enumerate() {
+                    roll -= d;
+                    if roll <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            };
+            centroids.row_mut(c).copy_from_slice(data.row(pick));
+            for i in 0..n {
+                let d = vector::sq_dist(data.row(i), centroids.row(c));
+                if d < min_d2[i] {
+                    min_d2[i] = d;
+                }
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; n];
+        let mut iterations = 0;
+        for it in 0..max_iters {
+            iterations = it + 1;
+            let mut changed = false;
+            for i in 0..n {
+                let mut best = (0usize, f64::INFINITY);
+                for c in 0..k {
+                    let d = vector::sq_dist(data.row(i), centroids.row(c));
+                    if d < best.1 {
+                        best = (c, d);
+                    }
+                }
+                if assignment[i] != best.0 {
+                    assignment[i] = best.0;
+                    changed = true;
+                }
+            }
+            if !changed && it > 0 {
+                break;
+            }
+            let mut sums = Matrix::zeros(k, p);
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                let c = assignment[i];
+                counts[c] += 1;
+                vector::axpy(1.0, data.row(i), sums.row_mut(c));
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f64;
+                    for v in sums.row_mut(c) {
+                        *v *= inv;
+                    }
+                    centroids.row_mut(c).copy_from_slice(sums.row(c));
+                }
+                // Empty clusters keep their previous centroid.
+            }
+        }
+
+        let inertia = (0..n)
+            .map(|i| vector::sq_dist(data.row(i), centroids.row(assignment[i])))
+            .sum();
+        KMeans {
+            centroids,
+            inertia,
+            iterations,
+        }
+    }
+
+    /// Cluster index of a point.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        let mut best = (0usize, f64::INFINITY);
+        for c in 0..self.centroids.rows() {
+            let d = vector::sq_dist(point, self.centroids.row(c));
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f64 * 0.01;
+            rows.push(vec![0.0 + j, 0.0 + j]);
+            rows.push(vec![10.0 + j, 10.0 + j]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let km = KMeans::fit(&blobs(), 2, 7, 50);
+        let a = km.assign(&[0.0, 0.0]);
+        let b = km.assign(&[10.0, 10.0]);
+        assert_ne!(a, b);
+        assert!(km.inertia < 1.0, "inertia {}", km.inertia);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = KMeans::fit(&blobs(), 2, 3, 50);
+        let b = KMeans::fit(&blobs(), 2, 3, 50);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![9.0]]).unwrap();
+        let km = KMeans::fit(&data, 3, 1, 50);
+        assert!(km.inertia < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= k <= n")]
+    fn rejects_k_larger_than_n() {
+        let data = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        KMeans::fit(&data, 2, 1, 10);
+    }
+}

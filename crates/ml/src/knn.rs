@@ -1,0 +1,220 @@
+//! k-nearest-neighbor lookup in projection space.
+//!
+//! The paper's prediction step (§VI-B, Fig. 7): project the new query,
+//! find its k nearest training neighbors in the query projection, and
+//! combine their measured performance vectors. §VI-E evaluates the
+//! three design choices reproduced here:
+//!
+//! * distance metric — Euclidean vs. cosine (Table I; Euclidean won);
+//! * k — 3..7 (Table II; negligible differences, k=3 chosen);
+//! * weighting — equal vs. 3:2:1 vs. distance-proportional (Table III;
+//!   no consistent winner, equal chosen).
+
+use qpp_linalg::{vector, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Distance metric for neighbor search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// Magnitude-aware Euclidean distance (the paper's winner).
+    Euclidean,
+    /// Direction-only cosine distance.
+    Cosine,
+}
+
+impl DistanceMetric {
+    /// Distance between two vectors under this metric.
+    pub fn distance(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            DistanceMetric::Euclidean => vector::dist(a, b),
+            DistanceMetric::Cosine => vector::cosine_dist(a, b),
+        }
+    }
+}
+
+/// How neighbor target vectors are combined into a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NeighborWeighting {
+    /// Equal weight for all k neighbors (the paper's choice).
+    Equal,
+    /// Fixed 3:2:1-style ratio by nearness rank (k weights `k, k-1, …, 1`).
+    RankRatio,
+    /// Weight inversely proportional to distance.
+    InverseDistance,
+}
+
+impl NeighborWeighting {
+    /// Weights for neighbors sorted by ascending distance.
+    pub fn weights(self, distances: &[f64]) -> Vec<f64> {
+        let k = distances.len();
+        let raw: Vec<f64> = match self {
+            NeighborWeighting::Equal => vec![1.0; k],
+            NeighborWeighting::RankRatio => (0..k).map(|i| (k - i) as f64).collect(),
+            NeighborWeighting::InverseDistance => distances
+                .iter()
+                .map(|&d| 1.0 / (d + 1e-9))
+                .collect(),
+        };
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / total).collect()
+    }
+}
+
+/// A found neighbor: training-row index and distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index into the reference matrix.
+    pub index: usize,
+    /// Distance from the probe under the chosen metric.
+    pub distance: f64,
+}
+
+/// Nearest-neighbor index over the rows of a reference matrix.
+///
+/// Linear scan — exact, cache-friendly, and fast at the scale of the
+/// paper's training sets (~1000 points, ≤16 projection dims).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NearestNeighbors {
+    reference: Matrix,
+    metric: DistanceMetric,
+}
+
+impl NearestNeighbors {
+    /// Builds an index over `reference` rows with the given metric.
+    pub fn new(reference: Matrix, metric: DistanceMetric) -> Self {
+        NearestNeighbors { reference, metric }
+    }
+
+    /// Number of reference points.
+    pub fn len(&self) -> usize {
+        self.reference.rows()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reference.rows() == 0
+    }
+
+    /// The `k` nearest neighbors of `probe`, ascending by distance.
+    pub fn query(&self, probe: &[f64], k: usize) -> Vec<Neighbor> {
+        let k = k.min(self.len());
+        // Max-heap-free selection: keep a sorted buffer of size k.
+        let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        for (i, row) in self.reference.row_iter().enumerate() {
+            let d = self.metric.distance(probe, row);
+            if best.len() < k || d < best.last().map_or(f64::INFINITY, |n| n.distance) {
+                let pos = best.partition_point(|n| n.distance <= d);
+                best.insert(pos, Neighbor { index: i, distance: d });
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts a target vector for `probe` by combining the `targets`
+    /// rows of the k nearest neighbors under `weighting`.
+    ///
+    /// Returns the prediction and the neighbors used.
+    pub fn predict(
+        &self,
+        probe: &[f64],
+        targets: &Matrix,
+        k: usize,
+        weighting: NeighborWeighting,
+    ) -> (Vec<f64>, Vec<Neighbor>) {
+        assert_eq!(
+            targets.rows(),
+            self.len(),
+            "targets must align with reference rows"
+        );
+        let neighbors = self.query(probe, k);
+        let distances: Vec<f64> = neighbors.iter().map(|n| n.distance).collect();
+        let weights = weighting.weights(&distances);
+        let mut out = vec![0.0; targets.cols()];
+        for (n, &w) in neighbors.iter().zip(weights.iter()) {
+            vector::axpy(w, targets.row(n.index), &mut out);
+        }
+        (out, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+            vec![10.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_nearest_in_order() {
+        let nn = NearestNeighbors::new(reference(), DistanceMetric::Euclidean);
+        let res = nn.query(&[0.1, 0.0], 3);
+        assert_eq!(res[0].index, 0);
+        assert_eq!(res[1].index, 1);
+        assert_eq!(res[2].index, 2);
+        assert!(res[0].distance <= res[1].distance);
+    }
+
+    #[test]
+    fn cosine_prefers_direction_over_magnitude() {
+        let nn = NearestNeighbors::new(reference(), DistanceMetric::Cosine);
+        // Probe along +x: cosine says the 10,0 point is as close as 1,0.
+        let res = nn.query(&[2.0, 0.0], 2);
+        let idx: Vec<usize> = res.iter().map(|n| n.index).collect();
+        assert!(idx.contains(&1) && idx.contains(&4), "{idx:?}");
+    }
+
+    #[test]
+    fn k_capped_by_reference_size() {
+        let nn = NearestNeighbors::new(reference(), DistanceMetric::Euclidean);
+        assert_eq!(nn.query(&[0.0, 0.0], 99).len(), 5);
+    }
+
+    #[test]
+    fn equal_weighting_averages() {
+        let nn = NearestNeighbors::new(reference(), DistanceMetric::Euclidean);
+        let targets =
+            Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![100.0], vec![100.0]])
+                .unwrap();
+        let (pred, neigh) = nn.predict(&[0.0, 0.0], &targets, 3, NeighborWeighting::Equal);
+        assert_eq!(neigh.len(), 3);
+        assert!((pred[0] - 2.0).abs() < 1e-12); // mean of 1, 2, 3
+    }
+
+    #[test]
+    fn rank_ratio_weights_follow_3_2_1() {
+        let w = NeighborWeighting::RankRatio.weights(&[0.1, 0.2, 0.3]);
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((w[2] - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_distance_prefers_closest()
+    {
+        let w = NeighborWeighting::InverseDistance.weights(&[0.1, 1.0, 10.0]);
+        assert!(w[0] > w[1] && w[1] > w[2]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_match_has_zero_distance() {
+        let nn = NearestNeighbors::new(reference(), DistanceMetric::Euclidean);
+        let res = nn.query(&[5.0, 5.0], 1);
+        assert_eq!(res[0].index, 3);
+        assert_eq!(res[0].distance, 0.0);
+        // Inverse-distance weighting must survive a zero distance.
+        let w = NeighborWeighting::InverseDistance.weights(&[0.0, 1.0]);
+        assert!(w[0] > 0.99);
+    }
+}

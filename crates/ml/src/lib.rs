@@ -1,0 +1,38 @@
+//! Statistical machine learning for query performance prediction.
+//!
+//! Implements the full ladder of techniques the paper evaluates (§V):
+//!
+//! * [`regression`] — per-metric linear least squares, the baseline that
+//!   fails (negative elapsed times, Figs. 3–4);
+//! * [`kmeans`] — partition clustering, considered and rejected (§V-B)
+//!   because it cannot relate *two* multivariate datasets;
+//! * [`pca`] — principal component analysis, single-dataset only (§V-C);
+//! * [`cca`] — linear canonical correlation analysis (§V-D);
+//! * [`kcca`] — kernel CCA with Gaussian kernels (§V-E, §VI), the
+//!   technique the paper adopts, implemented with pivoted incomplete
+//!   Cholesky (Bach & Jordan) so training scales past the exact-solve
+//!   regime;
+//! * [`knn`] — nearest-neighbor lookup in projection space with the
+//!   distance metrics and weighting schemes of Tables I–III;
+//! * [`metrics`] — the predictive-risk score used throughout §VI–VII;
+//! * [`decision_tree`] — a small CART classifier backing the PQR-style
+//!   runtime-range baseline from the related work (§III).
+
+pub mod cca;
+pub mod decision_tree;
+pub mod kcca;
+pub mod kernel;
+pub mod kmeans;
+pub mod knn;
+pub mod metrics;
+pub mod pca;
+pub mod regression;
+
+pub use cca::{Cca, CcaOptions};
+pub use decision_tree::{DecisionTree, TreeOptions};
+pub use kcca::{Kcca, KccaOptions};
+pub use kernel::GaussianKernel;
+pub use kmeans::KMeans;
+pub use knn::{DistanceMetric, NeighborWeighting, NearestNeighbors};
+pub use metrics::{fraction_within, predictive_risk};
+pub use regression::MetricRegression;

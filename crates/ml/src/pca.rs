@@ -1,0 +1,120 @@
+//! Principal Component Analysis (paper §V-C).
+//!
+//! Included for completeness of the technique ladder: PCA finds
+//! dimensions of maximal variance within *one* dataset, so — as the
+//! paper argues — it cannot uncover correlations *between* the query
+//! and performance datasets. The workspace uses it for diagnostics and
+//! as a comparison point in the ablation benches.
+
+use qpp_linalg::{stats, LinalgError, Matrix, SymmetricEigen};
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pca {
+    /// Component loadings as columns (`p x k`).
+    components: Matrix,
+    /// Explained variance per component, descending.
+    pub explained_variance: Vec<f64>,
+    means: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA keeping `k` components (capped at the feature count).
+    pub fn fit(data: &Matrix, k: usize) -> Result<Pca, LinalgError> {
+        if data.rows() < 2 {
+            return Err(LinalgError::Empty("pca needs >= 2 rows"));
+        }
+        let means = stats::column_means(data);
+        let centered = Matrix::from_fn(data.rows(), data.cols(), |i, j| {
+            data[(i, j)] - means[j]
+        });
+        let cov = centered.gram().scale(1.0 / data.rows() as f64);
+        let eig = SymmetricEigen::new(&cov)?;
+        let k = k.min(data.cols());
+        let (values, vectors) = eig.top_k(k);
+        Ok(Pca {
+            components: vectors,
+            explained_variance: values,
+            means,
+        })
+    }
+
+    /// Number of kept components.
+    pub fn components(&self) -> usize {
+        self.explained_variance.len()
+    }
+
+    /// Projects one row into component space.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.components()];
+        for (i, (&v, &mu)) in row.iter().zip(self.means.iter()).enumerate() {
+            let c = v - mu;
+            for (k, o) in out.iter_mut().enumerate() {
+                *o += c * self.components[(i, k)];
+            }
+        }
+        out
+    }
+
+    /// Projects every row of `data`.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(data.rows(), self.components());
+        for i in 0..data.rows() {
+            out.row_mut(i).copy_from_slice(&self.transform_row(data.row(i)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn finds_dominant_direction() {
+        // Data stretched along (1, 1): first PC aligns with it.
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = Matrix::from_fn(100, 2, |i, j| {
+            let t: f64 = (i as f64 / 10.0).sin() * 5.0;
+            let noise: f64 = rng.random_range(-0.1..0.1);
+            if j == 0 {
+                t + noise
+            } else {
+                t - noise
+            }
+        });
+        let pca = Pca::fit(&data, 2).unwrap();
+        assert!(pca.explained_variance[0] > 10.0 * pca.explained_variance[1]);
+        let c0 = (pca.components[(0, 0)], pca.components[(1, 0)]);
+        assert!((c0.0.abs() - c0.1.abs()).abs() < 0.05, "PC1 = {c0:?}");
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 14.0]]).unwrap();
+        let pca = Pca::fit(&data, 1).unwrap();
+        let t = pca.transform(&data);
+        // Two symmetric points project to ±s.
+        assert!((t[(0, 0)] + t[(1, 0)]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_capped_by_feature_count() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0], vec![0.0, 0.5]]).unwrap();
+        let pca = Pca::fit(&data, 99).unwrap();
+        assert_eq!(pca.components(), 2);
+    }
+
+    #[test]
+    fn variances_descend() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = Matrix::from_fn(50, 4, |_, j| rng.random_range(-1.0..1.0) * (j + 1) as f64);
+        let pca = Pca::fit(&data, 4).unwrap();
+        for w in pca.explained_variance.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Linear-regression baseline (paper §V-A).
+//!
+//! One ordinary-least-squares model per performance metric over the raw
+//! query-plan features. The paper shows (Figs. 3–4) that this baseline
+//! is orders of magnitude off and predicts physically impossible values
+//! — e.g. −82 s elapsed time, −1.8 M records — because the targets are
+//! heavy-tailed and the feature/metric relationship is nonlinear. We
+//! keep the model unclamped on purpose so the experiments can count the
+//! negative predictions like the paper did.
+
+use qpp_linalg::{LeastSquares, LinalgError, Matrix};
+
+/// Multi-target linear regression over query features.
+#[derive(Debug, Clone)]
+pub struct MetricRegression {
+    model: LeastSquares,
+    targets: usize,
+}
+
+impl MetricRegression {
+    /// Fits one OLS model per column of `y` on the features `x`.
+    pub fn fit(x: &Matrix, y: &Matrix) -> Result<Self, LinalgError> {
+        let model = LeastSquares::fit(x, y)?;
+        Ok(MetricRegression {
+            model,
+            targets: y.cols(),
+        })
+    }
+
+    /// Predicts all metric values for one feature vector. Values may be
+    /// negative — that is the point of the baseline.
+    pub fn predict(&self, features: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.model.predict(features)
+    }
+
+    /// Predicts for every row of `x`.
+    pub fn predict_matrix(&self, x: &Matrix) -> Result<Matrix, LinalgError> {
+        self.model.predict_matrix(x)
+    }
+
+    /// Number of target metrics.
+    pub fn targets(&self) -> usize {
+        self.targets
+    }
+
+    /// Indices of features whose coefficient was (effectively) dropped
+    /// for the given target — the paper noticed regression zeroing out
+    /// covariates like `hashgroupby` cardinalities (§V-A).
+    pub fn dropped_features(&self, target: usize, tol: f64) -> Vec<usize> {
+        let coef = self.model.coefficients();
+        (1..coef.rows())
+            .filter(|&i| coef[(i, target)].abs() <= tol)
+            .map(|i| i - 1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_linear_relationship_exactly() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 5.0],
+            vec![4.0, 0.0],
+        ])
+        .unwrap();
+        let mut y = Matrix::zeros(4, 2);
+        for i in 0..4 {
+            y[(i, 0)] = 10.0 + 2.0 * x[(i, 0)];
+            y[(i, 1)] = -3.0 * x[(i, 1)];
+        }
+        let m = MetricRegression::fit(&x, &y).unwrap();
+        let p = m.predict(&[5.0, 2.0]).unwrap();
+        assert!((p[0] - 20.0).abs() < 1e-9);
+        assert!((p[1] + 6.0).abs() < 1e-9);
+        assert_eq!(m.targets(), 2);
+    }
+
+    #[test]
+    fn can_predict_negative_values() {
+        // Decreasing relationship extrapolates below zero — the paper's
+        // negative elapsed times.
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = Matrix::from_rows(&[vec![10.0], vec![5.0], vec![0.0]]).unwrap();
+        let m = MetricRegression::fit(&x, &y).unwrap();
+        let p = m.predict(&[10.0]).unwrap();
+        assert!(p[0] < 0.0, "expected negative extrapolation, got {}", p[0]);
+    }
+
+    #[test]
+    fn dropped_features_reports_zero_coefficients() {
+        // Second feature is constant → coefficient pinned to 0 by the
+        // rank-deficiency handling.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 7.0],
+            vec![2.0, 7.0],
+            vec![3.0, 7.0],
+            vec![4.0, 7.0],
+        ])
+        .unwrap();
+        let y = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
+        let m = MetricRegression::fit(&x, &y).unwrap();
+        let dropped = m.dropped_features(0, 1e-9);
+        assert!(dropped.contains(&1), "dropped = {dropped:?}");
+    }
+}

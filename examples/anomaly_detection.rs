@@ -1,0 +1,71 @@
+//! Prediction confidence and anomalous-query flagging (paper §VII-C.3):
+//! "we can use Euclidean distance from the three neighbors as a measure
+//! of confidence and … identify queries whose performance predictions
+//! may be less accurate."
+//!
+//! ```text
+//! cargo run --release --example anomaly_detection
+//! ```
+
+use qpp::core::pipeline::collect_tpcds;
+use qpp::core::{KccaPredictor, PredictorOptions};
+use qpp::engine::SystemConfig;
+
+fn main() {
+    let config = SystemConfig::neoview_4();
+    println!("calibrating predictor …");
+    let train = collect_tpcds(1500, 77, &config, 4);
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+
+    let test = collect_tpcds(300, 787, &config, 4);
+    let preds = model.predict_dataset(&test).unwrap();
+
+    // Split test queries by confidence and compare achieved accuracy:
+    // predictions for well-supported queries should be measurably
+    // tighter than for anomalous ones.
+    let mut confident_errs = Vec::new();
+    let mut anomalous_errs = Vec::new();
+    let distance_threshold = 0.8;
+    for (p, r) in preds.iter().zip(test.records.iter()) {
+        let rel_err = (p.metrics.elapsed_seconds - r.metrics.elapsed_seconds).abs()
+            / r.metrics.elapsed_seconds.max(1e-9);
+        if p.is_anomalous(distance_threshold, 1e-3) {
+            anomalous_errs.push(rel_err);
+        } else {
+            confident_errs.push(rel_err);
+        }
+    }
+    let median = |v: &mut Vec<f64>| -> f64 {
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let mc = median(&mut confident_errs);
+    let ma = median(&mut anomalous_errs);
+    println!(
+        "\nconfident queries  (distance <= {distance_threshold}): {:>4}   median relative error {:.0}%",
+        confident_errs.len(),
+        mc * 100.0
+    );
+    println!(
+        "anomalous queries  (distance >  {distance_threshold}): {:>4}   median relative error {:.0}%",
+        anomalous_errs.len(),
+        ma * 100.0
+    );
+    println!(
+        "\nthe flag works when anomalous errors exceed confident ones: {}",
+        if ma > mc { "YES" } else { "no (try more training data)" }
+    );
+
+    // A completely foreign workload shape: kernel similarity collapses,
+    // which is the second (and stronger) anomaly signal.
+    let weird_features = vec![300.0; qpp::core::features::PlanFeatures::DIM];
+    let p = model.predict_features(&weird_features).unwrap();
+    println!(
+        "\nout-of-distribution probe: kernel similarity {:.2e} → anomalous = {}",
+        p.max_kernel_similarity,
+        p.is_anomalous(distance_threshold, 1e-3)
+    );
+}

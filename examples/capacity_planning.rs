@@ -1,0 +1,61 @@
+//! System sizing / capacity planning (paper §I): pick the smallest
+//! configuration whose *predicted* makespan for a customer workload
+//! meets a deadline — without ever running the workload on the
+//! candidate hardware.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use qpp::core::pipeline::collect_tpcds;
+use qpp::core::sizing::recommend;
+use qpp::core::PredictorOptions;
+use qpp::engine::SystemConfig;
+
+fn main() {
+    // The vendor has calibration datasets for each sellable
+    // configuration (Fig. 1's "vendor site" training runs).
+    let candidates: Vec<SystemConfig> = [4u32, 8, 16, 32]
+        .into_iter()
+        .map(SystemConfig::neoview_32)
+        .collect();
+    println!("calibrating one predictor per candidate configuration …");
+    let calibrated: Vec<_> = candidates
+        .iter()
+        .map(|cfg| (collect_tpcds(900, 31, cfg, 4), cfg.clone()))
+        .collect();
+
+    // The customer's projected workload: the *plans* are produced per
+    // target configuration (optimizers re-plan for different systems);
+    // metrics are never consulted by the predictor.
+    let deadline = 600.0; // seconds for the whole batch
+    let rec = recommend(
+        &calibrated,
+        |cfg| collect_tpcds(40, 555, cfg, 4),
+        deadline,
+        PredictorOptions::default(),
+    )
+    .expect("sizing");
+
+    println!("\ndeadline: {deadline:.0}s for the 40-query workload\n");
+    println!(
+        "{:<20} {:>14} {:>14} {:>14}",
+        "configuration", "makespan (s)", "longest (s)", "msg bytes"
+    );
+    for (i, e) in rec.estimates.iter().enumerate() {
+        let marker = if rec.recommended == Some(i) { "  <= recommended" } else { "" };
+        println!(
+            "{:<20} {:>14.1} {:>14.1} {:>14.2e}{marker}",
+            e.config.name, e.predicted_makespan, e.predicted_longest_query, e.predicted_message_bytes
+        );
+    }
+    match rec.recommended {
+        Some(i) => println!(
+            "\nbuy: {} ({} CPUs) — predicted to finish in {:.1}s",
+            rec.estimates[i].config.name,
+            rec.estimates[i].config.cpus,
+            rec.estimates[i].predicted_makespan
+        ),
+        None => println!("\nno candidate meets the deadline; consider a larger system"),
+    }
+}

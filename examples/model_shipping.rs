@@ -1,0 +1,55 @@
+//! The deployment flow of the paper's Fig. 1: the vendor trains
+//! per-configuration models on calibration workloads, serializes them,
+//! and ships them to customer sites — where predictions run with no
+//! training infrastructure at all.
+//!
+//! ```text
+//! cargo run --release --example model_shipping
+//! ```
+
+use qpp::core::model_io;
+use qpp::core::pipeline::collect_tpcds;
+use qpp::core::{KccaPredictor, PredictorOptions};
+use qpp::engine::{optimize, Catalog, SystemConfig};
+use qpp::workload::WorkloadGenerator;
+
+fn main() {
+    let model_path = std::env::temp_dir().join("qpp_neoview4_model.json");
+
+    // ---- Vendor site -------------------------------------------------
+    let config = SystemConfig::neoview_4();
+    println!("[vendor] calibrating on {} …", config.name);
+    let train = collect_tpcds(1200, 2025, &config, 4);
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+    model_io::save(&model, &model_path).expect("model serializes");
+    let bytes = std::fs::metadata(&model_path).unwrap().len();
+    println!(
+        "[vendor] shipped model to {} ({:.1} MiB)",
+        model_path.display(),
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // ---- Customer site -----------------------------------------------
+    // The customer loads the model and predicts performance for their
+    // own queries before running anything — even before buying the box.
+    let shipped = model_io::load(&model_path).expect("model loads");
+    println!(
+        "[customer] loaded model trained on {} queries",
+        shipped.training_size()
+    );
+
+    let mut generator = WorkloadGenerator::tpcds(1.0, 99_999);
+    let catalog = Catalog::new(generator.schema().clone());
+    println!("\n[customer] what-if: predicted runtimes for 5 planned queries");
+    for _ in 0..5 {
+        let q = generator.generate_one();
+        let plan = optimize(&q, &catalog, &config);
+        let p = shipped.predict(&q, &plan.plan).unwrap();
+        println!(
+            "  {:<34} predicted {:>9.1}s, {:>12.0} records used",
+            q.template, p.metrics.elapsed_seconds, p.metrics.records_used
+        );
+    }
+
+    std::fs::remove_file(&model_path).ok();
+}

@@ -1,0 +1,64 @@
+//! Quickstart: train a KCCA performance predictor and predict the six
+//! metrics of an unseen query from its optimizer plan alone.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qpp::core::pipeline::collect_tpcds;
+use qpp::core::{KccaPredictor, PredictorOptions, QueryCategory};
+use qpp::engine::{optimize, Catalog, PerfMetrics, SystemConfig};
+use qpp::workload::{sql, WorkloadGenerator};
+
+fn main() {
+    // 1. Calibration: run a training workload on the target system
+    //    (here: the simulated 4-processor machine) and keep each query's
+    //    optimizer plan together with its measured metrics.
+    let config = SystemConfig::neoview_4();
+    println!("collecting 1500 calibration queries on {} …", config.name);
+    let train = collect_tpcds(1500, 42, &config, 4);
+
+    // 2. Train the predictor: Gaussian-kernel KCCA over (plan features,
+    //    performance metrics), k-nearest-neighbor prediction in the
+    //    correlated projection space.
+    let model = KccaPredictor::train(&train, PredictorOptions::default())
+        .expect("training succeeds");
+    println!(
+        "trained on {} queries; top canonical correlations: {:.3} {:.3} {:.3}",
+        model.training_size(),
+        model.correlations()[0],
+        model.correlations()[1],
+        model.correlations()[2],
+    );
+
+    // 3. A new query arrives. All we need is its SQL → optimizer plan;
+    //    the query is never executed before prediction.
+    let mut generator = WorkloadGenerator::tpcds(1.0, 4242);
+    let query = generator.generate_one();
+    let catalog = Catalog::new(generator.schema().clone());
+    let optimized = optimize(&query, &catalog, &config);
+
+    println!("\nincoming query ({}):\n{}", query.template, sql::render(&query));
+    println!("\noptimizer plan:\n{}", optimized.plan.display_tree());
+
+    let prediction = model.predict(&query, &optimized.plan).expect("prediction");
+    println!("predicted metrics:");
+    for (name, value) in PerfMetrics::NAMES.iter().zip(prediction.metrics.to_vec()) {
+        println!("  {name:>18}: {value:.1}");
+    }
+    println!(
+        "  predicted class: {}",
+        QueryCategory::of(prediction.metrics.elapsed_seconds).name()
+    );
+    println!(
+        "  confidence: neighbor distance {:.3}, kernel similarity {:.3}",
+        prediction.confidence_distance, prediction.max_kernel_similarity
+    );
+
+    // 4. Ground truth for comparison (the simulator can actually run it).
+    let outcome = qpp::engine::execute(&query, &optimized, generator.schema(), &config);
+    println!(
+        "\nactual elapsed: {:.1}s (predicted {:.1}s)",
+        outcome.metrics.elapsed_seconds, prediction.metrics.elapsed_seconds
+    );
+}

@@ -1,0 +1,82 @@
+//! Workload management on top of predictions (paper §I): admission
+//! control, kill timeouts, and shortest-job-first scheduling so
+//! feathers never queue behind bowling balls.
+//!
+//! ```text
+//! cargo run --release --example workload_management
+//! ```
+
+use qpp::core::pipeline::collect_tpcds;
+use qpp::core::workload_mgmt::{
+    decide, predicted_serial_makespan, schedule_shortest_first, AdmissionDecision,
+    AdmissionPolicy,
+};
+use qpp::core::{KccaPredictor, PredictorOptions};
+use qpp::engine::SystemConfig;
+
+fn main() {
+    let config = SystemConfig::neoview_4();
+    println!("calibrating predictor …");
+    let train = collect_tpcds(1500, 7, &config, 4);
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+
+    // A fresh batch of queries submitted by users.
+    let batch = collect_tpcds(24, 901, &config, 4);
+    let predictions = model.predict_dataset(&batch).unwrap();
+
+    // Policy: nothing predicted over 30 minutes runs during the day, and
+    // unfamiliar queries need a human look first.
+    let policy = AdmissionPolicy {
+        max_elapsed_seconds: 30.0 * 60.0,
+        confidence_distance_threshold: 1.5,
+        kill_timeout_factor: 3.0,
+        ..AdmissionPolicy::default()
+    };
+
+    let mut admitted = Vec::new();
+    for (i, p) in predictions.iter().enumerate() {
+        let verdict = decide(&policy, p);
+        let actual = batch.records[i].metrics.elapsed_seconds;
+        match &verdict {
+            AdmissionDecision::Admit {
+                kill_timeout_seconds,
+            } => {
+                println!(
+                    "query {i:>2}: ADMIT   predicted {:>8.1}s (kill after {:>8.1}s, actual {:>8.1}s)",
+                    p.metrics.elapsed_seconds, kill_timeout_seconds, actual
+                );
+                admitted.push(i);
+            }
+            AdmissionDecision::Reject { reason } => {
+                println!("query {i:>2}: REJECT  {reason} (actual {actual:.1}s)");
+            }
+            AdmissionDecision::ReviewRequired {
+                confidence_distance,
+            } => {
+                println!(
+                    "query {i:>2}: REVIEW  unfamiliar query (neighbor distance {confidence_distance:.2}, actual {actual:.1}s)"
+                );
+            }
+        }
+    }
+
+    // Schedule the admitted queries shortest-predicted-first.
+    let admitted_preds: Vec<_> = admitted.iter().map(|&i| predictions[i].clone()).collect();
+    let order = schedule_shortest_first(&admitted_preds);
+    println!("\nSJF execution order (by predicted runtime):");
+    for pos in &order {
+        let batch_idx = admitted[*pos];
+        println!(
+            "  query {batch_idx:>2}: predicted {:>8.1}s",
+            admitted_preds[*pos].metrics.elapsed_seconds
+        );
+    }
+    println!(
+        "\npredicted batch makespan: {:.1}s (actual of admitted: {:.1}s)",
+        predicted_serial_makespan(&admitted_preds),
+        admitted
+            .iter()
+            .map(|&i| batch.records[i].metrics.elapsed_seconds)
+            .sum::<f64>()
+    );
+}

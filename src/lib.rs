@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the qpp workspace.
+pub use qpp_core as core;
+pub use qpp_engine as engine;
+pub use qpp_linalg as linalg;
+pub use qpp_mapreduce as mapreduce;
+pub use qpp_ml as ml;
+pub use qpp_workload as workload;

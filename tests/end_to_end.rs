@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: the full paper pipeline at a
+//! meaningful (but CI-friendly) scale.
+
+use qpp::core::baselines::{OptimizerCostModel, RegressionPredictor};
+use qpp::core::pipeline::{collect_tpcds, evaluate};
+use qpp::core::{
+    FeatureKind, KccaPredictor, PredictorOptions, QueryCategory, TwoStepPredictor,
+};
+use qpp::engine::SystemConfig;
+use qpp::ml::predictive_risk;
+
+/// Shared medium-scale pools (built once).
+fn pools() -> (qpp::core::Dataset, qpp::core::Dataset) {
+    let config = SystemConfig::neoview_4();
+    let all = collect_tpcds(8000, 20090401, &config, 4);
+    let (train_idx, test_idx) = all.sample_pools(
+        &[
+            (QueryCategory::Feather, 320),
+            (QueryCategory::GolfBall, 90),
+            (QueryCategory::BowlingBall, 12),
+        ],
+        &[
+            (QueryCategory::Feather, 30),
+            (QueryCategory::GolfBall, 6),
+            (QueryCategory::BowlingBall, 4),
+        ],
+        23,
+    );
+    (all.subset(&train_idx), all.subset(&test_idx))
+}
+
+#[test]
+fn kcca_beats_every_baseline_on_elapsed_time() {
+    let (train, test) = pools();
+    let actual = test.elapsed();
+
+    // The paper's model.
+    let kcca = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+    let kcca_preds: Vec<f64> = kcca
+        .predict_dataset(&test)
+        .unwrap()
+        .iter()
+        .map(|p| p.metrics.elapsed_seconds)
+        .collect();
+    let kcca_risk = predictive_risk(&kcca_preds, &actual);
+
+    // Baseline 1: SQL-text features (Fig. 8).
+    let sql_opts = PredictorOptions {
+        feature_kind: FeatureKind::SqlText,
+        ..PredictorOptions::default()
+    };
+    let sql_model = KccaPredictor::train(&train, sql_opts).unwrap();
+    let sql_preds: Vec<f64> = sql_model
+        .predict_dataset(&test)
+        .unwrap()
+        .iter()
+        .map(|p| p.metrics.elapsed_seconds)
+        .collect();
+    let sql_risk = predictive_risk(&sql_preds, &actual);
+
+    // Baseline 2: optimizer cost + best fit (Fig. 17).
+    let cost = OptimizerCostModel::train(&train).unwrap();
+    let cost_risk = predictive_risk(&cost.predict_dataset(&test), &actual);
+
+    // Baseline 3: OLS regression (Figs. 3-4), evaluated out of sample.
+    let reg = RegressionPredictor::train(&train, FeatureKind::QueryPlan).unwrap();
+    let reg_matrix = reg.predict_dataset(&test).unwrap();
+    let reg_preds: Vec<f64> = (0..reg_matrix.rows()).map(|i| reg_matrix[(i, 0)]).collect();
+    let reg_risk = predictive_risk(&reg_preds, &actual);
+
+    assert!(
+        kcca_risk > sql_risk,
+        "KCCA/plan ({kcca_risk:.3}) must beat SQL-text features ({sql_risk:.3})"
+    );
+    assert!(
+        kcca_risk > cost_risk,
+        "KCCA ({kcca_risk:.3}) must beat the optimizer cost fit ({cost_risk:.3})"
+    );
+    assert!(
+        kcca_risk > reg_risk,
+        "KCCA ({kcca_risk:.3}) must beat OLS regression ({reg_risk:.3})"
+    );
+    assert!(kcca_risk > 0.3, "KCCA risk {kcca_risk:.3} unexpectedly low");
+}
+
+#[test]
+fn kcca_predicts_all_six_metrics_simultaneously() {
+    let (train, test) = pools();
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+    let eval = evaluate(&model.predict_dataset(&test).unwrap(), &test);
+    // Every non-constant metric must beat the mean baseline from one
+    // model — the paper's "multiple metrics simultaneously" claim.
+    let mut positive = 0;
+    let mut total = 0;
+    for risk in eval.predictive_risk.iter().flatten() {
+        total += 1;
+        if *risk > 0.0 {
+            positive += 1;
+        }
+    }
+    assert!(total >= 5, "expected at least 5 non-constant metrics");
+    assert!(
+        positive >= total - 1,
+        "only {positive}/{total} metrics beat the mean baseline"
+    );
+    // Records used is the paper's best-predicted metric (0.98).
+    let used = eval.predictive_risk[5].unwrap();
+    assert!(used > 0.6, "records-used risk {used:.3}");
+}
+
+#[test]
+fn long_and_short_queries_both_identified() {
+    // The paper's workload-management motivation: the model must tell
+    // bowling balls from feathers before execution.
+    let (train, test) = pools();
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+    let mut correct = 0;
+    let mut total = 0;
+    for r in &test.records {
+        let p = model.predict(&r.spec, &r.optimized.plan).unwrap();
+        let predicted_long = p.metrics.elapsed_seconds >= QueryCategory::FEATHER_MAX;
+        let actually_long = r.category != QueryCategory::Feather;
+        total += 1;
+        if predicted_long == actually_long {
+            correct += 1;
+        }
+    }
+    assert!(
+        correct * 10 >= total * 8,
+        "only {correct}/{total} long/short classifications correct"
+    );
+}
+
+#[test]
+fn two_step_handles_every_test_category() {
+    let (train, test) = pools();
+    let model = TwoStepPredictor::train(&train, PredictorOptions::default()).unwrap();
+    for r in &test.records {
+        let p = model.predict(&r.spec, &r.optimized.plan).unwrap();
+        assert!(p.metrics.is_valid());
+    }
+    assert_eq!(model.specialist_categories().len(), 3);
+}
+
+#[test]
+fn predictions_use_compile_time_information_only() {
+    // Train on one dataset; predict queries that were never executed:
+    // only specs + plans are consulted.
+    let config = SystemConfig::neoview_4();
+    let train = collect_tpcds(400, 5, &config, 4);
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+
+    let mut generator = qpp::workload::WorkloadGenerator::tpcds(1.0, 31337);
+    let catalog = qpp::engine::Catalog::new(generator.schema().clone());
+    for q in generator.generate(20) {
+        let optimized = qpp::engine::optimize(&q, &catalog, &config);
+        let p = model.predict(&q, &optimized.plan).unwrap();
+        assert!(p.metrics.is_valid());
+        assert!(p.metrics.elapsed_seconds > 0.0);
+    }
+}
