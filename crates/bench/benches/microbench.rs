@@ -17,7 +17,9 @@ use qpp_core::pipeline::collect_tpcds;
 use qpp_core::{FeatureKind, KccaPredictor, PredictorOptions};
 use qpp_engine::{execute, optimize, Catalog, SystemConfig};
 use qpp_linalg::Matrix;
-use qpp_ml::{DistanceMetric, GaussianKernel, Kcca, KccaOptions, MetricRegression, NearestNeighbors};
+use qpp_ml::{
+    DistanceMetric, GaussianKernel, Kcca, KccaOptions, MetricRegression, NearestNeighbors,
+};
 use qpp_workload::WorkloadGenerator;
 use std::hint::black_box;
 use std::time::Duration;
@@ -103,7 +105,10 @@ fn bench_engine(c: &mut Criterion) {
             }
         })
     });
-    let optimized: Vec<_> = queries.iter().map(|q| optimize(q, &catalog, &cfg)).collect();
+    let optimized: Vec<_> = queries
+        .iter()
+        .map(|q| optimize(q, &catalog, &cfg))
+        .collect();
     g.bench_function("execute", |b| {
         b.iter(|| {
             for (q, o) in queries.iter().zip(optimized.iter()) {
@@ -151,14 +156,20 @@ fn bench_ablation(c: &mut Criterion) {
             o.kcca.y_kernel_fraction = 2.0;
             o
         }),
-        ("geometric_average", PredictorOptions {
-            log_space_average: true,
-            ..PredictorOptions::default()
-        }),
-        ("sql_text_features", PredictorOptions {
-            feature_kind: FeatureKind::SqlText,
-            ..PredictorOptions::default()
-        }),
+        (
+            "geometric_average",
+            PredictorOptions {
+                log_space_average: true,
+                ..PredictorOptions::default()
+            },
+        ),
+        (
+            "sql_text_features",
+            PredictorOptions {
+                feature_kind: FeatureKind::SqlText,
+                ..PredictorOptions::default()
+            },
+        ),
     ];
     for (label, opts) in variants {
         g.bench_function(label, |b| {

@@ -1,0 +1,137 @@
+//! Load generator for the online prediction service: drives qpp-serve
+//! with concurrent closed-loop producers and reports throughput,
+//! latency quantiles, batching efficiency, and shed load.
+//!
+//! ```text
+//! cargo run --release -p qpp-bench --bin loadgen
+//! cargo run --release -p qpp-bench --bin loadgen -- \
+//!     --requests 50000 --producers 16 --workers 8 --batch 32 \
+//!     --queue 256 --deadline-ms 2000
+//! ```
+
+use qpp_core::baselines::OptimizerCostModel;
+use qpp_core::pipeline::collect_tpcds;
+use qpp_core::{FeatureKind, KccaPredictor, PredictorOptions};
+use qpp_engine::SystemConfig;
+use qpp_serve::{
+    ModelKey, ModelRegistry, PredictRequest, PredictionService, ServeError, ServeOptions,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    requests: usize,
+    producers: usize,
+    workers: usize,
+    batch: usize,
+    queue: usize,
+    deadline: Duration,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 20_000,
+        producers: 8,
+        workers: 4,
+        batch: 16,
+        queue: 512,
+        deadline: Duration::from_secs(5),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> usize {
+            argv.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{} needs a numeric value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--requests" => args.requests = value(i),
+            "--producers" => args.producers = value(i).max(1),
+            "--workers" => args.workers = value(i),
+            "--batch" => args.batch = value(i).max(1),
+            "--queue" => args.queue = value(i).max(1),
+            "--deadline-ms" => args.deadline = Duration::from_millis(value(i) as u64),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let config = SystemConfig::neoview_4();
+    eprintln!("training serving model …");
+    let train = collect_tpcds(400, 31, &config, 4);
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+    let fallback = OptimizerCostModel::train(&train).unwrap();
+
+    let key = ModelKey::new(config.name.clone(), FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(key.clone(), model, fallback);
+
+    let service = Arc::new(PredictionService::start(
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            max_batch: args.batch,
+            ..ServeOptions::default()
+        },
+    ));
+
+    let live = collect_tpcds(200, 93, &config, 4);
+    let per_producer = args.requests.div_ceil(args.producers);
+    eprintln!(
+        "load: {} requests via {} producers -> {} workers (batch {}, queue {}, deadline {:?})",
+        per_producer * args.producers,
+        args.producers,
+        args.workers,
+        args.batch,
+        args.queue,
+        args.deadline,
+    );
+
+    let t0 = Instant::now();
+    let producers: Vec<_> = (0..args.producers)
+        .map(|p| {
+            let service = Arc::clone(&service);
+            let live = live.clone();
+            let key = key.clone();
+            let deadline = args.deadline;
+            std::thread::spawn(move || {
+                let mut shed = 0usize;
+                for i in 0..per_producer {
+                    let r = &live.records[(p * per_producer + i) % live.records.len()];
+                    let outcome = service.submit(PredictRequest {
+                        key: key.clone(),
+                        spec: r.spec.clone(),
+                        plan: r.optimized.plan.clone(),
+                        deadline,
+                    });
+                    match outcome {
+                        Ok(_) => {}
+                        Err(ServeError::QueueFull { .. }) => shed += 1,
+                        Err(e) => panic!("load generator hit {e}"),
+                    }
+                }
+                shed
+            })
+        })
+        .collect();
+
+    let shed: usize = producers.into_iter().map(|h| h.join().unwrap()).sum();
+    let wall = t0.elapsed();
+
+    let snap = service.stats();
+    println!("{snap}");
+    println!(
+        "wall {:.2}s | offered {} | answered {} | shed {} ({:.2}%)",
+        wall.as_secs_f64(),
+        per_producer * args.producers,
+        snap.completed + snap.fallbacks,
+        shed,
+        100.0 * shed as f64 / (per_producer * args.producers) as f64,
+    );
+}

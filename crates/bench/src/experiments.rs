@@ -19,8 +19,8 @@
 
 use crate::report::{hms, risk_cell, Report};
 use qpp_core::baselines::{OptimizerCostModel, PqrPredictor, RegressionPredictor};
-use qpp_core::feature_importance::{join_feature_share, rank_features};
 use qpp_core::categories::summarize_pools;
+use qpp_core::feature_importance::{join_feature_share, rank_features};
 use qpp_core::pipeline::{collect_tpcds, evaluate, Evaluation};
 use qpp_core::{
     Dataset, FeatureKind, KccaPredictor, PredictorOptions, QueryCategory, TwoStepPredictor,
@@ -133,7 +133,13 @@ fn scatter_summary(report: &mut Report, predicted: &[f64], actual: &[f64], unit:
     let rows: Vec<Vec<String>> = pairs
         .iter()
         .take(5)
-        .map(|(p, a)| vec![format!("{p:.2} {unit}"), format!("{a:.2} {unit}"), format!("{:.1}x", ratio(*p, *a))])
+        .map(|(p, a)| {
+            vec![
+                format!("{p:.2} {unit}"),
+                format!("{a:.2} {unit}"),
+                format!("{:.1}x", ratio(*p, *a)),
+            ]
+        })
         .collect();
     report.para("Widest misses (the plotted outliers):");
     report.table(&["predicted", "actual", "off by"], &rows);
@@ -147,7 +153,10 @@ fn ratio(p: f64, a: f64) -> f64 {
 
 /// Fig. 2 — query pools by category with elapsed-time statistics.
 pub fn fig2(ctx: &Context, report: &mut Report) -> ExperimentResult {
-    report.heading(2, "Fig. 2 — query pools (feather / golf ball / bowling ball)");
+    report.heading(
+        2,
+        "Fig. 2 — query pools (feather / golf ball / bowling ball)",
+    );
     report.para(&format!(
         "Pools drawn from {} generated TPC-DS-style queries executed in \
          single-query mode on the 4-processor system. Paper: feathers \
@@ -169,7 +178,13 @@ pub fn fig2(ctx: &Context, report: &mut Report) -> ExperimentResult {
         })
         .collect();
     report.table(
-        &["query type", "number of instances", "mean", "minimum", "maximum"],
+        &[
+            "query type",
+            "number of instances",
+            "mean",
+            "minimum",
+            "maximum",
+        ],
         &rows,
     );
     ExperimentResult {
@@ -184,8 +199,8 @@ pub fn fig2(ctx: &Context, report: &mut Report) -> ExperimentResult {
 
 /// Figs. 3 & 4 — the linear-regression baseline on the training set.
 pub fn fig3_fig4(ctx: &Context, report: &mut Report) -> ExperimentResult {
-    let model = RegressionPredictor::train(&ctx.train, FeatureKind::QueryPlan)
-        .expect("regression trains");
+    let model =
+        RegressionPredictor::train(&ctx.train, FeatureKind::QueryPlan).expect("regression trains");
     let preds = model.predict_dataset(&ctx.train).expect("predicts");
     let actual = ctx.train.performance_matrix();
 
@@ -208,7 +223,12 @@ pub fn fig3_fig4(ctx: &Context, report: &mut Report) -> ExperimentResult {
         ctx.train.len()
     ));
     report.table(
-        &["metric", "in-sample predictive risk", "negative predictions", "most negative"],
+        &[
+            "metric",
+            "in-sample predictive risk",
+            "negative predictions",
+            "most negative",
+        ],
         &[
             vec![
                 "elapsed time".into(),
@@ -291,7 +311,10 @@ pub fn table1(ctx: &Context, report: &mut Report) -> ExperimentResult {
             ..PredictorOptions::default()
         };
         let model = KccaPredictor::train(&ctx.train, opts).expect("trains");
-        let eval = evaluate(&model.predict_dataset(&ctx.test).expect("predicts"), &ctx.test);
+        let eval = evaluate(
+            &model.predict_dataset(&ctx.test).expect("predicts"),
+            &ctx.test,
+        );
         if metric == DistanceMetric::Euclidean {
             euclid_risk = eval.predictive_risk[0].unwrap_or(f64::NAN);
         } else {
@@ -322,7 +345,10 @@ pub fn table2(ctx: &Context, report: &mut Report) -> ExperimentResult {
             ..PredictorOptions::default()
         };
         let model = KccaPredictor::train(&ctx.train, opts).expect("trains");
-        let eval = evaluate(&model.predict_dataset(&ctx.test).expect("predicts"), &ctx.test);
+        let eval = evaluate(
+            &model.predict_dataset(&ctx.test).expect("predicts"),
+            &ctx.test,
+        );
         risks.push(eval.predictive_risk[0].unwrap_or(f64::NAN));
         rows.push(risks_row(&format!("{k}NN"), &eval));
     }
@@ -360,7 +386,10 @@ pub fn table3(ctx: &Context, report: &mut Report) -> ExperimentResult {
             ..PredictorOptions::default()
         };
         let model = KccaPredictor::train(&ctx.train, opts).expect("trains");
-        let eval = evaluate(&model.predict_dataset(&ctx.test).expect("predicts"), &ctx.test);
+        let eval = evaluate(
+            &model.predict_dataset(&ctx.test).expect("predicts"),
+            &ctx.test,
+        );
         risks.push(eval.predictive_risk[0].unwrap_or(f64::NAN));
         rows.push(risks_row(label, &eval));
     }
@@ -385,16 +414,14 @@ pub fn table3(ctx: &Context, report: &mut Report) -> ExperimentResult {
 
 /// Experiment 1 (Figs. 10–12) — the headline one-model KCCA result.
 pub fn experiment1(ctx: &Context, report: &mut Report) -> ExperimentResult {
-    let model =
-        KccaPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
+    let model = KccaPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
     let preds = model.predict_dataset(&ctx.test).expect("predicts");
     let eval = evaluate(&preds, &ctx.test);
 
     let pred_elapsed: Vec<f64> = preds.iter().map(|p| p.metrics.elapsed_seconds).collect();
     let actual_elapsed = ctx.test.elapsed();
     let risk = eval.predictive_risk[0].unwrap_or(f64::NAN);
-    let risk_minus_outlier =
-        predictive_risk_dropping_outliers(&pred_elapsed, &actual_elapsed, 1);
+    let risk_minus_outlier = predictive_risk_dropping_outliers(&pred_elapsed, &actual_elapsed, 1);
 
     report.heading(2, "Experiment 1 (Figs. 10–12) — one-model KCCA");
     report.para(&format!(
@@ -407,10 +434,7 @@ pub fn experiment1(ctx: &Context, report: &mut Report) -> ExperimentResult {
         ctx.train.len(),
         ctx.test.len()
     ));
-    report.table(
-        &metric_headers(),
-        &[risks_row("one-model KCCA", &eval)],
-    );
+    report.table(&metric_headers(), &[risks_row("one-model KCCA", &eval)]);
     report.para(&format!(
         "Elapsed-time risk dropping the worst outlier: **{risk_minus_outlier:.3}**. \
          Elapsed within 20% of actual: **{:.0}%**; within 2x: **{:.0}%**.",
@@ -479,8 +503,7 @@ pub fn experiment2(ctx: &Context, report: &mut Report) -> ExperimentResult {
 
 /// Experiment 3 (Fig. 14) — two-step prediction.
 pub fn experiment3(ctx: &Context, report: &mut Report) -> ExperimentResult {
-    let model =
-        TwoStepPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
+    let model = TwoStepPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
     let preds = model.predict_dataset(&ctx.test).expect("predicts");
     let eval = evaluate(&preds, &ctx.test);
     let risk = eval.predictive_risk[0].unwrap_or(f64::NAN);
@@ -528,16 +551,15 @@ pub fn experiment4(ctx: &Context, report: &mut Report) -> ExperimentResult {
                 over10 += 1;
             }
         }
-        (
-            (log_ratio_sum / preds.len() as f64).exp(),
-            worst,
-            over10,
-        )
+        ((log_ratio_sum / preds.len() as f64).exp(), worst, over10)
     };
     let (geo1, worst1, over10_1) = summarize(&p1);
     let (geo2, worst2, over10_2) = summarize(&p2);
 
-    report.heading(2, "Experiment 4 (Fig. 15) — different schema (customer queries)");
+    report.heading(
+        2,
+        "Experiment 4 (Fig. 15) — different schema (customer queries)",
+    );
     report.para(&format!(
         "Model trained on TPC-DS, tested on {} very short customer \
          queries against a different schema. Paper: one-model KCCA \
@@ -608,8 +630,7 @@ pub fn fig16(report: &mut Report) -> ExperimentResult {
         let test_idx: Vec<usize> = (197..280).collect();
         let train = ds.subset(&train_idx);
         let test = ds.subset(&test_idx);
-        let model =
-            KccaPredictor::train(&train, PredictorOptions::default()).expect("trains");
+        let model = KccaPredictor::train(&train, PredictorOptions::default()).expect("trains");
         let preds = model.predict_dataset(&test).expect("predicts");
         let eval = evaluate(&preds, &test);
         if eval.predictive_risk[1].is_none() {
@@ -711,18 +732,24 @@ pub fn pqr(ctx: &Context, report: &mut Report) -> ExperimentResult {
     // in the same bucket as the actual time?
     let kcca = KccaPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
     let bounds = PqrPredictor::default_bounds();
-    let bucket = |t: f64| bounds.iter().position(|&b| t < b).unwrap_or(bounds.len() - 1);
-    let kcca_bucket_acc = ctx
-        .test
-        .records
+    let bucket = |t: f64| {
+        bounds
+            .iter()
+            .position(|&b| t < b)
+            .unwrap_or(bounds.len() - 1)
+    };
+    let kcca_bucket_acc = kcca
+        .predict_dataset(&ctx.test)
+        .expect("predicts")
         .iter()
-        .filter(|r| {
-            let p = kcca.predict(&r.spec, &r.optimized.plan).unwrap();
-            bucket(p.metrics.elapsed_seconds) == bucket(r.metrics.elapsed_seconds)
-        })
+        .zip(ctx.test.records.iter())
+        .filter(|(p, r)| bucket(p.metrics.elapsed_seconds) == bucket(r.metrics.elapsed_seconds))
         .count() as f64
         / ctx.test.len() as f64;
-    report.heading(2, "Extension — PQR runtime-range baseline (related work §III)");
+    report.heading(
+        2,
+        "Extension — PQR runtime-range baseline (related work §III)",
+    );
     report.para(&format!(
         "PQR predicts only coarse elapsed-time *ranges* via a decision          tree over plan features, and no other metric. Measured range          accuracy over six log-spaced buckets: **{:.0}%**; the KCCA          point prediction lands in the correct bucket {:.0}% of the time          while additionally providing five more metrics and continuous          values.",
         accuracy * 100.0,
@@ -740,7 +767,10 @@ pub fn feature_importance(ctx: &Context, report: &mut Report) -> ExperimentResul
     let model = KccaPredictor::train(&ctx.train, PredictorOptions::default()).expect("trains");
     let ranking = rank_features(&model, &ctx.train, &ctx.test).expect("ranking");
     let share = join_feature_share(&ranking);
-    report.heading(2, "Extension — which plan features does the model key on? (§VII-C.2)");
+    report.heading(
+        2,
+        "Extension — which plan features does the model key on? (§VII-C.2)",
+    );
     report.para(&format!(
         "Per-feature agreement between test queries and their nearest          neighbors, relative to random training pairs (1.0 = neighbors          always agree exactly; 0 = no role). The paper's cursory finding          was that join-operator counts and cardinalities contribute the          most; here join-family features carry **{:.0}%** of the total          positive importance.",
         share * 100.0
@@ -758,7 +788,12 @@ pub fn feature_importance(ctx: &Context, report: &mut Report) -> ExperimentResul
         })
         .collect();
     report.table(
-        &["feature", "importance", "neighbor disagreement", "chance disagreement"],
+        &[
+            "feature",
+            "importance",
+            "neighbor disagreement",
+            "chance disagreement",
+        ],
         &rows,
     );
     ExperimentResult {

@@ -161,7 +161,11 @@ impl PqrPredictor {
         let f = query_features(self.feature_kind, spec, plan);
         let class = self.tree.predict(&f);
         let hi = self.bounds[class.min(self.bounds.len() - 1)];
-        let lo = if class == 0 { 0.0 } else { self.bounds[class - 1] };
+        let lo = if class == 0 {
+            0.0
+        } else {
+            self.bounds[class - 1]
+        };
         (lo, hi)
     }
 
@@ -207,7 +211,9 @@ mod tests {
     fn regression_trains_and_predicts() {
         let d = dataset(120, 31);
         let m = RegressionPredictor::train(&d, FeatureKind::QueryPlan).unwrap();
-        let p = m.predict(&d.records[0].spec, &d.records[0].optimized.plan).unwrap();
+        let p = m
+            .predict(&d.records[0].spec, &d.records[0].optimized.plan)
+            .unwrap();
         assert_eq!(p.len(), PerfMetrics::DIM);
         assert!(p.iter().all(|v| v.is_finite()));
     }
@@ -262,8 +268,12 @@ mod tests {
     fn pqr_predicts_ranges_better_than_chance() {
         let train = dataset(400, 39);
         let test = dataset(80, 40);
-        let m = PqrPredictor::train(&train, FeatureKind::QueryPlan, PqrPredictor::default_bounds())
-            .unwrap();
+        let m = PqrPredictor::train(
+            &train,
+            FeatureKind::QueryPlan,
+            PqrPredictor::default_bounds(),
+        )
+        .unwrap();
         let acc = m.range_accuracy(&test);
         // Six buckets; chance would be well under 40%.
         assert!(acc > 0.4, "range accuracy {acc}");

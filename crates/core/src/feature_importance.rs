@@ -165,7 +165,11 @@ mod tests {
         }
         // Neighbors must agree more than chance on at least some
         // features — otherwise the projection is not keying on anything.
-        assert!(ranking[0].importance > 0.2, "top importance {}", ranking[0].importance);
+        assert!(
+            ranking[0].importance > 0.2,
+            "top importance {}",
+            ranking[0].importance
+        );
     }
 
     #[test]

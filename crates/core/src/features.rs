@@ -115,9 +115,7 @@ mod tests {
         // FileScan count matches plan.
         let fs = OpKind::FileScan.index();
         assert_eq!(f.counts[fs] as usize, plan.count(OpKind::FileScan));
-        assert!(
-            (f.cardinality_sums[fs] - plan.cardinality_sum(OpKind::FileScan)).abs() < 1e-9
-        );
+        assert!((f.cardinality_sums[fs] - plan.cardinality_sum(OpKind::FileScan)).abs() < 1e-9);
     }
 
     #[test]

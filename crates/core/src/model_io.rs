@@ -5,9 +5,14 @@
 
 use crate::predictor::KccaPredictor;
 use crate::two_step::TwoStepPredictor;
+use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
 use std::path::Path;
+
+/// Format version written by this build. Bump on any incompatible
+/// change to the serialized model layout.
+pub const FORMAT_VERSION: u32 = 1;
 
 /// Errors from model (de)serialization.
 #[derive(Debug)]
@@ -16,6 +21,21 @@ pub enum ModelIoError {
     Io(io::Error),
     /// JSON encoding/decoding error.
     Json(serde_json::Error),
+    /// The file declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The payload does not match its recorded checksum (corruption or
+    /// truncation in transit).
+    ChecksumMismatch {
+        /// Checksum recorded in the envelope.
+        recorded: String,
+        /// Checksum computed from the payload actually read.
+        computed: String,
+    },
 }
 
 impl std::fmt::Display for ModelIoError {
@@ -23,6 +43,14 @@ impl std::fmt::Display for ModelIoError {
         match self {
             ModelIoError::Io(e) => write!(f, "model io: {e}"),
             ModelIoError::Json(e) => write!(f, "model json: {e}"),
+            ModelIoError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "model format version {found} not supported (this build reads version {supported})"
+            ),
+            ModelIoError::ChecksumMismatch { recorded, computed } => write!(
+                f,
+                "model payload checksum mismatch: envelope records {recorded}, payload hashes to {computed}"
+            ),
         }
     }
 }
@@ -41,14 +69,69 @@ impl From<serde_json::Error> for ModelIoError {
     }
 }
 
-/// Serializes a one-model predictor to JSON.
-pub fn to_json(model: &KccaPredictor) -> Result<String, ModelIoError> {
-    Ok(serde_json::to_string(model)?)
+/// The on-disk wrapper: version + payload checksum + the model JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Envelope {
+    /// Serialized-format version; see [`FORMAT_VERSION`].
+    format_version: u32,
+    /// `fnv1a64:<hex>` digest of the payload string's UTF-8 bytes.
+    checksum: String,
+    /// The model itself, as a nested JSON document.
+    payload: String,
 }
 
-/// Deserializes a one-model predictor from JSON.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn digest(payload: &str) -> String {
+    format!("fnv1a64:{:016x}", fnv1a64(payload.as_bytes()))
+}
+
+/// Wraps serialized model JSON in the versioned, checksummed envelope.
+fn seal(payload: String) -> Result<String, ModelIoError> {
+    let envelope = Envelope {
+        format_version: FORMAT_VERSION,
+        checksum: digest(&payload),
+        payload,
+    };
+    Ok(serde_json::to_string(&envelope)?)
+}
+
+/// Parses an envelope, verifying version then checksum, and returns the
+/// inner payload.
+fn open(json: &str) -> Result<String, ModelIoError> {
+    let envelope: Envelope = serde_json::from_str(json)?;
+    if envelope.format_version != FORMAT_VERSION {
+        return Err(ModelIoError::UnsupportedVersion {
+            found: envelope.format_version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let computed = digest(&envelope.payload);
+    if computed != envelope.checksum {
+        return Err(ModelIoError::ChecksumMismatch {
+            recorded: envelope.checksum,
+            computed,
+        });
+    }
+    Ok(envelope.payload)
+}
+
+/// Serializes a one-model predictor to versioned, checksummed JSON.
+pub fn to_json(model: &KccaPredictor) -> Result<String, ModelIoError> {
+    seal(serde_json::to_string(model)?)
+}
+
+/// Deserializes a one-model predictor, verifying format version and
+/// payload checksum first.
 pub fn from_json(json: &str) -> Result<KccaPredictor, ModelIoError> {
-    Ok(serde_json::from_str(json)?)
+    Ok(serde_json::from_str(&open(json)?)?)
 }
 
 /// Writes a one-model predictor to a file.
@@ -62,15 +145,25 @@ pub fn load(path: impl AsRef<Path>) -> Result<KccaPredictor, ModelIoError> {
     from_json(&fs::read_to_string(path)?)
 }
 
+/// Serializes a two-step predictor to versioned, checksummed JSON.
+pub fn two_step_to_json(model: &TwoStepPredictor) -> Result<String, ModelIoError> {
+    seal(serde_json::to_string(model)?)
+}
+
+/// Deserializes a two-step predictor, verifying version and checksum.
+pub fn two_step_from_json(json: &str) -> Result<TwoStepPredictor, ModelIoError> {
+    Ok(serde_json::from_str(&open(json)?)?)
+}
+
 /// Writes a two-step predictor to a file.
 pub fn save_two_step(model: &TwoStepPredictor, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
-    fs::write(path, serde_json::to_string(model)?)?;
+    fs::write(path, two_step_to_json(model)?)?;
     Ok(())
 }
 
 /// Loads a two-step predictor from a file.
 pub fn load_two_step(path: impl AsRef<Path>) -> Result<TwoStepPredictor, ModelIoError> {
-    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+    two_step_from_json(&fs::read_to_string(path)?)
 }
 
 #[cfg(test)]
@@ -117,5 +210,63 @@ mod tests {
     #[test]
     fn corrupt_json_errors() {
         assert!(matches!(from_json("{not json"), Err(ModelIoError::Json(_))));
+    }
+
+    #[test]
+    fn envelope_records_current_version() {
+        let (m, _) = model();
+        let json = to_json(&m).unwrap();
+        assert!(json.contains("\"format_version\":1"));
+        assert!(json.contains("fnv1a64:"));
+    }
+
+    #[test]
+    fn future_version_rejected_with_typed_error() {
+        let (m, _) = model();
+        let json = to_json(&m).unwrap();
+        let bumped = json.replace("\"format_version\":1", "\"format_version\":99");
+        match from_json(&bumped) {
+            Err(ModelIoError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let (m, _) = model();
+        let json = to_json(&m).unwrap();
+        // Flip one digit inside the payload without breaking JSON syntax.
+        let idx = json.find("\"payload\"").unwrap();
+        let corrupt_at = json[idx..]
+            .char_indices()
+            .find(|(_, c)| c.is_ascii_digit())
+            .map(|(i, _)| idx + i)
+            .unwrap();
+        let mut bytes = json.into_bytes();
+        bytes[corrupt_at] = if bytes[corrupt_at] == b'9' {
+            b'8'
+        } else {
+            b'9'
+        };
+        let corrupted = String::from_utf8(bytes).unwrap();
+        assert!(matches!(
+            from_json(&corrupted),
+            Err(ModelIoError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn two_step_round_trips_through_envelope() {
+        let (_, d) = model();
+        let two = TwoStepPredictor::train(&d, PredictorOptions::default()).unwrap();
+        let json = two_step_to_json(&two).unwrap();
+        let back = two_step_from_json(&json).unwrap();
+        let r = &d.records[2];
+        let a = two.predict(&r.spec, &r.optimized.plan).unwrap();
+        let b = back.predict(&r.spec, &r.optimized.plan).unwrap();
+        assert_eq!(a.metrics, b.metrics);
     }
 }

@@ -24,12 +24,19 @@ pub struct Evaluation {
 
 /// Evaluates predictions against a test dataset.
 pub fn evaluate(predictions: &[Prediction], test: &Dataset) -> Evaluation {
-    assert_eq!(predictions.len(), test.len(), "prediction/test size mismatch");
+    assert_eq!(
+        predictions.len(),
+        test.len(),
+        "prediction/test size mismatch"
+    );
     let actual = test.performance_matrix();
     let mut risks = Vec::with_capacity(PerfMetrics::DIM);
     for m in 0..PerfMetrics::DIM {
         let a: Vec<f64> = actual.col(m);
-        let p: Vec<f64> = predictions.iter().map(|pr| pr.metrics.to_vec()[m]).collect();
+        let p: Vec<f64> = predictions
+            .iter()
+            .map(|pr| pr.metrics.to_vec()[m])
+            .collect();
         let mean = a.iter().sum::<f64>() / a.len().max(1) as f64;
         let variance: f64 = a.iter().map(|v| (v - mean) * (v - mean)).sum();
         if variance <= 1e-12 {

@@ -15,9 +15,7 @@ use crate::dataset::Dataset;
 use crate::features::{query_features, FeatureKind};
 use qpp_engine::{PerfMetrics, Plan};
 use qpp_linalg::{stats::Standardizer, LinalgError, Matrix};
-use qpp_ml::{
-    DistanceMetric, Kcca, KccaOptions, NearestNeighbors, NeighborWeighting,
-};
+use qpp_ml::{DistanceMetric, Kcca, KccaOptions, NearestNeighbors, NeighborWeighting};
 use qpp_workload::QuerySpec;
 use serde::{Deserialize, Serialize};
 
@@ -142,6 +140,31 @@ impl KccaPredictor {
         let scaled = self.scaler.transform_row(features);
         let (projected, max_kernel_similarity) =
             self.kcca.project_query_with_similarity(&scaled)?;
+        Ok(self.finish_prediction(projected, max_kernel_similarity))
+    }
+
+    /// Predicts a batch of raw query feature vectors in one pass.
+    ///
+    /// Entry `i` is bitwise identical to
+    /// `self.predict_features(&rows[i])`: both paths execute the same
+    /// per-row floating-point operations in the same order, the batch
+    /// path merely amortizes buffer allocations across queries (see
+    /// `Kcca::project_queries_with_similarity`).
+    pub fn predict_features_batch(
+        &self,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<Prediction>, LinalgError> {
+        let scaled: Vec<Vec<f64>> = rows.iter().map(|r| self.scaler.transform_row(r)).collect();
+        let projections = self.kcca.project_queries_with_similarity(&scaled)?;
+        Ok(projections
+            .into_iter()
+            .map(|(projected, similarity)| self.finish_prediction(projected, similarity))
+            .collect())
+    }
+
+    /// Shared tail of single and batched prediction: kNN combine in
+    /// projection space plus the confidence signals.
+    fn finish_prediction(&self, projected: Vec<f64>, max_kernel_similarity: f64) -> Prediction {
         let targets = if self.options.log_space_average {
             &self.log_performance
         } else {
@@ -163,12 +186,12 @@ impl KccaPredictor {
         } else {
             found.iter().map(|n| n.distance).sum::<f64>() / found.len() as f64
         };
-        Ok(Prediction {
+        Prediction {
             metrics: PerfMetrics::from_vec(&combined),
             neighbor_indices: found.iter().map(|n| n.index).collect(),
             confidence_distance,
             max_kernel_similarity,
-        })
+        }
     }
 
     /// Predicts for a query given its optimizer plan — the compile-time
@@ -178,13 +201,29 @@ impl KccaPredictor {
         self.predict_features(&features)
     }
 
-    /// Predicts every record of a dataset (e.g. a held-out test set).
+    /// Predicts a batch of queries in one pass (micro-batched serving
+    /// and the experiment hot loops). Results are bitwise identical to
+    /// per-query [`KccaPredictor::predict`] calls in the same order.
+    pub fn predict_batch(
+        &self,
+        queries: &[(&QuerySpec, &Plan)],
+    ) -> Result<Vec<Prediction>, LinalgError> {
+        let features: Vec<Vec<f64>> = queries
+            .iter()
+            .map(|(spec, plan)| query_features(self.options.feature_kind, spec, plan))
+            .collect();
+        self.predict_features_batch(&features)
+    }
+
+    /// Predicts every record of a dataset (e.g. a held-out test set)
+    /// through the batched path.
     pub fn predict_dataset(&self, dataset: &Dataset) -> Result<Vec<Prediction>, LinalgError> {
-        dataset
+        let queries: Vec<(&QuerySpec, &Plan)> = dataset
             .records
             .iter()
-            .map(|r| self.predict(&r.spec, &r.optimized.plan))
-            .collect()
+            .map(|r| (&r.spec, &r.optimized.plan))
+            .collect();
+        self.predict_batch(&queries)
     }
 }
 
@@ -280,6 +319,47 @@ mod tests {
         );
         assert!(p_out.is_anomalous(f64::INFINITY, 1e-3));
         assert!(!p_in.is_anomalous(f64::INFINITY, 1e-3));
+    }
+
+    #[test]
+    fn batch_prediction_bitwise_matches_single() {
+        let train = dataset(120, 13);
+        let test = dataset(40, 14);
+        for log_space_average in [false, true] {
+            let opts = PredictorOptions {
+                log_space_average,
+                ..PredictorOptions::default()
+            };
+            let model = KccaPredictor::train(&train, opts).unwrap();
+            let singles: Vec<Prediction> = test
+                .records
+                .iter()
+                .map(|r| model.predict(&r.spec, &r.optimized.plan).unwrap())
+                .collect();
+            let queries: Vec<_> = test
+                .records
+                .iter()
+                .map(|r| (&r.spec, &r.optimized.plan))
+                .collect();
+            let batched = model.predict_batch(&queries).unwrap();
+            assert_eq!(singles.len(), batched.len());
+            for (s, b) in singles.iter().zip(batched.iter()) {
+                // Bitwise, not approximate: the batched path must run
+                // the identical FP operations in the identical order.
+                for (x, y) in s.metrics.to_vec().iter().zip(b.metrics.to_vec().iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                assert_eq!(s.neighbor_indices, b.neighbor_indices);
+                assert_eq!(
+                    s.confidence_distance.to_bits(),
+                    b.confidence_distance.to_bits()
+                );
+                assert_eq!(
+                    s.max_kernel_similarity.to_bits(),
+                    b.max_kernel_similarity.to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -101,12 +101,8 @@ mod tests {
     fn window_evicts_oldest_and_retrains() {
         let seed_data = dataset(40, 71);
         let more = dataset(30, 72);
-        let mut sw = SlidingWindowPredictor::new(
-            seed_data.clone(),
-            50,
-            10,
-            PredictorOptions::default(),
-        );
+        let mut sw =
+            SlidingWindowPredictor::new(seed_data.clone(), 50, 10, PredictorOptions::default());
         sw.retrain().unwrap();
         assert!(sw.model().is_some());
         let before = sw.model().unwrap().training_size();

@@ -171,12 +171,19 @@ mod tests {
         };
         let mut p = prediction(10.0, 0.1);
         p.metrics.disk_ios = 500.0;
-        assert!(matches!(decide(&policy, &p), AdmissionDecision::Reject { .. }));
+        assert!(matches!(
+            decide(&policy, &p),
+            AdmissionDecision::Reject { .. }
+        ));
     }
 
     #[test]
     fn sjf_orders_by_predicted_time() {
-        let preds = vec![prediction(50.0, 0.1), prediction(5.0, 0.1), prediction(500.0, 0.1)];
+        let preds = vec![
+            prediction(50.0, 0.1),
+            prediction(5.0, 0.1),
+            prediction(500.0, 0.1),
+        ];
         assert_eq!(schedule_shortest_first(&preds), vec![1, 0, 2]);
         assert!((predicted_serial_makespan(&preds) - 555.0).abs() < 1e-9);
     }

@@ -29,17 +29,41 @@ fn main() {
         println!("{name:>22}: {c:5}  ({:.1}%)", 100.0 * c as f64 / n as f64);
     }
     times.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    println!("\nmin {:.3}s  median {:.1}s  p90 {:.1}s  p99 {:.1}s  max {:.1}s",
-        times[0].0, times[n / 2].0, times[n * 9 / 10].0, times[n * 99 / 100].0, times[n - 1].0);
+    println!(
+        "\nmin {:.3}s  median {:.1}s  p90 {:.1}s  p99 {:.1}s  max {:.1}s",
+        times[0].0,
+        times[n / 2].0,
+        times[n * 9 / 10].0,
+        times[n * 99 / 100].0,
+        times[n - 1].0
+    );
     println!("\nslowest 10:");
     for (t, tpl) in times.iter().rev().take(10) {
         println!("  {:>10.1}s  {tpl}", t);
     }
     // Per-class medians.
-    for class in ["tpcds_report", "tpcds_adhoc", "tpcds_sales", "tpcds_cross", "problem"] {
-        let mut v: Vec<f64> = times.iter().filter(|(_, t)| t.starts_with(class)).map(|(t, _)| *t).collect();
-        if v.is_empty() { continue; }
+    for class in [
+        "tpcds_report",
+        "tpcds_adhoc",
+        "tpcds_sales",
+        "tpcds_cross",
+        "problem",
+    ] {
+        let mut v: Vec<f64> = times
+            .iter()
+            .filter(|(_, t)| t.starts_with(class))
+            .map(|(t, _)| *t)
+            .collect();
+        if v.is_empty() {
+            continue;
+        }
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        println!("{class:>14}: n={:4} median {:.1}s p90 {:.1}s max {:.1}s", v.len(), v[v.len()/2], v[v.len()*9/10], v[v.len()-1]);
+        println!(
+            "{class:>14}: n={:4} median {:.1}s p90 {:.1}s max {:.1}s",
+            v.len(),
+            v[v.len() / 2],
+            v[v.len() * 9 / 10],
+            v[v.len() - 1]
+        );
     }
 }

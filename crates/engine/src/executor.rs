@@ -93,9 +93,7 @@ pub fn execute(
                 let table_name = node.table.as_deref().unwrap_or("");
                 let table_rows = schema.rows(table_name) as f64;
                 let (accessed, used) = match opt.annotations[i] {
-                    Some(Annotation::Scan { spec_table }) => {
-                        scan_truth(q, spec_table, table_rows)
-                    }
+                    Some(Annotation::Scan { spec_table }) => scan_truth(q, spec_table, table_rows),
                     // Subquery inner scans carry no pushed predicates.
                     _ => (table_rows, table_rows),
                 };
@@ -202,8 +200,7 @@ pub fn execute(
 
         if net_bytes_here > 0.0 {
             msg_bytes += net_bytes_here;
-            msg_count +=
-                cpus * cpus + (net_bytes_here / config.message_unit as f64).ceil();
+            msg_count += cpus * cpus + (net_bytes_here / config.message_unit as f64).ceil();
         }
         disk_bytes += io_bytes;
 
@@ -239,8 +236,8 @@ fn scan_truth(q: &QuerySpec, spec_table: usize, table_rows: f64) -> (f64, f64) {
     let mut used_frac = 1.0;
     for p in q.predicates.iter().filter(|p| p.table == spec_table) {
         used_frac *= p.true_selectivity;
-        let prunes = matches!(p.op, PredOp::Range { .. })
-            && Some(p.column.as_str()) == leading.as_deref();
+        let prunes =
+            matches!(p.op, PredOp::Range { .. }) && Some(p.column.as_str()) == leading.as_deref();
         if prunes {
             accessed_frac *= p.true_selectivity;
         }
@@ -417,7 +414,10 @@ mod tests {
         };
         let t4 = total_for(4);
         let t32 = total_for(32);
-        assert!(t32 < t4, "32 cpus ({t32:.1}s) should beat 4 cpus ({t4:.1}s)");
+        assert!(
+            t32 < t4,
+            "32 cpus ({t32:.1}s) should beat 4 cpus ({t4:.1}s)"
+        );
     }
 
     #[test]

@@ -175,13 +175,7 @@ impl<'a> Builder<'a> {
 
     /// Joins `outer` with the scanned table `inner_idx` along spec edge
     /// `edge_idx`.
-    fn join(
-        &mut self,
-        q: &QuerySpec,
-        outer: Stream,
-        inner_idx: usize,
-        edge_idx: usize,
-    ) -> Stream {
+    fn join(&mut self, q: &QuerySpec, outer: Stream, inner_idx: usize, edge_idx: usize) -> Stream {
         let edge = &q.joins[edge_idx];
         let mut inner = self.scan(q, inner_idx);
         let ltab = &q.tables[edge.left];
@@ -195,8 +189,8 @@ impl<'a> Builder<'a> {
 
         // NLJ threshold: how many inner rows we are willing to broadcast
         // and loop over. Scales with memory per CPU.
-        let nlj_threshold =
-            2000.0 * (self.config.mem_per_cpu as f64 / (2.0 * 1024.0 * 1024.0 * 1024.0)).clamp(0.05, 4.0);
+        let nlj_threshold = 2000.0
+            * (self.config.mem_per_cpu as f64 / (2.0 * 1024.0 * 1024.0 * 1024.0)).clamp(0.05, 4.0);
 
         let (kind, est_out, op_cost) = match edge.kind {
             JoinKind::Equi => {
@@ -235,9 +229,7 @@ impl<'a> Builder<'a> {
             }
         };
         let mut outer = outer;
-        if kind == OpKind::HashJoin
-            && outer.partition_key.as_deref() != Some(lcol.as_str())
-        {
+        if kind == OpKind::HashJoin && outer.partition_key.as_deref() != Some(lcol.as_str()) {
             outer = self.exchange(outer, Some(lcol.clone()));
         }
         let width = (outer.width + inner.width) * 0.7;
@@ -470,7 +462,13 @@ pub fn optimize(q: &QuerySpec, catalog: &Catalog, config: &SystemConfig) -> Opti
     // leaves 10-100x residuals while plan ranking still works.
     let shape: String = OpKind::ALL
         .iter()
-        .map(|k| format!("{}:{};", k.name(), b.nodes.iter().filter(|n| n.kind == *k).count()))
+        .map(|k| {
+            format!(
+                "{}:{};",
+                k.name(),
+                b.nodes.iter().filter(|n| n.kind == *k).count()
+            )
+        })
         .collect();
     let warp = 10f64.powf(0.4 * qpp_workload::world::hashed_normal(&[&shape, "cost_units"], 0));
     let plan = Plan {

@@ -101,7 +101,11 @@ impl SymmetricEigen {
         // Extract and sort descending.
         let mut order: Vec<usize> = (0..n).collect();
         let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-        order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            diag[b]
+                .partial_cmp(&diag[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
         let mut vectors = Matrix::zeros(n, n);
         for (dst, &src) in order.iter().enumerate() {

@@ -58,7 +58,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations"
+            ),
             LinalgError::Empty(what) => write!(f, "empty input: {what}"),
         }
     }

@@ -82,7 +82,12 @@ impl IncompleteCholesky {
                     p = i;
                 }
             }
-            let remaining: f64 = d.iter().zip(selected.iter()).filter(|(_, &s)| !s).map(|(v, _)| v.max(0.0)).sum();
+            let remaining: f64 = d
+                .iter()
+                .zip(selected.iter())
+                .filter(|(_, &s)| !s)
+                .map(|(v, _)| v.max(0.0))
+                .sum();
             if p == usize::MAX || best <= 0.0 || (t > 0 && remaining <= tol) {
                 break;
             }
@@ -292,12 +297,9 @@ mod tests {
     fn pivot_block_is_triangular() {
         let pts = gaussian_points();
         let n = pts.len();
-        let icd = IncompleteCholesky::factor(
-            n,
-            |i, j| kernel(&pts[i], &pts[j]),
-            IcdOptions::default(),
-        )
-        .unwrap();
+        let icd =
+            IncompleteCholesky::factor(n, |i, j| kernel(&pts[i], &pts[j]), IcdOptions::default())
+                .unwrap();
         for (t, &p) in icd.pivots().iter().enumerate() {
             for s in (t + 1)..icd.rank() {
                 assert!(icd.g()[(p, s)].abs() < 1e-10);

@@ -36,6 +36,6 @@ pub use cholesky::Cholesky;
 pub use eigen::SymmetricEigen;
 pub use error::{LinalgError, Result};
 pub use geneig::GeneralizedEigen;
-pub use icd::{IncompleteCholesky, IcdOptions};
+pub use icd::{IcdOptions, IncompleteCholesky};
 pub use matrix::Matrix;
 pub use qr::{LeastSquares, QrDecomposition};

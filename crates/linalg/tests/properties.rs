@@ -1,7 +1,10 @@
 //! Property-based tests over the linear-algebra substrate.
 
 use proptest::prelude::*;
-use qpp_linalg::{Cholesky, GeneralizedEigen, IncompleteCholesky, IcdOptions, LeastSquares, Matrix, QrDecomposition, SymmetricEigen};
+use qpp_linalg::{
+    Cholesky, GeneralizedEigen, IcdOptions, IncompleteCholesky, LeastSquares, Matrix,
+    QrDecomposition, SymmetricEigen,
+};
 
 const DIM: usize = 5;
 

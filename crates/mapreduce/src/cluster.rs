@@ -76,7 +76,9 @@ pub fn run(job: &JobSpec, cluster: &ClusterConfig) -> JobOutcome {
 
     // Map phase: waves of tasks over the available slots; the last wave
     // may be mostly idle (the classic wave effect).
-    let map_waves = (job.map_tasks as f64 / cluster.map_slots as f64).ceil().max(1.0);
+    let map_waves = (job.map_tasks as f64 / cluster.map_slots as f64)
+        .ceil()
+        .max(1.0);
     let bytes_per_map = job.input_bytes / job.map_tasks.max(1) as f64;
     let map_task_secs = bytes_per_map * cpu_mult / cluster.slot_bytes_per_sec;
     let map_secs = map_waves * map_task_secs;

@@ -20,4 +20,4 @@ pub mod predictor;
 
 pub use cluster::ClusterConfig;
 pub use job::{JobOutcome, JobSpec, JobTemplate};
-pub use predictor::{JobPredictor, JobPrediction};
+pub use predictor::{JobPrediction, JobPredictor};

@@ -186,7 +186,15 @@ mod tests {
     #[test]
     fn recovers_shared_latent_direction() {
         let (x, y) = correlated_data(200, 1);
-        let cca = Cca::fit(&x, &y, CcaOptions { components: 2, regularization: 1e-4 }).unwrap();
+        let cca = Cca::fit(
+            &x,
+            &y,
+            CcaOptions {
+                components: 2,
+                regularization: 1e-4,
+            },
+        )
+        .unwrap();
         assert!(
             cca.correlations[0] > 0.95,
             "top correlation {}",
@@ -216,7 +224,15 @@ mod tests {
     #[test]
     fn components_capped_by_dimensions() {
         let (x, y) = correlated_data(50, 5);
-        let cca = Cca::fit(&x, &y, CcaOptions { components: 10, regularization: 1e-3 }).unwrap();
+        let cca = Cca::fit(
+            &x,
+            &y,
+            CcaOptions {
+                components: 10,
+                regularization: 1e-3,
+            },
+        )
+        .unwrap();
         assert_eq!(cca.components(), 2); // min(3, 2)
     }
 

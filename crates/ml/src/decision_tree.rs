@@ -78,7 +78,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold { left } else { right };
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -188,8 +192,8 @@ fn build(
             if ln == 0 || rn == 0 {
                 continue;
             }
-            let score = (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn))
-                / indices.len() as f64;
+            let score =
+                (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / indices.len() as f64;
             let balance = (ln.min(rn)) as f64 / indices.len() as f64;
             let better = match best {
                 None => true,
@@ -212,9 +216,8 @@ fn build(
     if score > parent_gini + 1e-12 {
         return leaf;
     }
-    let (li, ri): (Vec<usize>, Vec<usize>) = indices
-        .iter()
-        .partition(|&&i| x[(i, feature)] <= threshold);
+    let (li, ri): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| x[(i, feature)] <= threshold);
     Node::Split {
         feature,
         threshold,

@@ -172,13 +172,41 @@ impl Kcca {
         &self,
         features: &[f64],
     ) -> Result<(Vec<f64>, f64), LinalgError> {
-        let k_row: Vec<f64> = self
-            .x_pivots
-            .row_iter()
-            .map(|p| self.x_kernel.eval(features, p))
-            .collect();
+        let mut k_row = Vec::with_capacity(self.x_pivots.rows());
+        self.project_into(features, &mut k_row)
+    }
+
+    /// Projects a batch of query feature vectors, amortizing the
+    /// kernel-row buffer across queries.
+    ///
+    /// Row `i` of the result is exactly what
+    /// [`Kcca::project_query_with_similarity`] returns for `rows[i]` —
+    /// both paths run the identical per-row floating-point operations
+    /// in the identical order, so results are bitwise equal.
+    pub fn project_queries_with_similarity(
+        &self,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<(Vec<f64>, f64)>, LinalgError> {
+        let mut k_row = Vec::with_capacity(self.x_pivots.rows());
+        rows.iter()
+            .map(|features| self.project_into(features, &mut k_row))
+            .collect()
+    }
+
+    /// Shared per-row projection; `k_row` is a scratch buffer.
+    fn project_into(
+        &self,
+        features: &[f64],
+        k_row: &mut Vec<f64>,
+    ) -> Result<(Vec<f64>, f64), LinalgError> {
+        k_row.clear();
+        k_row.extend(
+            self.x_pivots
+                .row_iter()
+                .map(|p| self.x_kernel.eval(features, p)),
+        );
         let similarity = k_row.iter().cloned().fold(0.0f64, f64::max);
-        let g = self.x_icd.transform_new(&k_row)?;
+        let g = self.x_icd.transform_new(k_row)?;
         Ok((self.cca.project_x(&g), similarity))
     }
 }

@@ -50,10 +50,9 @@ impl NeighborWeighting {
         let raw: Vec<f64> = match self {
             NeighborWeighting::Equal => vec![1.0; k],
             NeighborWeighting::RankRatio => (0..k).map(|i| (k - i) as f64).collect(),
-            NeighborWeighting::InverseDistance => distances
-                .iter()
-                .map(|&d| 1.0 / (d + 1e-9))
-                .collect(),
+            NeighborWeighting::InverseDistance => {
+                distances.iter().map(|&d| 1.0 / (d + 1e-9)).collect()
+            }
         };
         let total: f64 = raw.iter().sum();
         raw.into_iter().map(|w| w / total).collect()
@@ -104,7 +103,13 @@ impl NearestNeighbors {
             let d = self.metric.distance(probe, row);
             if best.len() < k || d < best.last().map_or(f64::INFINITY, |n| n.distance) {
                 let pos = best.partition_point(|n| n.distance <= d);
-                best.insert(pos, Neighbor { index: i, distance: d });
+                best.insert(
+                    pos,
+                    Neighbor {
+                        index: i,
+                        distance: d,
+                    },
+                );
                 if best.len() > k {
                     best.pop();
                 }
@@ -200,8 +205,7 @@ mod tests {
     }
 
     #[test]
-    fn inverse_distance_prefers_closest()
-    {
+    fn inverse_distance_prefers_closest() {
         let w = NeighborWeighting::InverseDistance.weights(&[0.1, 1.0, 10.0]);
         assert!(w[0] > w[1] && w[1] > w[2]);
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);

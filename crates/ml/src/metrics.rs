@@ -20,7 +20,11 @@ pub fn predictive_risk(predicted: &[f64], actual: &[f64]) -> f64 {
     let ss_tot: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
     if ss_tot <= 0.0 {
         // Constant actuals: perfect iff residuals vanish.
-        return if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+        return if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     1.0 - ss_res / ss_tot
 }

@@ -26,9 +26,7 @@ impl Pca {
             return Err(LinalgError::Empty("pca needs >= 2 rows"));
         }
         let means = stats::column_means(data);
-        let centered = Matrix::from_fn(data.rows(), data.cols(), |i, j| {
-            data[(i, j)] - means[j]
-        });
+        let centered = Matrix::from_fn(data.rows(), data.cols(), |i, j| data[(i, j)] - means[j]);
         let cov = centered.gram().scale(1.0 / data.rows() as f64);
         let eig = SymmetricEigen::new(&cov)?;
         let k = k.min(data.cols());
@@ -61,7 +59,8 @@ impl Pca {
     pub fn transform(&self, data: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(data.rows(), self.components());
         for i in 0..data.rows() {
-            out.row_mut(i).copy_from_slice(&self.transform_row(data.row(i)));
+            out.row_mut(i)
+                .copy_from_slice(&self.transform_row(data.row(i)));
         }
         out
     }

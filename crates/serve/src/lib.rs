@@ -1,0 +1,35 @@
+//! qpp-serve: a concurrent online prediction service.
+//!
+//! The paper trains KCCA models offline and ships them to customer
+//! sites; this crate is the *serving side* of that story — the piece
+//! that answers "should we run this query?" while the database is live:
+//!
+//! - [`ModelRegistry`]: versioned models keyed by system configuration
+//!   and feature kind, hot-swappable (atomic `Arc` replacement) without
+//!   stopping the service, loaded through `qpp_core::model_io`'s
+//!   versioned, checksummed envelopes.
+//! - [`RequestQueue`]: a bounded queue with reject-on-full backpressure
+//!   and micro-batch draining.
+//! - [`PredictionService`]: a worker pool answering each micro-batch
+//!   with a single batched KCCA projection + kNN pass, composing the
+//!   prediction with `qpp_core::workload_mgmt` admission policies
+//!   (admit with kill-timeout / reject / review).
+//! - Deadline fallback: when a request's deadline expires before the
+//!   KCCA answer lands, the caller is answered from the O(1)
+//!   optimizer-cost baseline instead — bounded latency, graceful
+//!   degradation.
+//! - [`ServiceStats`]: lock-free counters and latency quantiles exposed
+//!   through a [`StatsSnapshot`] API.
+
+pub mod queue;
+pub mod registry;
+pub mod service;
+pub mod stats;
+
+pub use queue::{PushError, RequestQueue};
+pub use registry::{ModelEntry, ModelKey, ModelRegistry};
+pub use service::{
+    AnswerSource, PendingPrediction, PredictRequest, PredictionService, ServeError, ServeOptions,
+    ServeResponse,
+};
+pub use stats::{ServiceStats, StatsSnapshot};

@@ -1,0 +1,185 @@
+//! Bounded MPMC request queue with reject-on-full backpressure and
+//! micro-batch draining for the worker pool.
+//!
+//! Producers never block: [`RequestQueue::try_push`] returns a typed
+//! rejection when the queue is at capacity. Consumers block on a
+//! condition variable and drain up to a batch-size limit per wakeup,
+//! which is what lets workers answer several requests with a single
+//! batched KCCA projection + kNN pass.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue held `capacity` requests already; retry later or shed
+    /// load upstream.
+    Full {
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            PushError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    shutdown: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+#[derive(Debug)]
+pub struct RequestQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> RequestQueue<T> {
+    /// Creates a queue holding at most `capacity` requests. Capacity 0
+    /// is clamped to 1 (a queue that can accept nothing is useless).
+    pub fn new(capacity: usize) -> Self {
+        RequestQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy; for monitoring only).
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// True when no requests are queued (racy; for monitoring only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue without blocking. On success returns the
+    /// queue depth *after* the push (for depth watermarks).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut state = self.state.lock();
+        if state.shutdown {
+            return Err(PushError::ShuttingDown);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                capacity: self.capacity,
+            });
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until requests are available (or shutdown), then drains up
+    /// to `max_batch` in FIFO order. Returns `None` only when the queue
+    /// is shut down *and* fully drained, so no accepted request is lost.
+    pub fn drain_batch(&self, max_batch: usize) -> Option<Vec<T>> {
+        let max_batch = max_batch.max(1);
+        let mut state = self.state.lock();
+        loop {
+            if !state.items.is_empty() {
+                let take = state.items.len().min(max_batch);
+                let batch: Vec<T> = state.items.drain(..take).collect();
+                let more = !state.items.is_empty();
+                drop(state);
+                if more {
+                    // Wake a sibling for the remainder.
+                    self.not_empty.notify_one();
+                }
+                return Some(batch);
+            }
+            if state.shutdown {
+                return None;
+            }
+            // Timed wait so a missed notification can never wedge a
+            // worker forever.
+            self.not_empty
+                .wait_for(&mut state, Duration::from_millis(50));
+        }
+    }
+
+    /// Marks the queue as shutting down and wakes all consumers. Already
+    /// queued requests are still drained.
+    pub fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn push_over_capacity_rejects_immediately() {
+        let q: RequestQueue<u32> = RequestQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        let start = Instant::now();
+        assert_eq!(q.try_push(3), Err(PushError::Full { capacity: 2 }));
+        // Rejection must be immediate, never a block.
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_is_fifo_and_bounded_by_batch_size() {
+        let q: RequestQueue<u32> = RequestQueue::new(10);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.drain_batch(3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(q.drain_batch(3).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn shutdown_drains_remaining_then_ends() {
+        let q: RequestQueue<u32> = RequestQueue::new(10);
+        q.try_push(7).unwrap();
+        q.shutdown();
+        assert_eq!(q.try_push(8), Err(PushError::ShuttingDown));
+        assert_eq!(q.drain_batch(4).unwrap(), vec![7]);
+        assert!(q.drain_batch(4).is_none());
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push() {
+        let q: Arc<RequestQueue<u32>> = Arc::new(RequestQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.drain_batch(4))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap().unwrap(), vec![42]);
+    }
+}

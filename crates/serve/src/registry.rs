@@ -1,0 +1,219 @@
+//! Model registry: versioned KCCA predictors keyed by system
+//! configuration and feature kind, hot-swappable while the service runs.
+//!
+//! Swaps are atomic at the `Arc<ModelEntry>` level: a worker that
+//! resolved an entry keeps predicting with a consistent
+//! (predictor, fallback, version) triple even while a newer model is
+//! being installed — readers never observe a torn model.
+
+use parking_lot::RwLock;
+use qpp_core::baselines::OptimizerCostModel;
+use qpp_core::model_io::{self, ModelIoError};
+use qpp_core::{FeatureKind, KccaPredictor};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Registry key: a system-configuration name plus the feature kind the
+/// model was trained on ([`FeatureKind`] has no `Hash`, so it is folded
+/// into a stable tag).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// `SystemConfig::name` of the deployment the model targets.
+    pub config: String,
+    tag: &'static str,
+}
+
+fn kind_tag(kind: FeatureKind) -> &'static str {
+    match kind {
+        FeatureKind::QueryPlan => "query-plan",
+        FeatureKind::SqlText => "sql-text",
+    }
+}
+
+impl ModelKey {
+    /// Builds a key from a configuration name and feature kind.
+    pub fn new(config: impl Into<String>, kind: FeatureKind) -> Self {
+        ModelKey {
+            config: config.into(),
+            tag: kind_tag(kind),
+        }
+    }
+
+    /// The feature-kind tag this key embeds.
+    pub fn feature_tag(&self) -> &'static str {
+        self.tag
+    }
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.config, self.tag)
+    }
+}
+
+/// One installed model: the KCCA predictor, the cheap cost-model
+/// fallback used when a request's deadline expires, and the registry
+/// version that installed it.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// The batched KCCA predictor.
+    pub predictor: KccaPredictor,
+    /// O(1) optimizer-cost fallback for deadline misses.
+    pub fallback: OptimizerCostModel,
+    /// Monotonically increasing install version (registry-wide).
+    pub version: u64,
+}
+
+/// Concurrent registry of prediction models.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<ModelKey, Arc<ModelEntry>>>,
+    /// Total installs (first install counts); `swap_count()` reports
+    /// installs that *replaced* an existing entry.
+    installs: AtomicU64,
+    swaps: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or hot-swaps) a model under `key`, returning the new
+    /// entry's version. In-flight batches keep the entry they already
+    /// resolved; subsequent lookups see the new model.
+    pub fn install(
+        &self,
+        key: ModelKey,
+        predictor: KccaPredictor,
+        fallback: OptimizerCostModel,
+    ) -> u64 {
+        let version = self.installs.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Arc::new(ModelEntry {
+            predictor,
+            fallback,
+            version,
+        });
+        let replaced = self.models.write().insert(key, entry).is_some();
+        if replaced {
+            self.swaps.fetch_add(1, Ordering::Relaxed);
+        }
+        version
+    }
+
+    /// Installs a model from its serialized JSON envelope (see
+    /// `qpp_core::model_io`), verifying format version and checksum.
+    pub fn install_from_json(
+        &self,
+        key: ModelKey,
+        json: &str,
+        fallback: OptimizerCostModel,
+    ) -> Result<u64, ModelIoError> {
+        let predictor = model_io::from_json(json)?;
+        Ok(self.install(key, predictor, fallback))
+    }
+
+    /// Installs a model from a file written by `qpp_core::model_io`.
+    pub fn install_from_file(
+        &self,
+        key: ModelKey,
+        path: impl AsRef<Path>,
+        fallback: OptimizerCostModel,
+    ) -> Result<u64, ModelIoError> {
+        let predictor = model_io::load(path)?;
+        Ok(self.install(key, predictor, fallback))
+    }
+
+    /// Resolves the current entry for `key`. The returned `Arc` stays
+    /// valid (and internally consistent) across concurrent swaps.
+    pub fn get(&self, key: &ModelKey) -> Option<Arc<ModelEntry>> {
+        self.models.read().get(key).cloned()
+    }
+
+    /// Installed keys, unordered.
+    pub fn keys(&self) -> Vec<ModelKey> {
+        self.models.read().keys().cloned().collect()
+    }
+
+    /// Number of installs that replaced an existing model.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Total installs, including first-time installs.
+    pub fn install_count(&self) -> u64 {
+        self.installs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_core::predictor::PredictorOptions;
+    use qpp_core::Dataset;
+    use qpp_engine::SystemConfig;
+    use qpp_workload::{Schema, WorkloadGenerator};
+
+    fn trained(seed: u64) -> (KccaPredictor, OptimizerCostModel) {
+        let schema = Schema::tpcds(1.0);
+        let mut g = WorkloadGenerator::tpcds(1.0, seed);
+        let d = Dataset::collect(&schema, g.generate(50), &SystemConfig::neoview_4(), 2);
+        (
+            KccaPredictor::train(&d, PredictorOptions::default()).unwrap(),
+            OptimizerCostModel::train(&d).unwrap(),
+        )
+    }
+
+    #[test]
+    fn install_get_and_swap_counting() {
+        let registry = ModelRegistry::new();
+        let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+        assert!(registry.get(&key).is_none());
+
+        let (m1, f1) = trained(11);
+        let v1 = registry.install(key.clone(), m1, f1);
+        assert_eq!(v1, 1);
+        assert_eq!(registry.swap_count(), 0);
+        assert_eq!(registry.get(&key).unwrap().version, v1);
+
+        let (m2, f2) = trained(12);
+        let v2 = registry.install(key.clone(), m2, f2);
+        assert!(v2 > v1);
+        assert_eq!(registry.swap_count(), 1);
+        assert_eq!(registry.get(&key).unwrap().version, v2);
+        assert_eq!(registry.install_count(), 2);
+    }
+
+    #[test]
+    fn keys_distinguish_feature_kinds() {
+        let plan = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+        let text = ModelKey::new("neoview-4", FeatureKind::SqlText);
+        assert_ne!(plan, text);
+        let registry = ModelRegistry::new();
+        let (m, f) = trained(13);
+        registry.install(plan.clone(), m, f);
+        assert!(registry.get(&plan).is_some());
+        assert!(registry.get(&text).is_none());
+    }
+
+    #[test]
+    fn install_from_json_verifies_envelope() {
+        let registry = ModelRegistry::new();
+        let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+        let (m, f) = trained(14);
+        let json = model_io::to_json(&m).unwrap();
+        let v = registry
+            .install_from_json(key.clone(), &json, f.clone())
+            .unwrap();
+        assert_eq!(registry.get(&key).unwrap().version, v);
+
+        let bad = json.replace("\"format_version\":1", "\"format_version\":7");
+        assert!(matches!(
+            registry.install_from_json(key, &bad, f),
+            Err(ModelIoError::UnsupportedVersion { .. })
+        ));
+    }
+}

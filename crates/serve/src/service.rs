@@ -1,0 +1,432 @@
+//! The online prediction service: a worker pool over the bounded
+//! request queue, answering each request with a batched KCCA
+//! prediction, an admission decision, and a deadline-bounded fallback.
+//!
+//! Flow per request:
+//!
+//! 1. `submit` (or `submit_async`) enqueues the request; a full queue
+//!    rejects immediately with [`ServeError::QueueFull`].
+//! 2. A worker drains up to `max_batch` requests, groups them by model
+//!    key, and answers each group with *one* batched KCCA projection +
+//!    kNN pass (`KccaPredictor::predict_batch`).
+//! 3. The admission gateway turns the prediction into an
+//!    [`AdmissionDecision`] under the service's [`AdmissionPolicy`].
+//! 4. If the worker misses the request's deadline, the client answers
+//!    itself from the registry's `OptimizerCostModel` fallback — an
+//!    O(1) estimate from the plan's optimizer cost — so callers always
+//!    get a bounded-latency answer.
+
+use crate::queue::{PushError, RequestQueue};
+use crate::registry::{ModelEntry, ModelKey, ModelRegistry};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use qpp_core::workload_mgmt::{decide, AdmissionDecision, AdmissionPolicy};
+use qpp_core::Prediction;
+use qpp_engine::{PerfMetrics, Plan};
+use qpp_workload::QuerySpec;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One prediction request.
+#[derive(Debug, Clone)]
+pub struct PredictRequest {
+    /// Which installed model should answer.
+    pub key: ModelKey,
+    /// The query to predict for.
+    pub spec: QuerySpec,
+    /// Its optimized plan.
+    pub plan: Plan,
+    /// How long the caller is willing to wait for the KCCA answer
+    /// before falling back to the optimizer-cost estimate.
+    pub deadline: Duration,
+}
+
+/// Which path produced an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerSource {
+    /// A worker answered through the batched KCCA model.
+    Kcca,
+    /// The client answered from the optimizer-cost fallback after the
+    /// deadline expired.
+    CostModelFallback,
+}
+
+/// A served prediction plus the gateway's admission decision.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The multi-metric prediction (fallback answers carry only an
+    /// elapsed-time estimate; other metrics are zero).
+    pub prediction: Prediction,
+    /// Admission outcome under the service policy.
+    pub decision: AdmissionDecision,
+    /// KCCA or fallback.
+    pub source: AnswerSource,
+    /// Registry version of the model entry that answered.
+    pub model_version: u64,
+    /// End-to-end latency from submission to answer.
+    pub latency: Duration,
+}
+
+/// Service-level errors surfaced to callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Backpressure: the bounded queue was at capacity.
+    QueueFull {
+        /// Configured capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The service no longer accepts work.
+    ShuttingDown,
+    /// No model is installed under the request's key.
+    UnknownModel {
+        /// The key that failed to resolve.
+        key: String,
+    },
+    /// The KCCA prediction itself failed (and the fallback was
+    /// unavailable because the entry disappeared mid-flight).
+    PredictionFailed {
+        /// Stringified underlying error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "rejected: request queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "rejected: service shutting down"),
+            ServeError::UnknownModel { key } => {
+                write!(f, "no model installed for {key}")
+            }
+            ServeError::PredictionFailed { detail } => {
+                write!(f, "prediction failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Tunables for [`PredictionService::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads. 0 is allowed (nothing drains the queue; every
+    /// request is answered by the deadline fallback) and is used by the
+    /// backpressure tests.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Max requests a worker answers with one batched KCCA pass.
+    pub max_batch: usize,
+    /// Admission policy applied to every answered request.
+    pub policy: AdmissionPolicy,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 16,
+            policy: AdmissionPolicy::default(),
+        }
+    }
+}
+
+struct Queued {
+    request: PredictRequest,
+    enqueued_at: Instant,
+    responder: mpsc::Sender<Result<ServeResponse, ServeError>>,
+}
+
+/// A submitted request the caller has not yet waited on.
+#[derive(Debug)]
+pub struct PendingPrediction {
+    rx: mpsc::Receiver<Result<ServeResponse, ServeError>>,
+    request: PredictRequest,
+    submitted_at: Instant,
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServiceStats>,
+    policy: AdmissionPolicy,
+}
+
+impl PendingPrediction {
+    /// Blocks until the worker answers or the request's deadline
+    /// passes, then returns exactly one answer: the worker's if it made
+    /// the deadline, otherwise the optimizer-cost fallback.
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        match self.rx.recv_timeout(self.request.deadline) {
+            Ok(answer) => answer,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // One last non-blocking look: the worker may have
+                // answered in the instant the timeout fired.
+                if let Ok(answer) = self.rx.try_recv() {
+                    return answer;
+                }
+                self.fallback()
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Worker pool dropped the request (shutdown mid-flight);
+                // the fallback still gives the caller an answer.
+                self.fallback()
+            }
+        }
+    }
+
+    /// Answers from the registry's cost model without the worker pool.
+    fn fallback(self) -> Result<ServeResponse, ServeError> {
+        let entry =
+            self.registry
+                .get(&self.request.key)
+                .ok_or_else(|| ServeError::UnknownModel {
+                    key: self.request.key.to_string(),
+                })?;
+        let elapsed = entry.fallback.predict_elapsed(&self.request.plan);
+        let prediction = Prediction {
+            metrics: PerfMetrics {
+                elapsed_seconds: elapsed,
+                ..PerfMetrics::zero()
+            },
+            neighbor_indices: Vec::new(),
+            // The cost model has no notion of projection-space
+            // confidence; report perfect confidence so the gateway
+            // judges the elapsed estimate on resource limits alone.
+            confidence_distance: 0.0,
+            max_kernel_similarity: 1.0,
+        };
+        let decision = decide(&self.policy, &prediction);
+        record_decision(&self.stats, &decision);
+        self.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
+        let latency = self.submitted_at.elapsed();
+        self.stats.record_latency(latency);
+        Ok(ServeResponse {
+            prediction,
+            decision,
+            source: AnswerSource::CostModelFallback,
+            model_version: entry.version,
+            latency,
+        })
+    }
+}
+
+fn record_decision(stats: &ServiceStats, decision: &AdmissionDecision) {
+    match decision {
+        AdmissionDecision::Admit { .. } => {
+            stats.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+        AdmissionDecision::Reject { .. } => {
+            stats.policy_rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        AdmissionDecision::ReviewRequired { .. } => {
+            stats.review_required.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The running service: registry + queue + worker pool + stats.
+pub struct PredictionService {
+    registry: Arc<ModelRegistry>,
+    queue: Arc<RequestQueue<Queued>>,
+    stats: Arc<ServiceStats>,
+    policy: AdmissionPolicy,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PredictionService {
+    /// Starts the worker pool against `registry`.
+    pub fn start(registry: Arc<ModelRegistry>, options: ServeOptions) -> Self {
+        let queue = Arc::new(RequestQueue::new(options.queue_capacity));
+        let stats = Arc::new(ServiceStats::new());
+        let workers = (0..options.workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let registry = Arc::clone(&registry);
+                let stats = Arc::clone(&stats);
+                let policy = options.policy;
+                let max_batch = options.max_batch;
+                std::thread::spawn(move || {
+                    worker_loop(&queue, &registry, &stats, &policy, max_batch)
+                })
+            })
+            .collect();
+        PredictionService {
+            registry,
+            queue,
+            stats,
+            policy: options.policy,
+            workers,
+        }
+    }
+
+    /// The registry this service answers from (hot-swap through it).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Submits a request without waiting for its answer. Fails fast
+    /// with backpressure or an unknown-model error.
+    pub fn submit_async(&self, request: PredictRequest) -> Result<PendingPrediction, ServeError> {
+        if self.registry.get(&request.key).is_none() {
+            return Err(ServeError::UnknownModel {
+                key: request.key.to_string(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let queued = Queued {
+            request: request.clone(),
+            enqueued_at: now,
+            responder: tx,
+        };
+        match self.queue.try_push(queued) {
+            Ok(depth) => {
+                self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                self.stats.observe_queue_depth(depth);
+                Ok(PendingPrediction {
+                    rx,
+                    request,
+                    submitted_at: now,
+                    registry: Arc::clone(&self.registry),
+                    stats: Arc::clone(&self.stats),
+                    policy: self.policy,
+                })
+            }
+            Err(PushError::Full { capacity }) => {
+                self.stats
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::QueueFull { capacity })
+            }
+            Err(PushError::ShuttingDown) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submits and waits: exactly one answer per accepted request, never
+    /// later than (roughly) the request's deadline.
+    pub fn submit(&self, request: PredictRequest) -> Result<ServeResponse, ServeError> {
+        self.submit_async(request)?.wait()
+    }
+
+    /// Point-in-time statistics, including the registry's swap count.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats
+            .model_swaps
+            .store(self.registry.swap_count(), Ordering::Relaxed);
+        self.stats.snapshot(self.queue.len())
+    }
+
+    /// Stops accepting work, drains what was accepted, joins workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PredictionService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Worker body: drain a micro-batch, group by model key, answer each
+/// group with one batched prediction pass.
+fn worker_loop(
+    queue: &RequestQueue<Queued>,
+    registry: &ModelRegistry,
+    stats: &ServiceStats,
+    policy: &AdmissionPolicy,
+    max_batch: usize,
+) {
+    while let Some(batch) = queue.drain_batch(max_batch) {
+        stats.record_batch(batch.len());
+        // Group while preserving arrival order within each group. The
+        // number of distinct keys per batch is tiny (usually 1), so a
+        // linear scan beats a map here.
+        let mut groups: Vec<(ModelKey, Vec<Queued>)> = Vec::new();
+        for queued in batch {
+            match groups
+                .iter_mut()
+                .find(|(key, _)| *key == queued.request.key)
+            {
+                Some((_, group)) => group.push(queued),
+                None => groups.push((queued.request.key.clone(), vec![queued])),
+            }
+        }
+        for (key, group) in groups {
+            answer_group(registry, stats, policy, &key, group);
+        }
+    }
+}
+
+fn answer_group(
+    registry: &ModelRegistry,
+    stats: &ServiceStats,
+    policy: &AdmissionPolicy,
+    key: &ModelKey,
+    group: Vec<Queued>,
+) {
+    // Resolve the model once per group: every request in the group is
+    // answered by the same consistent entry even if a hot-swap lands
+    // mid-batch.
+    let Some(entry) = registry.get(key) else {
+        for queued in group {
+            let _ = queued.responder.send(Err(ServeError::UnknownModel {
+                key: key.to_string(),
+            }));
+        }
+        return;
+    };
+    let queries: Vec<(&QuerySpec, &Plan)> = group
+        .iter()
+        .map(|q| (&q.request.spec, &q.request.plan))
+        .collect();
+    match entry.predictor.predict_batch(&queries) {
+        Ok(predictions) => {
+            for (queued, prediction) in group.into_iter().zip(predictions) {
+                respond(stats, policy, &entry, queued, prediction);
+            }
+        }
+        Err(e) => {
+            for queued in group {
+                let _ = queued.responder.send(Err(ServeError::PredictionFailed {
+                    detail: e.to_string(),
+                }));
+            }
+        }
+    }
+}
+
+fn respond(
+    stats: &ServiceStats,
+    policy: &AdmissionPolicy,
+    entry: &ModelEntry,
+    queued: Queued,
+    prediction: Prediction,
+) {
+    let decision = decide(policy, &prediction);
+    let latency = queued.enqueued_at.elapsed();
+    let response = ServeResponse {
+        prediction,
+        decision: decision.clone(),
+        source: AnswerSource::Kcca,
+        model_version: entry.version,
+        latency,
+    };
+    if queued.responder.send(Ok(response)).is_ok() {
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+        stats.record_latency(latency);
+        record_decision(stats, &decision);
+    } else {
+        // Client already fell back (deadline) or went away.
+        stats.late_answers.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,288 @@
+//! Service statistics: lock-free counters and a log-spaced latency
+//! histogram, exposed through an immutable snapshot API.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Latency histogram bucket count. Bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended.
+const BUCKETS: usize = 26; // 1 µs .. ~33 s
+
+/// Live counters for a running prediction service.
+///
+/// All fields are atomics: workers and clients update them without any
+/// shared lock, and [`ServiceStats::snapshot`] reads a consistent-enough
+/// view for monitoring (individual counters are exact; cross-counter
+/// skew is bounded by in-flight requests).
+#[derive(Debug)]
+pub struct ServiceStats {
+    started: Instant,
+    /// Requests accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests answered by a worker through the KCCA model.
+    pub completed: AtomicU64,
+    /// Requests answered client-side by the cost-model fallback after
+    /// the per-request deadline expired.
+    pub fallbacks: AtomicU64,
+    /// Worker answers that arrived after the client had already fallen
+    /// back (wasted work; the client saw exactly one answer).
+    pub late_answers: AtomicU64,
+    /// Requests rejected at submission because the queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Admission-gateway outcomes across all answered requests.
+    pub admitted: AtomicU64,
+    /// Requests the policy rejected (predicted over a resource limit).
+    pub policy_rejected: AtomicU64,
+    /// Requests flagged for human review (low prediction confidence).
+    pub review_required: AtomicU64,
+    /// Micro-batches drained by workers.
+    pub batches: AtomicU64,
+    /// Requests carried by those batches (mean batch size = this /
+    /// `batches`).
+    pub batched_requests: AtomicU64,
+    /// Largest queue depth observed at submission time.
+    pub max_queue_depth: AtomicU64,
+    /// Model hot-swaps observed via the registry.
+    pub model_swaps: AtomicU64,
+    latency: [AtomicU64; BUCKETS],
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        ServiceStats {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            late_answers: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            policy_rejected: AtomicU64::new(0),
+            review_required: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            model_swaps: AtomicU64::new(0),
+            latency: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+}
+
+impl ServiceStats {
+    /// Creates zeroed stats with the uptime clock starting now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one end-to-end request latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let micros = latency.as_micros().max(1) as u64;
+        let bucket = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a drained micro-batch of `len` requests.
+    pub fn record_batch(&self, len: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    /// Raises the max-queue-depth watermark to at least `depth`.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// An immutable view of the counters plus derived rates/quantiles.
+    pub fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
+        let latency: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let fallbacks = self.fallbacks.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        let answered = completed + fallbacks;
+        let uptime = self.started.elapsed();
+        StatsSnapshot {
+            uptime,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            fallbacks,
+            late_answers: self.late_answers.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            policy_rejected: self.policy_rejected.load(Ordering::Relaxed),
+            review_required: self.review_required.load(Ordering::Relaxed),
+            queue_depth,
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            throughput_per_sec: if uptime.as_secs_f64() > 0.0 {
+                answered as f64 / uptime.as_secs_f64()
+            } else {
+                0.0
+            },
+            fallback_rate: if answered == 0 {
+                0.0
+            } else {
+                fallbacks as f64 / answered as f64
+            },
+            p50_latency_us: quantile(&latency, 0.50),
+            p95_latency_us: quantile(&latency, 0.95),
+            p99_latency_us: quantile(&latency, 0.99),
+            model_swaps: self.model_swaps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Upper bound (µs) of the histogram bucket containing quantile `q`.
+fn quantile(latency: &[u64], q: f64) -> u64 {
+    let total: u64 = latency.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil() as u64;
+    let mut seen = 0;
+    for (i, &count) in latency.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << (i + 1);
+        }
+    }
+    1u64 << BUCKETS
+}
+
+/// Point-in-time statistics view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Time since service start.
+    pub uptime: Duration,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered through the KCCA model.
+    pub completed: u64,
+    /// Requests answered by the deadline fallback.
+    pub fallbacks: u64,
+    /// Worker answers that arrived after a client fallback.
+    pub late_answers: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Gateway outcome counts.
+    pub admitted: u64,
+    /// Requests the admission policy rejected.
+    pub policy_rejected: u64,
+    /// Requests flagged for review.
+    pub review_required: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Highest queue depth observed.
+    pub max_queue_depth: u64,
+    /// Mean micro-batch size drained by workers.
+    pub mean_batch_size: f64,
+    /// Answered requests per second of uptime.
+    pub throughput_per_sec: f64,
+    /// Fraction of answers that came from the fallback path.
+    pub fallback_rate: f64,
+    /// Median end-to-end latency (bucket upper bound), microseconds.
+    pub p50_latency_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_latency_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_latency_us: u64,
+    /// Model hot-swaps performed.
+    pub model_swaps: u64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "uptime {:.2}s | submitted {} | completed {} | fallbacks {} ({:.1}%) | late {}",
+            self.uptime.as_secs_f64(),
+            self.submitted,
+            self.completed,
+            self.fallbacks,
+            self.fallback_rate * 100.0,
+            self.late_answers,
+        )?;
+        writeln!(
+            f,
+            "queue: depth {} (max {}) | rejected-full {} | mean batch {:.2}",
+            self.queue_depth, self.max_queue_depth, self.rejected_queue_full, self.mean_batch_size,
+        )?;
+        writeln!(
+            f,
+            "gateway: admitted {} | rejected {} | review {}",
+            self.admitted, self.policy_rejected, self.review_required,
+        )?;
+        write!(
+            f,
+            "latency p50/p95/p99 <= {}/{}/{} µs | {:.0} req/s | model swaps {}",
+            self.p50_latency_us,
+            self.p95_latency_us,
+            self.p99_latency_us,
+            self.throughput_per_sec,
+            self.model_swaps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_quantiles_track_buckets() {
+        let stats = ServiceStats::new();
+        // 90 fast samples (~8 µs), 10 slow (~1024 µs).
+        for _ in 0..90 {
+            stats.record_latency(Duration::from_micros(8));
+        }
+        for _ in 0..10 {
+            stats.record_latency(Duration::from_micros(1024));
+        }
+        let snap = stats.snapshot(0);
+        assert!(snap.p50_latency_us <= 16, "p50 {}", snap.p50_latency_us);
+        assert!(snap.p99_latency_us >= 1024, "p99 {}", snap.p99_latency_us);
+        assert!(snap.p50_latency_us <= snap.p95_latency_us);
+        assert!(snap.p95_latency_us <= snap.p99_latency_us);
+    }
+
+    #[test]
+    fn batch_and_depth_accounting() {
+        let stats = ServiceStats::new();
+        stats.record_batch(4);
+        stats.record_batch(8);
+        stats.observe_queue_depth(3);
+        stats.observe_queue_depth(7);
+        stats.observe_queue_depth(2);
+        let snap = stats.snapshot(1);
+        assert!((snap.mean_batch_size - 6.0).abs() < 1e-12);
+        assert_eq!(snap.max_queue_depth, 7);
+        assert_eq!(snap.queue_depth, 1);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_quantiles() {
+        let snap = ServiceStats::new().snapshot(0);
+        assert_eq!(snap.p50_latency_us, 0);
+        assert_eq!(snap.fallback_rate, 0.0);
+        assert_eq!(snap.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn display_is_total() {
+        let stats = ServiceStats::new();
+        stats.record_latency(Duration::from_micros(100));
+        let text = format!("{}", stats.snapshot(2));
+        assert!(text.contains("p50"));
+        assert!(text.contains("model swaps"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Concurrency tests for the prediction service: exactly-once answers
+//! under producer/worker concurrency, non-blocking backpressure, and
+//! torn-free model hot-swap.
+
+use qpp_core::baselines::OptimizerCostModel;
+use qpp_core::predictor::PredictorOptions;
+use qpp_core::{Dataset, FeatureKind, KccaPredictor};
+use qpp_engine::SystemConfig;
+use qpp_serve::{
+    AnswerSource, ModelKey, ModelRegistry, PredictRequest, PredictionService, ServeError,
+    ServeOptions,
+};
+use qpp_workload::{Schema, WorkloadGenerator};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn dataset(n: usize, seed: u64) -> Dataset {
+    let schema = Schema::tpcds(1.0);
+    let mut g = WorkloadGenerator::tpcds(1.0, seed);
+    Dataset::collect(&schema, g.generate(n), &SystemConfig::neoview_4(), 2)
+}
+
+fn trained(d: &Dataset) -> (KccaPredictor, OptimizerCostModel) {
+    (
+        KccaPredictor::train(d, PredictorOptions::default()).unwrap(),
+        OptimizerCostModel::train(d).unwrap(),
+    )
+}
+
+fn request(d: &Dataset, i: usize, key: &ModelKey, deadline: Duration) -> PredictRequest {
+    let r = &d.records[i % d.records.len()];
+    PredictRequest {
+        key: key.clone(),
+        spec: r.spec.clone(),
+        plan: r.optimized.plan.clone(),
+        deadline,
+    }
+}
+
+/// N producers x M workers: every accepted request is answered exactly
+/// once, and the ledger (completed + fallbacks vs client-side answers)
+/// balances.
+#[test]
+fn concurrent_smoke_every_request_answered_exactly_once() {
+    let train = dataset(60, 101);
+    let (model, fallback) = trained(&train);
+    let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(key.clone(), model, fallback);
+
+    let service = Arc::new(PredictionService::start(
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 4,
+            queue_capacity: 1024,
+            max_batch: 8,
+            ..ServeOptions::default()
+        },
+    ));
+
+    const PRODUCERS: usize = 8;
+    const PER_PRODUCER: usize = 50;
+    let pool = dataset(40, 202);
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let service = Arc::clone(&service);
+            let pool = pool.clone();
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let mut answers = 0usize;
+                for i in 0..PER_PRODUCER {
+                    let req = request(&pool, p * PER_PRODUCER + i, &key, Duration::from_secs(10));
+                    let resp = service.submit(req).expect("capacity 1024 never fills here");
+                    assert!(resp.prediction.metrics.elapsed_seconds.is_finite());
+                    answers += 1;
+                }
+                answers
+            })
+        })
+        .collect();
+
+    let total: usize = producers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, PRODUCERS * PER_PRODUCER);
+
+    let snap = service.stats();
+    assert_eq!(snap.submitted, (PRODUCERS * PER_PRODUCER) as u64);
+    // Exactly-once ledger: every submission was answered through KCCA
+    // or the fallback, and nothing was double-counted.
+    assert_eq!(snap.completed + snap.fallbacks, snap.submitted);
+    assert_eq!(snap.rejected_queue_full, 0);
+    assert!(snap.mean_batch_size >= 1.0);
+}
+
+/// A full queue rejects instantly with a typed reason and never blocks
+/// the submitter.
+#[test]
+fn backpressure_rejects_without_blocking() {
+    let train = dataset(60, 103);
+    let (model, fallback) = trained(&train);
+    let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(key.clone(), model, fallback);
+
+    // No workers: nothing drains, so the queue fills deterministically.
+    let service = PredictionService::start(
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 0,
+            queue_capacity: 3,
+            ..ServeOptions::default()
+        },
+    );
+
+    let mut pending = Vec::new();
+    for i in 0..3 {
+        pending.push(
+            service
+                .submit_async(request(&train, i, &key, Duration::from_millis(50)))
+                .expect("under capacity"),
+        );
+    }
+    let start = Instant::now();
+    let overflow = service.submit_async(request(&train, 9, &key, Duration::from_millis(50)));
+    assert!(
+        start.elapsed() < Duration::from_millis(200),
+        "rejection must be immediate"
+    );
+    match overflow {
+        Err(ServeError::QueueFull { capacity }) => assert_eq!(capacity, 3),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    assert_eq!(service.stats().rejected_queue_full, 1);
+
+    // The queued requests still get answers — via the deadline
+    // fallback, since no worker will ever serve them.
+    for p in pending {
+        let resp = p.wait().expect("fallback answers");
+        assert_eq!(resp.source, AnswerSource::CostModelFallback);
+        assert!(resp.prediction.metrics.elapsed_seconds > 0.0);
+    }
+    let snap = service.stats();
+    assert_eq!(snap.fallbacks, 3);
+    assert_eq!(snap.completed + snap.fallbacks, snap.submitted);
+}
+
+/// Hot-swapping models mid-stream never tears a model: every answer
+/// carries a version that was actually installed, and the stream never
+/// drops or errors a request.
+#[test]
+fn hot_swap_mid_stream_is_atomic() {
+    let train_a = dataset(60, 104);
+    let train_b = dataset(60, 105);
+    let (model_a, fallback_a) = trained(&train_a);
+    let (model_b, fallback_b) = trained(&train_b);
+    let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    let v1 = registry.install(key.clone(), model_a, fallback_a.clone());
+
+    let service = Arc::new(PredictionService::start(
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 3,
+            queue_capacity: 512,
+            max_batch: 4,
+            ..ServeOptions::default()
+        },
+    ));
+
+    const REQUESTS: usize = 200;
+    let streamer = {
+        let service = Arc::clone(&service);
+        let pool = train_a.clone();
+        let key = key.clone();
+        std::thread::spawn(move || {
+            let mut versions = Vec::with_capacity(REQUESTS);
+            for i in 0..REQUESTS {
+                let resp = service
+                    .submit(request(&pool, i, &key, Duration::from_secs(10)))
+                    .expect("stream request answered");
+                versions.push(resp.model_version);
+            }
+            versions
+        })
+    };
+
+    // Swap between the two models while the stream runs.
+    let mut installed = vec![v1];
+    for swap in 0..6 {
+        std::thread::sleep(Duration::from_millis(5));
+        let (m, f) = if swap % 2 == 0 {
+            (model_b.clone(), fallback_b.clone())
+        } else {
+            trained(&train_a)
+        };
+        installed.push(registry.install(key.clone(), m, f));
+    }
+
+    let versions = streamer.join().unwrap();
+    assert_eq!(versions.len(), REQUESTS);
+    // No torn model: every answer came from a version that was actually
+    // installed, never a mix.
+    for v in &versions {
+        assert!(installed.contains(v), "answered by uninstalled version {v}");
+    }
+    assert_eq!(registry.swap_count(), 6);
+    let snap = service.stats();
+    assert_eq!(snap.completed + snap.fallbacks, snap.submitted);
+    assert_eq!(snap.model_swaps, 6);
+}
+
+/// Submitting against a key with no installed model fails fast.
+#[test]
+fn unknown_model_fails_fast() {
+    let registry = Arc::new(ModelRegistry::new());
+    let service = PredictionService::start(registry, ServeOptions::default());
+    let pool = dataset(20, 106);
+    let key = ModelKey::new("nowhere", FeatureKind::QueryPlan);
+    match service.submit(request(&pool, 0, &key, Duration::from_millis(10))) {
+        Err(ServeError::UnknownModel { key }) => assert!(key.contains("nowhere")),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+}

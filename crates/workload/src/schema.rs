@@ -91,7 +91,9 @@ impl Schema {
 
     /// Row count of `table` at this schema's scale factor.
     pub fn rows(&self, table: &str) -> u64 {
-        self.table(table).map(|t| t.rows(self.scale_factor)).unwrap_or(0)
+        self.table(table)
+            .map(|t| t.rows(self.scale_factor))
+            .unwrap_or(0)
     }
 
     /// Total data volume in bytes at this scale factor.
@@ -354,7 +356,10 @@ impl Schema {
                 "catalog_page",
                 11_718,
                 false,
-                vec![c("cp_catalog_page_sk", 11_718, 4, 0.0), c("cp_pad", 1, 80, 0.0)],
+                vec![
+                    c("cp_catalog_page_sk", 11_718, 4, 0.0),
+                    c("cp_pad", 1, 80, 0.0),
+                ],
             ),
             t(
                 "ship_mode",
@@ -372,7 +377,10 @@ impl Schema {
                 "income_band",
                 20,
                 false,
-                vec![c("ib_income_band_sk", 20, 4, 0.0), c("ib_lower_bound", 20, 4, 0.0)],
+                vec![
+                    c("ib_income_band_sk", 20, 4, 0.0),
+                    c("ib_lower_bound", 20, 4, 0.0),
+                ],
             ),
         ];
         Schema {

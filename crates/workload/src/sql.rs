@@ -69,8 +69,12 @@ pub fn render(q: &QuerySpec) -> String {
             PredOp::Eq => format!("{lhs} = :c{}", conds.len()),
             PredOp::Neq => format!("{lhs} <> :c{}", conds.len()),
             PredOp::Range { fraction } => {
-                format!("{lhs} BETWEEN :lo{} AND :hi{} /* ~{:.4}% of domain */",
-                    conds.len(), conds.len(), fraction * 100.0)
+                format!(
+                    "{lhs} BETWEEN :lo{} AND :hi{} /* ~{:.4}% of domain */",
+                    conds.len(),
+                    conds.len(),
+                    fraction * 100.0
+                )
             }
             PredOp::InList { items } => {
                 let list: Vec<String> = (0..items).map(|k| format!(":v{k}")).collect();

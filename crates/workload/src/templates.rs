@@ -208,7 +208,11 @@ impl Template {
         // Optional nested subquery (semi-join) — presence is structure.
         let mut subqueries = Vec::new();
         if srng.random_bool(self.subquery_prob) {
-            let inner = if srng.random_bool(0.5) { "item" } else { "customer" };
+            let inner = if srng.random_bool(0.5) {
+                "item"
+            } else {
+                "customer"
+            };
             let constant_id = rng.random_range(0..4u64);
             subqueries.push(SubquerySpec {
                 outer_table: 0,
@@ -317,8 +321,14 @@ impl Template {
             let c = rng.random_range(0..ndv.clamp(1, 10));
             (PredOp::Neq, "neq", c, 1.0 - 1.0 / ndv.max(2) as f64)
         };
-        let true_selectivity =
-            world::true_selectivity("fact_measure", column, op_tag, constant_id, est, self.est_error_sigma);
+        let true_selectivity = world::true_selectivity(
+            "fact_measure",
+            column,
+            op_tag,
+            constant_id,
+            est,
+            self.est_error_sigma,
+        );
         PredicateSpec {
             table: table_idx,
             column: column.to_string(),
@@ -353,32 +363,67 @@ fn dims_for(fact: &str) -> Vec<DimJoin> {
         "store_sales" => vec![
             ("date_dim", "ss_sold_date_sk", "d_date_sk", "d_year"),
             ("item", "ss_item_sk", "i_item_sk", "i_category"),
-            ("customer", "ss_customer_sk", "c_customer_sk", "c_birth_year"),
+            (
+                "customer",
+                "ss_customer_sk",
+                "c_customer_sk",
+                "c_birth_year",
+            ),
             ("store", "ss_store_sk", "s_store_sk", "s_state"),
             ("promotion", "ss_promo_sk", "p_promo_sk", "p_channel_email"),
         ],
         "catalog_sales" => vec![
             ("date_dim", "cs_sold_date_sk", "d_date_sk", "d_year"),
             ("item", "cs_item_sk", "i_item_sk", "i_category"),
-            ("customer", "cs_bill_customer_sk", "c_customer_sk", "c_birth_year"),
-            ("call_center", "cs_call_center_sk", "cc_call_center_sk", "cc_call_center_sk"),
-            ("ship_mode", "cs_ship_mode_sk", "sm_ship_mode_sk", "sm_ship_mode_sk"),
+            (
+                "customer",
+                "cs_bill_customer_sk",
+                "c_customer_sk",
+                "c_birth_year",
+            ),
+            (
+                "call_center",
+                "cs_call_center_sk",
+                "cc_call_center_sk",
+                "cc_call_center_sk",
+            ),
+            (
+                "ship_mode",
+                "cs_ship_mode_sk",
+                "sm_ship_mode_sk",
+                "sm_ship_mode_sk",
+            ),
         ],
         "web_sales" => vec![
             ("date_dim", "ws_sold_date_sk", "d_date_sk", "d_year"),
             ("item", "ws_item_sk", "i_item_sk", "i_category"),
-            ("customer", "ws_bill_customer_sk", "c_customer_sk", "c_birth_year"),
+            (
+                "customer",
+                "ws_bill_customer_sk",
+                "c_customer_sk",
+                "c_birth_year",
+            ),
             ("web_site", "ws_web_site_sk", "web_site_sk", "web_site_sk"),
         ],
         "inventory" => vec![
             ("date_dim", "inv_date_sk", "d_date_sk", "d_moy"),
             ("item", "inv_item_sk", "i_item_sk", "i_class"),
-            ("warehouse", "inv_warehouse_sk", "w_warehouse_sk", "w_warehouse_sq_ft"),
+            (
+                "warehouse",
+                "inv_warehouse_sk",
+                "w_warehouse_sk",
+                "w_warehouse_sq_ft",
+            ),
         ],
         "store_returns" => vec![
             ("date_dim", "sr_returned_date_sk", "d_date_sk", "d_year"),
             ("item", "sr_item_sk", "i_item_sk", "i_brand"),
-            ("customer", "sr_customer_sk", "c_customer_sk", "c_preferred_cust_flag"),
+            (
+                "customer",
+                "sr_customer_sk",
+                "c_customer_sk",
+                "c_preferred_cust_flag",
+            ),
         ],
         _ => vec![("date_dim", "sold_date_sk", "d_date_sk", "d_year")],
     }
@@ -402,7 +447,10 @@ pub fn tpcds_suite() -> Vec<Template> {
         .iter()
         .enumerate()
     {
-        for (j, (lo, hi)) in [(-3.5, -1.5), (-3.0, -1.0), (-2.5, -0.7)].iter().enumerate() {
+        for (j, (lo, hi)) in [(-3.5, -1.5), (-3.0, -1.0), (-2.5, -0.7)]
+            .iter()
+            .enumerate()
+        {
             out.push(Template {
                 name: format!("tpcds_report_{fact}_{j}"),
                 class: TemplateClass::Reporting,
@@ -472,11 +520,31 @@ pub fn tpcds_suite() -> Vec<Template> {
 
     // ---- Cross-fact templates: sales ⋈ returns / cross-channel.
     let crossfacts: Vec<(&str, &str, (&str, &str, &str))> = vec![
-        ("sales_vs_returns_store", "store_sales", ("store_returns", "ss_item_sk", "sr_item_sk")),
-        ("sales_vs_returns_catalog", "catalog_sales", ("catalog_returns", "cs_item_sk", "cr_item_sk")),
-        ("cross_channel_sc", "store_sales", ("catalog_sales", "ss_customer_sk", "cs_bill_customer_sk")),
-        ("cross_channel_sw", "store_sales", ("web_sales", "ss_item_sk", "ws_item_sk")),
-        ("cross_channel_cw", "catalog_sales", ("web_sales", "cs_item_sk", "ws_item_sk")),
+        (
+            "sales_vs_returns_store",
+            "store_sales",
+            ("store_returns", "ss_item_sk", "sr_item_sk"),
+        ),
+        (
+            "sales_vs_returns_catalog",
+            "catalog_sales",
+            ("catalog_returns", "cs_item_sk", "cr_item_sk"),
+        ),
+        (
+            "cross_channel_sc",
+            "store_sales",
+            ("catalog_sales", "ss_customer_sk", "cs_bill_customer_sk"),
+        ),
+        (
+            "cross_channel_sw",
+            "store_sales",
+            ("web_sales", "ss_item_sk", "ws_item_sk"),
+        ),
+        (
+            "cross_channel_cw",
+            "catalog_sales",
+            ("web_sales", "cs_item_sk", "ws_item_sk"),
+        ),
     ];
     for (name, fact, (xt, lc, rc)) in crossfacts {
         out.push(Template {
@@ -510,7 +578,11 @@ pub fn tpcds_suite() -> Vec<Template> {
         weight: 0.8,
         fact: "store_sales".into(),
         extra_facts: vec![
-            ("catalog_sales".into(), "ss_item_sk".into(), "cs_item_sk".into()),
+            (
+                "catalog_sales".into(),
+                "ss_item_sk".into(),
+                "cs_item_sk".into(),
+            ),
             ("web_sales".into(), "ss_item_sk".into(), "ws_item_sk".into()),
         ],
         dims: owned_dims("store_sales"),
@@ -530,7 +602,11 @@ pub fn tpcds_suite() -> Vec<Template> {
         class: TemplateClass::Problem,
         weight: 0.7,
         fact: "catalog_sales".into(),
-        extra_facts: vec![("catalog_returns".into(), "cs_order_number".into(), "cr_order_number".into())],
+        extra_facts: vec![(
+            "catalog_returns".into(),
+            "cs_order_number".into(),
+            "cr_order_number".into(),
+        )],
         dims: owned_dims("catalog_sales"),
         dim_range: (0, 2),
         driving_sel_log10: Some((-1.5, -0.1)),
@@ -548,7 +624,11 @@ pub fn tpcds_suite() -> Vec<Template> {
         class: TemplateClass::Problem,
         weight: 1.2,
         fact: "inventory".into(),
-        extra_facts: vec![("store_sales".into(), "inv_item_sk".into(), "ss_item_sk".into())],
+        extra_facts: vec![(
+            "store_sales".into(),
+            "inv_item_sk".into(),
+            "ss_item_sk".into(),
+        )],
         dims: owned_dims("inventory"),
         dim_range: (1, 3),
         driving_sel_log10: Some((-1.5, -0.1)),
@@ -566,7 +646,11 @@ pub fn tpcds_suite() -> Vec<Template> {
         class: TemplateClass::Problem,
         weight: 0.8,
         fact: "store_sales".into(),
-        extra_facts: vec![("store_returns".into(), "ss_ticket_number".into(), "sr_ticket_number".into())],
+        extra_facts: vec![(
+            "store_returns".into(),
+            "ss_ticket_number".into(),
+            "sr_ticket_number".into(),
+        )],
         dims: owned_dims("store_sales"),
         dim_range: (1, 4),
         driving_sel_log10: Some((-4.0, -0.2)),
@@ -584,7 +668,11 @@ pub fn tpcds_suite() -> Vec<Template> {
         class: TemplateClass::Problem,
         weight: 0.6,
         fact: "catalog_sales".into(),
-        extra_facts: vec![("web_sales".into(), "cs_bill_customer_sk".into(), "ws_bill_customer_sk".into())],
+        extra_facts: vec![(
+            "web_sales".into(),
+            "cs_bill_customer_sk".into(),
+            "ws_bill_customer_sk".into(),
+        )],
         dims: owned_dims("catalog_sales"),
         dim_range: (1, 3),
         driving_sel_log10: None, // full history scan, no date restriction
@@ -608,7 +696,11 @@ pub fn tpcds_suite() -> Vec<Template> {
         class: TemplateClass::Problem,
         weight: 1.0,
         fact: "inventory".into(),
-        extra_facts: vec![("store_sales".into(), "inv_item_sk".into(), "ss_item_sk".into())],
+        extra_facts: vec![(
+            "store_sales".into(),
+            "inv_item_sk".into(),
+            "ss_item_sk".into(),
+        )],
         dims: owned_dims("inventory"),
         dim_range: (1, 2),
         driving_sel_log10: Some((-0.55, -0.1)),
@@ -626,7 +718,11 @@ pub fn tpcds_suite() -> Vec<Template> {
         class: TemplateClass::Problem,
         weight: 1.0,
         fact: "store_sales".into(),
-        extra_facts: vec![("catalog_sales".into(), "ss_item_sk".into(), "cs_item_sk".into())],
+        extra_facts: vec![(
+            "catalog_sales".into(),
+            "ss_item_sk".into(),
+            "cs_item_sk".into(),
+        )],
         dims: owned_dims("store_sales"),
         dim_range: (1, 2),
         driving_sel_log10: Some((-0.8, -0.2)),

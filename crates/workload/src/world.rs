@@ -57,12 +57,7 @@ pub fn true_selectivity(
 /// log10-uniform over `[lo, hi]`, pinned to the join columns plus a
 /// small per-query phase (different filtered subsets of the same join
 /// hit differently skewed key ranges).
-pub fn join_fanout(
-    left_column: &str,
-    right_column: &str,
-    phase: u64,
-    (lo, hi): (f64, f64),
-) -> f64 {
+pub fn join_fanout(left_column: &str, right_column: &str, phase: u64, (lo, hi): (f64, f64)) -> f64 {
     let u = hashed_unit(&[left_column, right_column, "fanout"], phase);
     10f64.powf(lo + (hi - lo) * u)
 }

@@ -56,7 +56,11 @@ fn main() {
     );
     println!(
         "\nthe flag works when anomalous errors exceed confident ones: {}",
-        if ma > mc { "YES" } else { "no (try more training data)" }
+        if ma > mc {
+            "YES"
+        } else {
+            "no (try more training data)"
+        }
     );
 
     // A completely foreign workload shape: kernel similarity collapses,

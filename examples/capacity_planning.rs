@@ -43,10 +43,17 @@ fn main() {
         "configuration", "makespan (s)", "longest (s)", "msg bytes"
     );
     for (i, e) in rec.estimates.iter().enumerate() {
-        let marker = if rec.recommended == Some(i) { "  <= recommended" } else { "" };
+        let marker = if rec.recommended == Some(i) {
+            "  <= recommended"
+        } else {
+            ""
+        };
         println!(
             "{:<20} {:>14.1} {:>14.1} {:>14.2e}{marker}",
-            e.config.name, e.predicted_makespan, e.predicted_longest_query, e.predicted_message_bytes
+            e.config.name,
+            e.predicted_makespan,
+            e.predicted_longest_query,
+            e.predicted_message_bytes
         );
     }
     match rec.recommended {

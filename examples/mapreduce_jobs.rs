@@ -11,7 +11,10 @@ use qpp::ml::predictive_risk;
 
 fn main() {
     let cluster = ClusterConfig::small();
-    println!("calibrating on {}: running 500 training jobs …", cluster.name);
+    println!(
+        "calibrating on {}: running 500 training jobs …",
+        cluster.name
+    );
     let mut generator = qpp::mapreduce::job::JobGenerator::new(2009);
     let train_jobs = generator.generate(500);
     let (model, _) = JobPredictor::train(&train_jobs, &cluster, 3).expect("training");

@@ -21,8 +21,8 @@ fn main() {
     // 2. Train the predictor: Gaussian-kernel KCCA over (plan features,
     //    performance metrics), k-nearest-neighbor prediction in the
     //    correlated projection space.
-    let model = KccaPredictor::train(&train, PredictorOptions::default())
-        .expect("training succeeds");
+    let model =
+        KccaPredictor::train(&train, PredictorOptions::default()).expect("training succeeds");
     println!(
         "trained on {} queries; top canonical correlations: {:.3} {:.3} {:.3}",
         model.training_size(),
@@ -38,7 +38,11 @@ fn main() {
     let catalog = Catalog::new(generator.schema().clone());
     let optimized = optimize(&query, &catalog, &config);
 
-    println!("\nincoming query ({}):\n{}", query.template, sql::render(&query));
+    println!(
+        "\nincoming query ({}):\n{}",
+        query.template,
+        sql::render(&query)
+    );
     println!("\noptimizer plan:\n{}", optimized.plan.display_tree());
 
     let prediction = model.predict(&query, &optimized.plan).expect("prediction");

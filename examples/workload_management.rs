@@ -8,8 +8,7 @@
 
 use qpp::core::pipeline::collect_tpcds;
 use qpp::core::workload_mgmt::{
-    decide, predicted_serial_makespan, schedule_shortest_first, AdmissionDecision,
-    AdmissionPolicy,
+    decide, predicted_serial_makespan, schedule_shortest_first, AdmissionDecision, AdmissionPolicy,
 };
 use qpp::core::{KccaPredictor, PredictorOptions};
 use qpp::engine::SystemConfig;

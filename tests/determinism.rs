@@ -61,7 +61,10 @@ fn ground_truth_is_pinned_to_constants_not_query_ids() {
     // Message bytes may differ slightly: the true group count of an
     // aggregation wobbles with the per-query noise stream.
     let mb_ratio = m1.message_bytes.max(1.0) / m2.message_bytes.max(1.0);
-    assert!((0.5..2.0).contains(&mb_ratio), "message bytes ratio {mb_ratio}");
+    assert!(
+        (0.5..2.0).contains(&mb_ratio),
+        "message bytes ratio {mb_ratio}"
+    );
     let ratio = m1.elapsed_seconds / m2.elapsed_seconds;
     assert!(
         (0.6..1.7).contains(&ratio),

@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the API shape the workspace's benches use — groups,
+//! `sample_size` / `measurement_time`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock sampler
+//! that prints mean and best time per benchmark. No statistics engine,
+//! no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group `{name}`");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{id}"), 10, Duration::from_secs(2), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{id}", self.name);
+        run_benchmark(&label, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is incremental; nothing left to flush).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label combining a function name with a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    target_samples: usize,
+    budget: Duration,
+    /// Seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting up to the configured number of
+    /// samples within the group's wall-clock budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        // Warmup doubles as a cost estimate for batching fast routines.
+        let warm_start = Instant::now();
+        let _ = routine();
+        let warm = warm_start.elapsed();
+        self.samples.push(warm.as_secs_f64());
+        // Batch so each sample spans >= ~1ms of work (timer noise floor).
+        let iters_per_sample = (1_000_000u128 / warm.as_nanos().max(1)).clamp(1, 10_000) as usize;
+        while self.samples.len() < self.target_samples && started.elapsed() < self.budget {
+            let sample_start = Instant::now();
+            for _ in 0..iters_per_sample {
+                let _ = routine();
+            }
+            self.samples
+                .push(sample_start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        target_samples: sample_size,
+        budget: measurement_time,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {label}: no samples recorded");
+        return;
+    }
+    let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+    let best = bencher
+        .samples
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "  {label}: mean {} / best {} ({} samples)",
+        format_seconds(mean),
+        format_seconds(best),
+        bencher.samples.len()
+    );
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_collects_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(5).measurement_time(Duration::from_millis(50));
+        let mut runs = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box((0..100u64).sum::<u64>())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, n| {
+            b.iter(|| std::hint::black_box(*n * 2))
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn units_format_sensibly() {
+        assert_eq!(format_seconds(2.5), "2.500 s");
+        assert_eq!(format_seconds(0.0025), "2.500 ms");
+        assert_eq!(format_seconds(2.5e-6), "2.500 µs");
+        assert_eq!(format_seconds(2.5e-9), "2.5 ns");
+    }
+}

@@ -1,0 +1,343 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! No `syn`/`quote` (the build is offline): the item is parsed directly
+//! from the proc-macro token stream. Supported shapes — the only ones
+//! this workspace uses — are structs with named fields and enums whose
+//! variants are units or have named fields. Anything else panics at
+//! compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => serialize_struct(&item.name, fields),
+        Shape::Enum(variants) => serialize_enum(&item.name, variants),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}",
+        item.name
+    );
+    out.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree conversion).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => deserialize_struct(&item.name, fields),
+        Shape::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {} {{\n\
+             fn from_value(v: &::serde::value::Value) \
+               -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}",
+        item.name
+    );
+    out.parse().expect("derived Deserialize impl parses")
+}
+
+// ---- item model -----------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named fields.
+    Struct(Vec<String>),
+    /// Variants: name plus named fields (empty = unit variant).
+    Enum(Vec<(String, Vec<String>)>),
+}
+
+// ---- token-level parsing -------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` / `#![...]` attribute groups (doc comments arrive
+    /// in this form too).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            if let Some(TokenTree::Punct(bang)) = self.peek() {
+                if bang.as_char() == '!' {
+                    self.next();
+                }
+            }
+            match self.next() {
+                Some(TokenTree::Group(_)) => {}
+                other => panic!("malformed attribute near {other:?}"),
+            }
+        }
+    }
+
+    /// Skips `pub` / `pub(...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected {what}, found {other:?}"),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    match c.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("derive(Serialize/Deserialize) stand-in does not support generic type `{name}`")
+        }
+        _ => {}
+    }
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected braced body for `{name}`, found {other:?}"),
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body, &name)),
+        "enum" => Shape::Enum(parse_variants(body, &name)),
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Parses `ident: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream, owner: &str) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let field = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{owner}.{field}`, found {other:?}"),
+        }
+        // Consume the type: everything up to a comma outside angle
+        // brackets (parenthesized/bracketed groups are single tokens).
+        let mut angle_depth = 0i32;
+        while let Some(tok) = c.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    c.next();
+                    break;
+                }
+                _ => {}
+            }
+            c.next();
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Parses enum variants: unit or named-field only.
+fn parse_variants(stream: TokenStream, owner: &str) -> Vec<(String, Vec<String>)> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let variant = c.expect_ident("variant name");
+        match c.peek() {
+            None => {
+                variants.push((variant, Vec::new()));
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                c.next();
+                variants.push((variant, Vec::new()));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream(), owner);
+                c.next();
+                if let Some(TokenTree::Punct(p)) = c.peek() {
+                    if p.as_char() == ',' {
+                        c.next();
+                    }
+                }
+                variants.push((variant, fields));
+            }
+            Some(other) => panic!(
+                "variant `{owner}::{variant}`: only unit and named-field variants \
+                 are supported, found {other:?}"
+            ),
+        }
+    }
+    variants
+}
+
+// ---- code generation ------------------------------------------------
+
+fn serialize_struct(_name: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&self.{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::value::Value::Map(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields.iter().map(|f| field_init(name, f, "v")).collect();
+    format!(
+        "::std::result::Result::Ok({name} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn field_init(owner: &str, field: &str, source: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value({source}.get(\"{field}\")\
+         .ok_or_else(|| ::serde::DeError::custom(\
+         \"missing field `{field}` in `{owner}`\"))?)?"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Vec<String>)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(variant, fields)| {
+            if fields.is_empty() {
+                format!(
+                    "{name}::{variant} => ::serde::value::Value::Str(\
+                     ::std::string::String::from(\"{variant}\"))"
+                )
+            } else {
+                let binders = fields.join(", ");
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{variant} {{ {binders} }} => ::serde::value::Value::Map(\
+                     ::std::vec![(::std::string::String::from(\"{variant}\"), \
+                     ::serde::value::Value::Map(::std::vec![{}]))])",
+                    entries.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(", "))
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Vec<String>)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, fields)| fields.is_empty())
+        .map(|(variant, _)| {
+            format!("\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),")
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, fields)| !fields.is_empty())
+        .map(|(variant, fields)| {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| field_init(&format!("{name}::{variant}"), f, "inner"))
+                .collect();
+            format!(
+                "\"{variant}\" => ::std::result::Result::Ok({name}::{variant} {{ {} }}),",
+                inits.join(", ")
+            )
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+           ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+             {}\n\
+             other => ::std::result::Result::Err(::serde::DeError::custom(\
+               ::std::format!(\"unknown variant `{{}}` of `{name}`\", other))),\n\
+           }},\n\
+           ::serde::value::Value::Map(entries) if entries.len() == 1 => {{\n\
+             let (tag, inner) = &entries[0];\n\
+             match tag.as_str() {{\n\
+               {}\n\
+               other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of `{name}`\", other))),\n\
+             }}\n\
+           }},\n\
+           other => ::std::result::Result::Err(::serde::DeError::custom(\
+             ::std::format!(\"expected `{name}` variant, got {{:?}}\", other))),\n\
+         }}",
+        unit_arms.join("\n"),
+        data_arms.join("\n")
+    )
+}
