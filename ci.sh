@@ -9,7 +9,10 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test"
+echo "==> cargo test (QPP_THREADS=1)"
+QPP_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test (default threads)"
 cargo test -q --workspace
 
 echo "CI OK"

@@ -1,0 +1,132 @@
+//! Measures the speedup of the deterministic parallel engine: runs the
+//! KCCA training and prediction hot paths once with 1 thread and once
+//! with the full pool, verifies the outputs are bitwise identical, and
+//! prints the wall-clock ratio.
+//!
+//! ```text
+//! cargo run --release -p qpp-bench --bin par_speedup
+//! cargo run --release -p qpp-bench --bin par_speedup -- --rows 800
+//! QPP_THREADS=8 cargo run --release -p qpp-bench --bin par_speedup
+//! ```
+
+use qpp_linalg::Matrix;
+use qpp_ml::{DistanceMetric, Kcca, KccaOptions, NearestNeighbors};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn synthetic_pair(n: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, 12);
+    let mut y = Matrix::zeros(n, 6);
+    for i in 0..n {
+        let mut norm = 0.0;
+        for j in 0..12 {
+            let v = rng.random_range(-2.0..2.0);
+            x[(i, j)] = v;
+            norm += v * v;
+        }
+        for j in 0..6 {
+            y[(i, j)] = norm.sqrt() * (j as f64 + 1.0) + 0.05 * rng.random_range(-1.0..1.0);
+        }
+    }
+    (x, y)
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut rows = 600usize;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rows" => {
+                rows = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rows needs a numeric value")
+            }
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+
+    let threads = qpp_par::current_threads();
+    println!("pool threads: {threads} (override with QPP_THREADS)");
+    println!("training rows: {rows}\n");
+
+    let (x, y) = synthetic_pair(rows, 42);
+    let probes: Vec<Vec<f64>> = {
+        let (px, _) = synthetic_pair(rows / 2, 43);
+        (0..px.rows()).map(|i| px.row(i).to_vec()).collect()
+    };
+    let opts = KccaOptions::default();
+
+    // Warm up the pool so thread spawning is not billed to the run.
+    let _ = qpp_par::parallel_for_chunks(1024, 8, |c| c.range.len());
+
+    let (serial_model, t_fit_1) =
+        qpp_par::with_threads(1, || timed(|| Kcca::fit(&x, &y, opts).expect("fit")));
+    let (par_model, t_fit_n) = timed(|| Kcca::fit(&x, &y, opts).expect("fit"));
+
+    let same_projection = serial_model.query_projection() == par_model.query_projection();
+    let same_correlations = serial_model.correlations() == par_model.correlations();
+    assert!(
+        same_projection && same_correlations,
+        "parallel KCCA fit diverged from serial fit"
+    );
+
+    let (serial_proj, t_proj_1) = qpp_par::with_threads(1, || {
+        timed(|| {
+            serial_model
+                .project_queries_with_similarity(&probes)
+                .expect("project")
+        })
+    });
+    let (par_proj, t_proj_n) = timed(|| {
+        par_model
+            .project_queries_with_similarity(&probes)
+            .expect("project")
+    });
+    assert!(serial_proj == par_proj, "batch projection diverged");
+
+    let knn = NearestNeighbors::new(
+        par_model.query_projection().clone(),
+        DistanceMetric::Euclidean,
+    );
+    let (serial_knn, t_knn_1) = qpp_par::with_threads(1, || {
+        timed(|| {
+            serial_proj
+                .iter()
+                .map(|(p, _)| knn.query(p, 3))
+                .collect::<Vec<_>>()
+        })
+    });
+    let (par_knn, t_knn_n) = timed(|| {
+        par_proj
+            .iter()
+            .map(|(p, _)| knn.query(p, 3))
+            .collect::<Vec<_>>()
+    });
+    assert!(serial_knn == par_knn, "knn queries diverged");
+
+    println!("stage                1 thread    {threads} threads  speedup");
+    for (label, t1, tn) in [
+        ("kcca fit", t_fit_1, t_fit_n),
+        ("batch projection", t_proj_1, t_proj_n),
+        ("knn queries", t_knn_1, t_knn_n),
+    ] {
+        println!(
+            "{label:<20} {:>8.3}s   {:>8.3}s   {:>5.2}x",
+            t1,
+            tn,
+            t1 / tn.max(1e-12)
+        );
+    }
+    println!("\nall outputs bitwise identical across thread counts");
+}

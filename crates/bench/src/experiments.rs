@@ -299,28 +299,33 @@ fn metric_headers() -> Vec<&'static str> {
 
 /// Table I — Euclidean vs. cosine neighbor distance.
 pub fn table1(ctx: &Context, report: &mut Report) -> ExperimentResult {
-    let mut rows = Vec::new();
-    let mut euclid_risk = 0.0;
-    let mut cosine_risk = 0.0;
-    for (label, metric) in [
+    let variants = [
         ("Euclidean distance", DistanceMetric::Euclidean),
         ("cosine distance", DistanceMetric::Cosine),
-    ] {
+    ];
+    // Variants are independent: train/evaluate in parallel, assemble
+    // the report rows serially in variant order.
+    let evals = qpp_par::parallel_map(&variants, 1, |&(_, metric)| {
         let opts = PredictorOptions {
             metric,
             ..PredictorOptions::default()
         };
         let model = KccaPredictor::train(&ctx.train, opts).expect("trains");
-        let eval = evaluate(
+        evaluate(
             &model.predict_dataset(&ctx.test).expect("predicts"),
             &ctx.test,
-        );
-        if metric == DistanceMetric::Euclidean {
+        )
+    });
+    let mut rows = Vec::new();
+    let mut euclid_risk = 0.0;
+    let mut cosine_risk = 0.0;
+    for ((label, metric), eval) in variants.iter().zip(evals.iter()) {
+        if *metric == DistanceMetric::Euclidean {
             euclid_risk = eval.predictive_risk[0].unwrap_or(f64::NAN);
         } else {
             cosine_risk = eval.predictive_risk[0].unwrap_or(f64::NAN);
         }
-        rows.push(risks_row(label, &eval));
+        rows.push(risks_row(label, eval));
     }
     report.heading(2, "Table I — distance metric for nearest neighbors");
     report.para(
@@ -337,20 +342,23 @@ pub fn table1(ctx: &Context, report: &mut Report) -> ExperimentResult {
 
 /// Table II — number of neighbors k ∈ 3..7.
 pub fn table2(ctx: &Context, report: &mut Report) -> ExperimentResult {
-    let mut rows = Vec::new();
-    let mut risks = Vec::new();
-    for k in 3..=7usize {
+    let ks: Vec<usize> = (3..=7).collect();
+    let evals = qpp_par::parallel_map(&ks, 1, |&k| {
         let opts = PredictorOptions {
             neighbors: k,
             ..PredictorOptions::default()
         };
         let model = KccaPredictor::train(&ctx.train, opts).expect("trains");
-        let eval = evaluate(
+        evaluate(
             &model.predict_dataset(&ctx.test).expect("predicts"),
             &ctx.test,
-        );
+        )
+    });
+    let mut rows = Vec::new();
+    let mut risks = Vec::new();
+    for (k, eval) in ks.iter().zip(evals.iter()) {
         risks.push(eval.predictive_risk[0].unwrap_or(f64::NAN));
-        rows.push(risks_row(&format!("{k}NN"), &eval));
+        rows.push(risks_row(&format!("{k}NN"), eval));
     }
     report.heading(2, "Table II — number of neighbors");
     report.para(
@@ -374,24 +382,27 @@ pub fn table2(ctx: &Context, report: &mut Report) -> ExperimentResult {
 
 /// Table III — neighbor weighting schemes.
 pub fn table3(ctx: &Context, report: &mut Report) -> ExperimentResult {
-    let mut rows = Vec::new();
-    let mut risks = Vec::new();
-    for (label, weighting) in [
+    let variants = [
         ("equal", NeighborWeighting::Equal),
         ("3:2:1 ratio", NeighborWeighting::RankRatio),
         ("distance ratio", NeighborWeighting::InverseDistance),
-    ] {
+    ];
+    let evals = qpp_par::parallel_map(&variants, 1, |&(_, weighting)| {
         let opts = PredictorOptions {
             weighting,
             ..PredictorOptions::default()
         };
         let model = KccaPredictor::train(&ctx.train, opts).expect("trains");
-        let eval = evaluate(
+        evaluate(
             &model.predict_dataset(&ctx.test).expect("predicts"),
             &ctx.test,
-        );
+        )
+    });
+    let mut rows = Vec::new();
+    let mut risks = Vec::new();
+    for ((label, _), eval) in variants.iter().zip(evals.iter()) {
         risks.push(eval.predictive_risk[0].unwrap_or(f64::NAN));
-        rows.push(risks_row(label, &eval));
+        rows.push(risks_row(label, eval));
     }
     report.heading(2, "Table III — neighbor weighting");
     report.para(
@@ -623,7 +634,11 @@ pub fn fig16(report: &mut Report) -> ExperimentResult {
         queries.shuffle(&mut rng);
     }
     let schema = gen.schema().clone();
-    for cpus in [4u32, 8, 16, 32] {
+    // The four CPU configurations are independent end-to-end runs
+    // (collect + train + evaluate); fan them out and assemble the
+    // table serially in configuration order.
+    let cpu_configs = [4u32, 8, 16, 32];
+    let per_config = qpp_par::parallel_map(&cpu_configs, 1, |&cpus| {
         let config = SystemConfig::neoview_32(cpus);
         let ds = Dataset::collect(&schema, queries.clone(), &config, 4);
         let train_idx: Vec<usize> = (0..197).collect();
@@ -633,9 +648,6 @@ pub fn fig16(report: &mut Report) -> ExperimentResult {
         let model = KccaPredictor::train(&train, PredictorOptions::default()).expect("trains");
         let preds = model.predict_dataset(&test).expect("predicts");
         let eval = evaluate(&preds, &test);
-        if eval.predictive_risk[1].is_none() {
-            disk_null += 1;
-        }
         // The paper notes predictive risk "tends to be sensitive to
         // outliers and in several cases improved significantly by
         // removing the top one or two outliers" (§VI-C); with the
@@ -656,11 +668,16 @@ pub fn fig16(report: &mut Report) -> ExperimentResult {
                 }
             })
             .collect();
+        (trimmed, eval.predictive_risk[1].is_none())
+    });
+    for (cpus, (trimmed, disk_is_null)) in cpu_configs.iter().zip(per_config.iter()) {
+        if *disk_is_null {
+            disk_null += 1;
+        }
         elapsed_risks.push(trimmed[0].unwrap_or(f64::NAN));
         let mut row = vec![format!("{cpus} nodes")];
         row.extend(trimmed.iter().map(|r| risk_cell(*r)));
         rows.push(row);
-        let _ = eval;
     }
     report.heading(2, "Fig. 16 — 32-node system, 4/8/16/32-CPU configurations");
     report.para(

@@ -3,8 +3,6 @@
 
 use crate::categories::QueryCategory;
 use crate::features::{performance_to_kernel_space, query_features, FeatureKind};
-use crossbeam::channel;
-use parking_lot::Mutex;
 use qpp_engine::{execute, optimize, Catalog, OptimizedQuery, PerfMetrics, SystemConfig};
 use qpp_linalg::Matrix;
 use qpp_workload::{QuerySpec, Schema};
@@ -40,7 +38,8 @@ pub struct Dataset {
 
 impl Dataset {
     /// Optimizes and executes `queries` on `config`, in parallel across
-    /// `threads` workers. Record order matches input order.
+    /// at most `threads` workers of the shared `qpp-par` pool. Record
+    /// order matches input order regardless of worker count.
     pub fn collect(
         schema: &Schema,
         queries: Vec<QuerySpec>,
@@ -48,34 +47,12 @@ impl Dataset {
         threads: usize,
     ) -> Dataset {
         let catalog = Catalog::new(schema.clone());
-        let n = queries.len();
-        let slots: Mutex<Vec<Option<QueryRecord>>> = Mutex::new((0..n).map(|_| None).collect());
-        let (tx, rx) = channel::unbounded::<(usize, QuerySpec)>();
-        for item in queries.into_iter().enumerate() {
-            tx.send(item).expect("queue send");
-        }
-        drop(tx);
-
-        let workers = threads.max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let rx = rx.clone();
-                let catalog = &catalog;
-                let slots = &slots;
-                scope.spawn(move || {
-                    while let Ok((idx, spec)) = rx.recv() {
-                        let record = run_query(spec, catalog, schema, config);
-                        slots.lock()[idx] = Some(record);
-                    }
-                });
-            }
+        let workers = threads.max(1).min(qpp_par::current_threads());
+        let records = qpp_par::with_threads(workers, || {
+            qpp_par::parallel_map(&queries, 1, |spec| {
+                run_query(spec.clone(), &catalog, schema, config)
+            })
         });
-
-        let records = slots
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("all slots filled"))
-            .collect();
         Dataset {
             config: config.clone(),
             schema: schema.clone(),

@@ -140,7 +140,7 @@ impl KccaPredictor {
         let scaled = self.scaler.transform_row(features);
         let (projected, max_kernel_similarity) =
             self.kcca.project_query_with_similarity(&scaled)?;
-        Ok(self.finish_prediction(projected, max_kernel_similarity))
+        self.finish_prediction(projected, max_kernel_similarity)
     }
 
     /// Predicts a batch of raw query feature vectors in one pass.
@@ -156,15 +156,23 @@ impl KccaPredictor {
     ) -> Result<Vec<Prediction>, LinalgError> {
         let scaled: Vec<Vec<f64>> = rows.iter().map(|r| self.scaler.transform_row(r)).collect();
         let projections = self.kcca.project_queries_with_similarity(&scaled)?;
-        Ok(projections
+        projections
             .into_iter()
             .map(|(projected, similarity)| self.finish_prediction(projected, similarity))
-            .collect())
+            .collect()
     }
 
     /// Shared tail of single and batched prediction: kNN combine in
     /// projection space plus the confidence signals.
-    fn finish_prediction(&self, projected: Vec<f64>, max_kernel_similarity: f64) -> Prediction {
+    ///
+    /// Fails (instead of silently predicting zeros, as it once did)
+    /// when no usable neighbor exists — an empty reference or a probe
+    /// whose projection is entirely non-finite.
+    fn finish_prediction(
+        &self,
+        projected: Vec<f64>,
+        max_kernel_similarity: f64,
+    ) -> Result<Prediction, LinalgError> {
         let targets = if self.options.log_space_average {
             &self.log_performance
         } else {
@@ -175,23 +183,21 @@ impl KccaPredictor {
             targets,
             self.options.neighbors,
             self.options.weighting,
-        );
+        )?;
         if self.options.log_space_average {
             for v in &mut combined {
                 *v = v.exp_m1().max(0.0);
             }
         }
-        let confidence_distance = if found.is_empty() {
-            f64::INFINITY
-        } else {
-            found.iter().map(|n| n.distance).sum::<f64>() / found.len() as f64
-        };
-        Prediction {
+        // `predict` never returns an empty neighbor list on success.
+        let confidence_distance =
+            found.iter().map(|n| n.distance).sum::<f64>() / found.len() as f64;
+        Ok(Prediction {
             metrics: PerfMetrics::from_vec(&combined),
             neighbor_indices: found.iter().map(|n| n.index).collect(),
             confidence_distance,
             max_kernel_similarity,
-        }
+        })
     }
 
     /// Predicts for a query given its optimizer plan — the compile-time

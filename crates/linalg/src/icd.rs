@@ -18,6 +18,11 @@ use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
+/// Rows per parallel work chunk in the factorization loops. Fixed (not
+/// derived from the thread count) so chunk boundaries — and therefore
+/// results — never depend on how many workers ran.
+const ROW_CHUNK: usize = 256;
+
 /// Options controlling the factorization.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct IcdOptions {
@@ -50,17 +55,26 @@ impl IncompleteCholesky {
     /// Factorizes the `n x n` Gram matrix given by `gram(i, j)`.
     ///
     /// `gram` must be symmetric with non-negative diagonal (any kernel
-    /// matrix qualifies).
+    /// matrix qualifies). It is evaluated from multiple worker threads
+    /// (hence `Sync`): each pivot's column of `N` kernel evaluations
+    /// and residual updates is chunked across the `qpp-par` pool, with
+    /// per-chunk results merged in row order — so the factor is bitwise
+    /// identical for any thread count.
     pub fn factor(
         n: usize,
-        mut gram: impl FnMut(usize, usize) -> f64,
+        gram: impl Fn(usize, usize) -> f64 + Sync,
         opts: IcdOptions,
     ) -> Result<Self> {
         if n == 0 {
             return Err(LinalgError::Empty("incomplete cholesky"));
         }
         let max_rank = opts.max_rank.min(n);
-        let mut d: Vec<f64> = (0..n).map(|i| gram(i, i)).collect();
+        let mut d: Vec<f64> = qpp_par::parallel_for_chunks(n, ROW_CHUNK, |chunk| {
+            chunk.range.map(|i| gram(i, i)).collect::<Vec<f64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let initial_trace: f64 = d.iter().sum();
         let tol = if initial_trace > 0.0 {
             opts.relative_tolerance * initial_trace
@@ -92,20 +106,39 @@ impl IncompleteCholesky {
                 break;
             }
             let gpp = best.sqrt();
+            // The hot loop: one kernel evaluation plus a rank-t residual
+            // update per unselected row. Chunked across the worker pool;
+            // every row's arithmetic is element-wise independent, so the
+            // values are identical to the serial loop's.
+            let g_cols_ref = &g_cols;
+            let d_ref = &d;
+            let selected_ref = &selected;
+            let parts = qpp_par::parallel_for_chunks(n, ROW_CHUNK, |chunk| {
+                let mut out = Vec::with_capacity(chunk.range.len());
+                for i in chunk.range {
+                    if selected_ref[i] || i == p {
+                        out.push((0.0, d_ref[i]));
+                        continue;
+                    }
+                    let mut v = gram(i, p);
+                    for prev in g_cols_ref {
+                        v -= prev[i] * prev[p];
+                    }
+                    let gi = v / gpp;
+                    out.push((gi, d_ref[i] - gi * gi));
+                }
+                out
+            });
             let mut col = vec![0.0; n];
-            col[p] = gpp;
-            for i in 0..n {
-                if selected[i] || i == p {
-                    continue;
+            let mut i = 0;
+            for part in parts {
+                for (g_i, d_i) in part {
+                    col[i] = g_i;
+                    d[i] = d_i;
+                    i += 1;
                 }
-                let mut v = gram(i, p);
-                for prev in &g_cols {
-                    v -= prev[i] * prev[p];
-                }
-                let gi = v / gpp;
-                col[i] = gi;
-                d[i] -= gi * gi;
             }
+            col[p] = gpp;
             selected[p] = true;
             d[p] = 0.0;
             pivots.push(p);

@@ -157,6 +157,10 @@ impl Matrix {
     }
 
     /// Matrix product `self * rhs`.
+    ///
+    /// Output rows are independent, so row chunks run on the `qpp-par`
+    /// pool; each row's arithmetic is identical to the serial loop's,
+    /// making the product bitwise independent of the thread count.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -165,23 +169,36 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order: innermost loop walks contiguous rows of both
-        // `rhs` and `out`, which vectorizes well.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
+        let out_cols = rhs.cols;
+        // Aim for a few thousand output elements per chunk; the bounds
+        // depend only on the shapes, never on the worker count.
+        let rows_per_chunk = (32_768 / out_cols.max(1)).clamp(4, 512);
+        let parts = qpp_par::parallel_for_chunks(self.rows, rows_per_chunk, |chunk| {
+            let mut buf = vec![0.0; chunk.range.len() * out_cols];
+            for (bi, i) in chunk.range.clone().enumerate() {
+                let a_row = self.row(i);
+                let out_row = &mut buf[bi * out_cols..(bi + 1) * out_cols];
+                // i-k-j loop order: innermost loop walks contiguous rows
+                // of both `rhs` and the output, which vectorizes well.
+                for (k, &a_ik) in a_row.iter().enumerate() {
+                    if a_ik == 0.0 {
+                        continue;
+                    }
+                    for (o, &b) in out_row.iter_mut().zip(rhs.row(k).iter()) {
+                        *o += a_ik * b;
+                    }
                 }
             }
+            buf
+        });
+        let mut data = Vec::with_capacity(self.rows * out_cols);
+        for part in parts {
+            data.extend(part);
         }
-        Ok(out)
+        if data.is_empty() {
+            return Ok(Matrix::zeros(self.rows, out_cols));
+        }
+        Matrix::from_vec(self.rows, out_cols, data)
     }
 
     /// Matrix-vector product `self * v`.
@@ -200,23 +217,41 @@ impl Matrix {
     }
 
     /// `selfᵀ * self` computed without forming the transpose.
+    ///
+    /// Rows accumulate into per-chunk partial Gram matrices (fixed
+    /// 512-row chunks) that merge in chunk order, so the result is
+    /// deterministic for any thread count; with ≤ 512 rows the single
+    /// chunk reproduces the serial accumulation exactly.
     pub fn gram(&self) -> Matrix {
+        const GRAM_ROW_CHUNK: usize = 512;
         let n = self.cols;
-        let mut g = Matrix::zeros(n, n);
-        for i in 0..self.rows {
-            let row = self.row(i);
-            for a in 0..n {
-                let ra = row[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                let g_row = g.row_mut(a);
-                for b in 0..n {
-                    g_row[b] += ra * row[b];
+        let parts = qpp_par::parallel_for_chunks(self.rows, GRAM_ROW_CHUNK, |chunk| {
+            let mut g = vec![0.0; n * n];
+            for i in chunk.range.clone() {
+                let row = self.row(i);
+                for (a, &ra) in row.iter().enumerate() {
+                    if ra == 0.0 {
+                        continue;
+                    }
+                    let g_row = &mut g[a * n..(a + 1) * n];
+                    for (o, &rb) in g_row.iter_mut().zip(row.iter()) {
+                        *o += ra * rb;
+                    }
                 }
             }
+            g
+        });
+        let mut iter = parts.into_iter();
+        let mut acc = match iter.next() {
+            Some(first) => first,
+            None => return Matrix::zeros(n, n),
+        };
+        for part in iter {
+            for (o, v) in acc.iter_mut().zip(part.iter()) {
+                *o += v;
+            }
         }
-        g
+        Matrix::from_vec(n, n, acc).expect("gram buffer is n*n")
     }
 
     /// Element-wise sum `self + rhs`.

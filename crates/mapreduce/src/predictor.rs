@@ -71,12 +71,10 @@ impl JobPredictor {
             &self.raw_outcomes,
             self.k,
             NeighborWeighting::Equal,
-        );
-        let confidence_distance = if found.is_empty() {
-            f64::INFINITY
-        } else {
-            found.iter().map(|n| n.distance).sum::<f64>() / found.len() as f64
-        };
+        )?;
+        // `predict` never returns an empty neighbor list on success.
+        let confidence_distance =
+            found.iter().map(|n| n.distance).sum::<f64>() / found.len() as f64;
         Ok(JobPrediction {
             outcome: JobOutcome {
                 elapsed_seconds: combined[0],

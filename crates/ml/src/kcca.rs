@@ -177,20 +177,27 @@ impl Kcca {
     }
 
     /// Projects a batch of query feature vectors, amortizing the
-    /// kernel-row buffer across queries.
+    /// kernel-row buffer across queries within a chunk.
     ///
     /// Row `i` of the result is exactly what
     /// [`Kcca::project_query_with_similarity`] returns for `rows[i]` —
-    /// both paths run the identical per-row floating-point operations
-    /// in the identical order, so results are bitwise equal.
+    /// per-row work is independent and runs the identical per-row
+    /// floating-point operations in the identical order, so results are
+    /// bitwise equal to single-query projection for any thread count.
+    /// Chunks of 16 queries fan out across the `qpp-par` pool (the
+    /// qpp-serve micro-batch path and the experiment hot loops).
     pub fn project_queries_with_similarity(
         &self,
         rows: &[Vec<f64>],
     ) -> Result<Vec<(Vec<f64>, f64)>, LinalgError> {
-        let mut k_row = Vec::with_capacity(self.x_pivots.rows());
-        rows.iter()
-            .map(|features| self.project_into(features, &mut k_row))
-            .collect()
+        let per_chunk = qpp_par::parallel_for_chunks(rows.len(), 16, |chunk| {
+            let mut k_row = Vec::with_capacity(self.x_pivots.rows());
+            rows[chunk.range.clone()]
+                .iter()
+                .map(|features| self.project_into(features, &mut k_row))
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// Shared per-row projection; `k_row` is a scratch buffer.

@@ -47,23 +47,49 @@ impl GaussianKernel {
     }
 
     /// Full `n x n` kernel matrix over the rows of `data`.
+    ///
+    /// Row chunks are computed in parallel, each row in full. Symmetry
+    /// is preserved bitwise without a mirror pass because `sq_dist` is
+    /// exactly symmetric: `(x−y)²` and `(y−x)²` are the same float.
     pub fn matrix(&self, data: &Matrix) -> Matrix {
         let n = data.rows();
-        let mut k = Matrix::zeros(n, n);
-        for i in 0..n {
-            k[(i, i)] = 1.0;
-            for j in (i + 1)..n {
-                let v = self.eval(data.row(i), data.row(j));
-                k[(i, j)] = v;
-                k[(j, i)] = v;
+        // A few thousand evaluations per chunk; depends only on `n`.
+        let rows_per_chunk = (16_384 / n.max(1)).clamp(4, 256);
+        let parts = qpp_par::parallel_for_chunks(n, rows_per_chunk, |chunk| {
+            let mut buf = Vec::with_capacity(chunk.range.len() * n);
+            for i in chunk.range.clone() {
+                let ri = data.row(i);
+                for j in 0..n {
+                    buf.push(if i == j {
+                        1.0
+                    } else {
+                        self.eval(ri, data.row(j))
+                    });
+                }
             }
+            buf
+        });
+        let mut flat = Vec::with_capacity(n * n);
+        for part in parts {
+            flat.extend(part);
         }
-        k
+        if flat.is_empty() {
+            return Matrix::zeros(n, n);
+        }
+        Matrix::from_vec(n, n, flat).expect("kernel matrix is n*n")
     }
 
     /// Kernel evaluations of one new point against every row of `data`.
     pub fn row(&self, data: &Matrix, point: &[f64]) -> Vec<f64> {
-        data.row_iter().map(|r| self.eval(r, point)).collect()
+        qpp_par::parallel_for_chunks(data.rows(), 1024, |chunk| {
+            chunk
+                .range
+                .map(|i| self.eval(data.row(i), point))
+                .collect::<Vec<f64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 
@@ -82,13 +108,25 @@ fn mean_squared_distance(data: &Matrix) -> f64 {
     if m < 2 {
         return 1.0;
     }
+    // Fixed 32-row chunks of the triangular pair sum; partial sums merge
+    // in chunk order, so the scale — and everything downstream of it —
+    // is bitwise independent of the thread count.
+    let parts = qpp_par::parallel_for_chunks(m, 32, |chunk| {
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for i in chunk.range.clone() {
+            for j in (i + 1)..m {
+                total += qpp_linalg::vector::sq_dist(rows[i], rows[j]);
+                pairs += 1;
+            }
+        }
+        (total, pairs)
+    });
     let mut total = 0.0;
     let mut pairs = 0usize;
-    for i in 0..m {
-        for j in (i + 1)..m {
-            total += qpp_linalg::vector::sq_dist(rows[i], rows[j]);
-            pairs += 1;
-        }
+    for (t, p) in parts {
+        total += t;
+        pairs += p;
     }
     (total / pairs as f64).max(1e-12)
 }

@@ -10,8 +10,50 @@
 //! * weighting — equal vs. 3:2:1 vs. distance-proportional (Table III;
 //!   no consistent winner, equal chosen).
 
-use qpp_linalg::{vector, Matrix};
+use qpp_linalg::{vector, LinalgError, Matrix};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Reference rows scanned per parallel work chunk. Paper-scale indexes
+/// (~1000 training points) fit in one chunk — the scan stays serial and
+/// identical to the historical one — while larger references fan out
+/// across the pool.
+const SCAN_CHUNK: usize = 2048;
+
+/// Errors from neighbor prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnError {
+    /// The reference matrix has no rows to search.
+    EmptyReference,
+    /// Every reference row sits at a non-finite distance from the probe
+    /// (e.g. the probe carries a NaN component), so no neighbor is
+    /// usable.
+    NoFiniteNeighbors,
+}
+
+impl fmt::Display for KnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnnError::EmptyReference => write!(f, "knn reference is empty"),
+            KnnError::NoFiniteNeighbors => {
+                write!(f, "no reference row is at a finite distance from the probe")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KnnError {}
+
+/// Lets kNN failures flow through the predictor APIs, whose error type
+/// is [`LinalgError`].
+impl From<KnnError> for LinalgError {
+    fn from(e: KnnError) -> LinalgError {
+        LinalgError::Empty(match e {
+            KnnError::EmptyReference => "knn reference",
+            KnnError::NoFiniteNeighbors => "knn: no finite neighbor distances",
+        })
+    }
+}
 
 /// Distance metric for neighbor search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,55 +136,118 @@ impl NearestNeighbors {
         self.reference.rows() == 0
     }
 
-    /// The `k` nearest neighbors of `probe`, ascending by distance.
+    /// The `k` nearest neighbors of `probe`, ascending by distance,
+    /// ties broken by ascending row index.
+    ///
+    /// Rows at a non-finite distance from the probe are skipped: a NaN
+    /// distance compares false against everything, which used to make
+    /// `partition_point` park the NaN neighbor unsorted at the *front*
+    /// of the result, poisoning the prediction. The scan runs in fixed
+    /// [`SCAN_CHUNK`]-row chunks across the worker pool, with per-chunk
+    /// top-k buffers merged in `(distance, index)` order — exactly the
+    /// serial scan's outcome, for any thread count.
     pub fn query(&self, probe: &[f64], k: usize) -> Vec<Neighbor> {
         let k = k.min(self.len());
-        // Max-heap-free selection: keep a sorted buffer of size k.
-        let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
-        for (i, row) in self.reference.row_iter().enumerate() {
-            let d = self.metric.distance(probe, row);
-            if best.len() < k || d < best.last().map_or(f64::INFINITY, |n| n.distance) {
-                let pos = best.partition_point(|n| n.distance <= d);
-                best.insert(
-                    pos,
-                    Neighbor {
-                        index: i,
-                        distance: d,
-                    },
-                );
-                if best.len() > k {
-                    best.pop();
+        if k == 0 {
+            return Vec::new();
+        }
+        let per_chunk = qpp_par::parallel_for_chunks(self.len(), SCAN_CHUNK, |chunk| {
+            // Max-heap-free selection: keep a sorted buffer of size k.
+            let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+            for i in chunk.range.clone() {
+                let d = self.metric.distance(probe, self.reference.row(i));
+                if !d.is_finite() {
+                    continue;
+                }
+                if best.len() < k || d < best.last().map_or(f64::INFINITY, |n| n.distance) {
+                    let pos = best.partition_point(|n| n.distance <= d);
+                    best.insert(
+                        pos,
+                        Neighbor {
+                            index: i,
+                            distance: d,
+                        },
+                    );
+                    if best.len() > k {
+                        best.pop();
+                    }
                 }
             }
-        }
-        best
+            best
+        });
+        merge_top_k(per_chunk, k)
     }
 
     /// Predicts a target vector for `probe` by combining the `targets`
     /// rows of the k nearest neighbors under `weighting`.
     ///
-    /// Returns the prediction and the neighbors used.
+    /// Returns the prediction and the neighbors used. Fails when the
+    /// reference is empty or when no reference row is at a finite
+    /// distance from the probe — both cases used to yield a silent
+    /// all-zero prediction with an empty neighbor list.
     pub fn predict(
         &self,
         probe: &[f64],
         targets: &Matrix,
         k: usize,
         weighting: NeighborWeighting,
-    ) -> (Vec<f64>, Vec<Neighbor>) {
+    ) -> Result<(Vec<f64>, Vec<Neighbor>), KnnError> {
         assert_eq!(
             targets.rows(),
             self.len(),
             "targets must align with reference rows"
         );
+        if self.is_empty() {
+            return Err(KnnError::EmptyReference);
+        }
         let neighbors = self.query(probe, k);
+        if neighbors.is_empty() {
+            return Err(KnnError::NoFiniteNeighbors);
+        }
         let distances: Vec<f64> = neighbors.iter().map(|n| n.distance).collect();
         let weights = weighting.weights(&distances);
         let mut out = vec![0.0; targets.cols()];
         for (n, &w) in neighbors.iter().zip(weights.iter()) {
             vector::axpy(w, targets.row(n.index), &mut out);
         }
-        (out, neighbors)
+        Ok((out, neighbors))
     }
+}
+
+/// Ordered k-way merge of per-chunk top-k lists (each already sorted by
+/// ascending distance, with chunk-local indexes ascending within ties).
+///
+/// Selecting the minimum by `(distance, index)` reproduces the serial
+/// scan's tie-breaking — first-seen (lowest-index) row wins — so the
+/// merged result is independent of how chunks were scheduled.
+fn merge_top_k(lists: Vec<Vec<Neighbor>>, k: usize) -> Vec<Neighbor> {
+    if lists.len() == 1 {
+        return lists.into_iter().next().unwrap();
+    }
+    let mut heads = vec![0usize; lists.len()];
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let mut best: Option<(usize, Neighbor)> = None;
+        for (li, list) in lists.iter().enumerate() {
+            if let Some(&n) = list.get(heads[li]) {
+                let closer = match &best {
+                    None => true,
+                    Some((_, b)) => (n.distance, n.index) < (b.distance, b.index),
+                };
+                if closer {
+                    best = Some((li, n));
+                }
+            }
+        }
+        match best {
+            Some((li, n)) => {
+                heads[li] += 1;
+                out.push(n);
+            }
+            None => break,
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -191,9 +296,78 @@ mod tests {
         let targets =
             Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![100.0], vec![100.0]])
                 .unwrap();
-        let (pred, neigh) = nn.predict(&[0.0, 0.0], &targets, 3, NeighborWeighting::Equal);
+        let (pred, neigh) = nn
+            .predict(&[0.0, 0.0], &targets, 3, NeighborWeighting::Equal)
+            .unwrap();
         assert_eq!(neigh.len(), 3);
         assert!((pred[0] - 2.0).abs() < 1e-12); // mean of 1, 2, 3
+    }
+
+    #[test]
+    fn nan_probe_component_is_rejected_not_front_inserted() {
+        // Regression: a NaN distance used to land *first* in the sorted
+        // buffer (partition_point returns 0 because NaN <= d is false),
+        // silently poisoning the prediction with index-0's targets.
+        let nn = NearestNeighbors::new(reference(), DistanceMetric::Euclidean);
+        assert!(nn.query(&[f64::NAN, 0.0], 3).is_empty());
+        let targets =
+            Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![100.0], vec![100.0]])
+                .unwrap();
+        assert_eq!(
+            nn.predict(&[f64::NAN, 0.0], &targets, 3, NeighborWeighting::Equal),
+            Err(KnnError::NoFiniteNeighbors)
+        );
+    }
+
+    #[test]
+    fn non_finite_reference_rows_are_skipped() {
+        // One corrupt reference row must not shadow the healthy ones.
+        let nn = NearestNeighbors::new(
+            Matrix::from_rows(&[vec![f64::INFINITY, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap(),
+            DistanceMetric::Euclidean,
+        );
+        let res = nn.query(&[1.0, 0.1], 3);
+        assert_eq!(res.len(), 2, "{res:?}");
+        assert_eq!(res[0].index, 1);
+        assert!(res.iter().all(|n| n.distance.is_finite()));
+    }
+
+    #[test]
+    fn empty_reference_is_a_typed_error() {
+        let nn = NearestNeighbors::new(Matrix::zeros(0, 2), DistanceMetric::Euclidean);
+        assert!(nn.query(&[0.0, 0.0], 3).is_empty());
+        let targets = Matrix::zeros(0, 1);
+        assert_eq!(
+            nn.predict(&[0.0, 0.0], &targets, 3, NeighborWeighting::Equal),
+            Err(KnnError::EmptyReference)
+        );
+    }
+
+    #[test]
+    fn chunked_scan_matches_serial_scan_bitwise() {
+        // A reference big enough to span several scan chunks, probed
+        // under 1 and 8 threads: identical neighbors either way, and
+        // equal-distance ties resolve to the lowest index.
+        let rows: Vec<Vec<f64>> = (0..5000)
+            .map(|i| vec![(i % 97) as f64, ((i * 31) % 89) as f64])
+            .collect();
+        let nn =
+            NearestNeighbors::new(Matrix::from_rows(&rows).unwrap(), DistanceMetric::Euclidean);
+        let probe = [13.0, 42.0];
+        let serial = qpp_par::with_threads(1, || nn.query(&probe, 9));
+        let parallel = qpp_par::with_threads(8, || nn.query(&probe, 9));
+        assert_eq!(serial.len(), 9);
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.index, p.index);
+            assert_eq!(s.distance.to_bits(), p.distance.to_bits());
+        }
+        // Sorted ascending with index tie-break.
+        for w in serial.windows(2) {
+            assert!(
+                w[0].distance < w[1].distance
+                    || (w[0].distance == w[1].distance && w[0].index < w[1].index)
+            );
+        }
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub use decision_tree::{DecisionTree, TreeOptions};
 pub use kcca::{Kcca, KccaOptions};
 pub use kernel::GaussianKernel;
 pub use kmeans::KMeans;
-pub use knn::{DistanceMetric, NearestNeighbors, NeighborWeighting};
+pub use knn::{DistanceMetric, KnnError, NearestNeighbors, NeighborWeighting};
 pub use metrics::{fraction_within, predictive_risk};
 pub use regression::MetricRegression;

@@ -32,4 +32,4 @@ pub use service::{
     AnswerSource, PendingPrediction, PredictRequest, PredictionService, ServeError, ServeOptions,
     ServeResponse,
 };
-pub use stats::{ServiceStats, StatsSnapshot};
+pub use stats::{LatencyQuantile, ServiceStats, StatsSnapshot};

@@ -134,29 +134,80 @@ impl ServiceStats {
             } else {
                 fallbacks as f64 / answered as f64
             },
-            p50_latency_us: quantile(&latency, 0.50),
-            p95_latency_us: quantile(&latency, 0.95),
-            p99_latency_us: quantile(&latency, 0.99),
+            p50_latency: quantile(&latency, 0.50),
+            p95_latency: quantile(&latency, 0.95),
+            p99_latency: quantile(&latency, 0.99),
             model_swaps: self.model_swaps.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Upper bound (µs) of the histogram bucket containing quantile `q`.
-fn quantile(latency: &[u64], q: f64) -> u64 {
+/// A latency quantile estimated from the log-spaced histogram.
+///
+/// When `saturated` is false the true quantile is `<= bound_us`. When it
+/// is true the sample landed in the open-ended last bucket and only a
+/// lower bound is known: the quantile is `>= bound_us`, possibly far
+/// beyond it. Reporting code must not present a saturated bound as a
+/// finite upper bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyQuantile {
+    /// Bucket bound, microseconds. Upper bound unless `saturated`.
+    pub bound_us: u64,
+    /// True when the quantile fell in the open-ended last bucket.
+    pub saturated: bool,
+}
+
+impl LatencyQuantile {
+    fn finite(bound_us: u64) -> LatencyQuantile {
+        LatencyQuantile {
+            bound_us,
+            saturated: false,
+        }
+    }
+
+    fn saturated() -> LatencyQuantile {
+        LatencyQuantile {
+            bound_us: 1u64 << (BUCKETS - 1),
+            saturated: true,
+        }
+    }
+}
+
+impl std::fmt::Display for LatencyQuantile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}",
+            if self.saturated { ">=" } else { "<=" },
+            self.bound_us
+        )
+    }
+}
+
+/// Bound (µs) of the histogram bucket containing quantile `q`.
+///
+/// The last bucket has no upper edge, so a quantile landing there is
+/// returned as saturated at the bucket's *lower* edge (`2^(BUCKETS-1)`,
+/// ~33 s) instead of the fictitious finite `2^BUCKETS` the histogram
+/// cannot actually distinguish from infinity.
+fn quantile(latency: &[u64], q: f64) -> LatencyQuantile {
     let total: u64 = latency.iter().sum();
     if total == 0 {
-        return 0;
+        return LatencyQuantile::finite(0);
     }
     let rank = ((total as f64) * q).ceil() as u64;
     let mut seen = 0;
     for (i, &count) in latency.iter().enumerate() {
         seen += count;
         if seen >= rank {
-            return 1u64 << (i + 1);
+            return if i == BUCKETS - 1 {
+                LatencyQuantile::saturated()
+            } else {
+                LatencyQuantile::finite(1u64 << (i + 1))
+            };
         }
     }
-    1u64 << BUCKETS
+    LatencyQuantile::saturated()
 }
 
 /// Point-in-time statistics view.
@@ -190,12 +241,12 @@ pub struct StatsSnapshot {
     pub throughput_per_sec: f64,
     /// Fraction of answers that came from the fallback path.
     pub fallback_rate: f64,
-    /// Median end-to-end latency (bucket upper bound), microseconds.
-    pub p50_latency_us: u64,
-    /// 95th-percentile latency, microseconds.
-    pub p95_latency_us: u64,
-    /// 99th-percentile latency, microseconds.
-    pub p99_latency_us: u64,
+    /// Median end-to-end latency (histogram bucket bound).
+    pub p50_latency: LatencyQuantile,
+    /// 95th-percentile latency.
+    pub p95_latency: LatencyQuantile,
+    /// 99th-percentile latency.
+    pub p99_latency: LatencyQuantile,
     /// Model hot-swaps performed.
     pub model_swaps: u64,
 }
@@ -224,10 +275,10 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         write!(
             f,
-            "latency p50/p95/p99 <= {}/{}/{} µs | {:.0} req/s | model swaps {}",
-            self.p50_latency_us,
-            self.p95_latency_us,
-            self.p99_latency_us,
+            "latency p50/p95/p99 {}/{}/{} µs | {:.0} req/s | model swaps {}",
+            self.p50_latency,
+            self.p95_latency,
+            self.p99_latency,
             self.throughput_per_sec,
             self.model_swaps,
         )
@@ -249,10 +300,36 @@ mod tests {
             stats.record_latency(Duration::from_micros(1024));
         }
         let snap = stats.snapshot(0);
-        assert!(snap.p50_latency_us <= 16, "p50 {}", snap.p50_latency_us);
-        assert!(snap.p99_latency_us >= 1024, "p99 {}", snap.p99_latency_us);
-        assert!(snap.p50_latency_us <= snap.p95_latency_us);
-        assert!(snap.p95_latency_us <= snap.p99_latency_us);
+        assert!(
+            snap.p50_latency.bound_us <= 16,
+            "p50 {}",
+            snap.p50_latency.bound_us
+        );
+        assert!(
+            snap.p99_latency.bound_us >= 1024,
+            "p99 {}",
+            snap.p99_latency.bound_us
+        );
+        assert!(!snap.p99_latency.saturated);
+        assert!(snap.p50_latency.bound_us <= snap.p95_latency.bound_us);
+        assert!(snap.p95_latency.bound_us <= snap.p99_latency.bound_us);
+    }
+
+    #[test]
+    fn tail_latency_beyond_histogram_is_reported_saturated() {
+        let stats = ServiceStats::new();
+        // 40 s exceeds the last finite bucket edge (2^25 µs ≈ 33.5 s);
+        // the old code reported p99 as a finite 2^26 µs ≈ 67 s bound.
+        for _ in 0..5 {
+            stats.record_latency(Duration::from_micros(100));
+        }
+        stats.record_latency(Duration::from_secs(40));
+        let snap = stats.snapshot(0);
+        assert!(!snap.p50_latency.saturated);
+        assert!(snap.p99_latency.saturated, "p99 {:?}", snap.p99_latency);
+        assert_eq!(snap.p99_latency.bound_us, 1u64 << 25);
+        let text = format!("{snap}");
+        assert!(text.contains(">=33554432"), "display: {text}");
     }
 
     #[test]
@@ -272,7 +349,8 @@ mod tests {
     #[test]
     fn empty_stats_have_zero_quantiles() {
         let snap = ServiceStats::new().snapshot(0);
-        assert_eq!(snap.p50_latency_us, 0);
+        assert_eq!(snap.p50_latency.bound_us, 0);
+        assert!(!snap.p50_latency.saturated);
         assert_eq!(snap.fallback_rate, 0.0);
         assert_eq!(snap.mean_batch_size, 0.0);
     }

@@ -1,0 +1,112 @@
+//! Bitwise thread-invariance of the deterministic parallel engine: the
+//! same training data must produce the same bits — projections,
+//! correlations, neighbor lists, predictions — whether the `qpp-par`
+//! pool runs with 1 thread or 8.
+
+use qpp::core::pipeline::collect_tpcds;
+use qpp::core::{KccaPredictor, PredictorOptions};
+use qpp::engine::SystemConfig;
+use qpp::ml::{DistanceMetric, Kcca, KccaOptions, NearestNeighbors};
+use qpp_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic_pair(n: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, 8);
+    let mut y = Matrix::zeros(n, 4);
+    for i in 0..n {
+        let mut norm = 0.0;
+        for j in 0..8 {
+            let v = rng.random_range(-2.0..2.0);
+            x[(i, j)] = v;
+            norm += v * v;
+        }
+        for j in 0..4 {
+            y[(i, j)] = norm.sqrt() * (j as f64 + 1.0) + 0.05 * rng.random_range(-1.0..1.0);
+        }
+    }
+    (x, y)
+}
+
+#[test]
+fn kcca_fit_is_bitwise_identical_across_thread_counts() {
+    let (x, y) = synthetic_pair(300, 17);
+    let opts = KccaOptions::default();
+    let serial = qpp_par::with_threads(1, || Kcca::fit(&x, &y, opts).unwrap());
+    let parallel = qpp_par::with_threads(8, || Kcca::fit(&x, &y, opts).unwrap());
+    assert_eq!(serial.correlations(), parallel.correlations());
+    assert_eq!(serial.query_projection(), parallel.query_projection());
+    assert_eq!(
+        serial.performance_projection(),
+        parallel.performance_projection()
+    );
+    assert_eq!(serial.x_rank(), parallel.x_rank());
+}
+
+#[test]
+fn batch_projection_is_bitwise_identical_across_thread_counts() {
+    let (x, y) = synthetic_pair(200, 23);
+    let model = qpp_par::with_threads(1, || Kcca::fit(&x, &y, KccaOptions::default()).unwrap());
+    let probes: Vec<Vec<f64>> = (0..x.rows()).map(|i| x.row(i).to_vec()).collect();
+    let serial = qpp_par::with_threads(1, || {
+        model.project_queries_with_similarity(&probes).unwrap()
+    });
+    let parallel = qpp_par::with_threads(8, || {
+        model.project_queries_with_similarity(&probes).unwrap()
+    });
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn knn_queries_are_bitwise_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut reference = Matrix::zeros(5000, 6);
+    for i in 0..reference.rows() {
+        for j in 0..reference.cols() {
+            reference[(i, j)] = rng.random_range(-1.0..1.0);
+        }
+    }
+    let knn = NearestNeighbors::new(reference, DistanceMetric::Euclidean);
+    let probe: Vec<f64> = (0..6).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let serial = qpp_par::with_threads(1, || knn.query(&probe, 5));
+    let parallel = qpp_par::with_threads(8, || knn.query(&probe, 5));
+    assert_eq!(serial.len(), 5);
+    for (a, b) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+    }
+}
+
+#[test]
+fn end_to_end_predictions_are_bitwise_identical_across_thread_counts() {
+    let config = SystemConfig::neoview_4();
+    let train = qpp_par::with_threads(1, || collect_tpcds(160, 41, &config, 2));
+    let test = qpp_par::with_threads(8, || collect_tpcds(25, 42, &config, 2));
+
+    let serial_model = qpp_par::with_threads(1, || {
+        KccaPredictor::train(&train, PredictorOptions::default())
+    })
+    .unwrap();
+    let parallel_model = qpp_par::with_threads(8, || {
+        KccaPredictor::train(&train, PredictorOptions::default())
+    })
+    .unwrap();
+
+    let serial_preds = qpp_par::with_threads(1, || serial_model.predict_dataset(&test).unwrap());
+    let parallel_preds =
+        qpp_par::with_threads(8, || parallel_model.predict_dataset(&test).unwrap());
+    assert_eq!(serial_preds.len(), parallel_preds.len());
+    for (a, b) in serial_preds.iter().zip(parallel_preds.iter()) {
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.neighbor_indices, b.neighbor_indices);
+        assert_eq!(
+            a.confidence_distance.to_bits(),
+            b.confidence_distance.to_bits()
+        );
+        assert_eq!(
+            a.max_kernel_similarity.to_bits(),
+            b.max_kernel_similarity.to_bits()
+        );
+    }
+}
