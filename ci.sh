@@ -3,6 +3,17 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> zero-copy gate: no new Vec<Vec<f64>> in library code"
+# The data plane operates on contiguous matrices + views; nested row
+# vectors must not creep back in. Test fixtures opt out with a
+# same-line `// allow-vecvec` comment.
+matches=$(grep -rn 'Vec<Vec<f64>>' crates/*/src --include='*.rs' | grep -v 'allow-vecvec' || true)
+if [ -n "$matches" ]; then
+    echo "Vec<Vec<f64>> found in library code (annotate test fixtures with // allow-vecvec):"
+    echo "$matches"
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

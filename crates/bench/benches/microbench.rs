@@ -42,9 +42,9 @@ fn bench_kernel(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     for n in [128usize, 256, 512] {
         let (x, _) = feature_data(n);
-        let kern = GaussianKernel::fit(&x, 0.25);
+        let kern = GaussianKernel::fit(x.view(), 0.25);
         g.bench_with_input(BenchmarkId::new("matrix", n), &n, |b, _| {
-            b.iter(|| black_box(kern.matrix(&x)))
+            b.iter(|| black_box(kern.matrix(x.view())))
         });
     }
     g.finish();
@@ -56,7 +56,7 @@ fn bench_kcca_train(c: &mut Criterion) {
     for n in [128usize, 256, 512] {
         let (x, y) = feature_data(n);
         g.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
-            b.iter(|| black_box(Kcca::fit(&x, &y, KccaOptions::default()).unwrap()))
+            b.iter(|| black_box(Kcca::fit(x.view(), y.view(), KccaOptions::default()).unwrap()))
         });
     }
     g.finish();

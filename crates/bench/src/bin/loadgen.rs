@@ -14,7 +14,7 @@ use qpp_core::pipeline::collect_tpcds;
 use qpp_core::{FeatureKind, KccaPredictor, PredictorOptions};
 use qpp_engine::SystemConfig;
 use qpp_serve::{
-    ModelKey, ModelRegistry, PredictRequest, PredictionService, ServeError, ServeOptions,
+    ModelKey, ModelRegistry, PredictRequest, PredictionService, QppError, ServeOptions,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -112,7 +112,7 @@ fn main() {
                     });
                     match outcome {
                         Ok(_) => {}
-                        Err(ServeError::QueueFull { .. }) => shed += 1,
+                        Err(QppError::QueueFull { .. }) => shed += 1,
                         Err(e) => panic!("load generator hit {e}"),
                     }
                 }

@@ -61,18 +61,16 @@ fn main() {
     println!("training rows: {rows}\n");
 
     let (x, y) = synthetic_pair(rows, 42);
-    let probes: Vec<Vec<f64>> = {
-        let (px, _) = synthetic_pair(rows / 2, 43);
-        (0..px.rows()).map(|i| px.row(i).to_vec()).collect()
-    };
+    let (probes, _) = synthetic_pair(rows / 2, 43);
     let opts = KccaOptions::default();
 
     // Warm up the pool so thread spawning is not billed to the run.
     let _ = qpp_par::parallel_for_chunks(1024, 8, |c| c.range.len());
 
-    let (serial_model, t_fit_1) =
-        qpp_par::with_threads(1, || timed(|| Kcca::fit(&x, &y, opts).expect("fit")));
-    let (par_model, t_fit_n) = timed(|| Kcca::fit(&x, &y, opts).expect("fit"));
+    let (serial_model, t_fit_1) = qpp_par::with_threads(1, || {
+        timed(|| Kcca::fit(x.view(), y.view(), opts).expect("fit"))
+    });
+    let (par_model, t_fit_n) = timed(|| Kcca::fit(x.view(), y.view(), opts).expect("fit"));
 
     let same_projection = serial_model.query_projection() == par_model.query_projection();
     let same_correlations = serial_model.correlations() == par_model.correlations();
@@ -84,13 +82,13 @@ fn main() {
     let (serial_proj, t_proj_1) = qpp_par::with_threads(1, || {
         timed(|| {
             serial_model
-                .project_queries_with_similarity(&probes)
+                .project_queries_with_similarity(probes.view())
                 .expect("project")
         })
     });
     let (par_proj, t_proj_n) = timed(|| {
         par_model
-            .project_queries_with_similarity(&probes)
+            .project_queries_with_similarity(probes.view())
             .expect("project")
     });
     assert!(serial_proj == par_proj, "batch projection diverged");

@@ -1,0 +1,127 @@
+//! Predict-path benchmark: single-query latency quantiles, batch
+//! throughput, and heap allocations per request on the zero-copy data
+//! plane. Writes `BENCH_predict.json` in the working directory.
+//!
+//! ```text
+//! cargo run --release -p qpp-bench --bin predict_bench
+//! cargo run --release -p qpp-bench --bin predict_bench -- \
+//!     --train 400 --requests 20000 --batch 64
+//! ```
+
+use counting_alloc::CountingAllocator;
+use qpp_core::features::query_features;
+use qpp_core::pipeline::collect_tpcds;
+use qpp_core::{KccaPredictor, PredictorOptions};
+use qpp_engine::SystemConfig;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+struct Args {
+    train: usize,
+    requests: usize,
+    batch: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        train: 400,
+        requests: 10_000,
+        batch: 64,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> usize {
+            argv.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{} needs a numeric value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--train" => args.train = value(i).max(50),
+            "--requests" => args.requests = value(i).max(100),
+            "--batch" => args.batch = value(i).max(1),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let config = SystemConfig::neoview_4();
+    eprintln!("training model on {} queries …", args.train);
+    let train = collect_tpcds(args.train, 29, &config, 4);
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).expect("train");
+    let kind = model.options().feature_kind;
+
+    // Pre-extract feature vectors so the benchmark times the predict
+    // path alone, not plan feature extraction.
+    let probes: Vec<Vec<f64>> = train // allow-vecvec: bench setup, off the timed path
+        .records
+        .iter()
+        .map(|r| query_features(kind, &r.spec, &r.optimized.plan))
+        .collect();
+
+    // Warm up the thread-local scratch so sizing is not billed.
+    let _ = model.predict_features(&probes[0]).expect("warmup");
+
+    // Single-query latency + allocations per request.
+    let mut latencies_us = Vec::with_capacity(args.requests);
+    let alloc_before = ALLOC.allocation_events();
+    let t0 = Instant::now();
+    for i in 0..args.requests {
+        let probe = &probes[i % probes.len()];
+        let t = Instant::now();
+        let p = model.predict_features(probe).expect("predict");
+        latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(p);
+    }
+    let single_wall = t0.elapsed().as_secs_f64();
+    let alloc_events = ALLOC.allocation_events() - alloc_before;
+    // The latency vector itself grows by push; discount its (amortized,
+    // pre-reserved) appends are already excluded by with_capacity.
+    let allocs_per_request = alloc_events as f64 / args.requests as f64;
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50 = quantile(&latencies_us, 0.50);
+    let p99 = quantile(&latencies_us, 0.99);
+
+    // Batch throughput: whole micro-batches through the contiguous path.
+    let specs: Vec<(&qpp_workload::QuerySpec, &qpp_engine::Plan)> = train
+        .records
+        .iter()
+        .take(args.batch)
+        .map(|r| (&r.spec, &r.optimized.plan))
+        .collect();
+    let rounds = (args.requests / args.batch).max(1);
+    let t1 = Instant::now();
+    for _ in 0..rounds {
+        let preds = model.predict_batch(&specs).expect("batch");
+        std::hint::black_box(preds);
+    }
+    let batch_wall = t1.elapsed().as_secs_f64();
+    let batch_throughput = (rounds * specs.len()) as f64 / batch_wall;
+
+    let json = format!(
+        "{{\n  \"bench\": \"predict\",\n  \"train_rows\": {},\n  \"requests\": {},\n  \"single_query\": {{\n    \"p50_us\": {:.3},\n    \"p99_us\": {:.3},\n    \"throughput_per_sec\": {:.1},\n    \"allocs_per_request\": {:.4}\n  }},\n  \"batch\": {{\n    \"batch_size\": {},\n    \"throughput_per_sec\": {:.1}\n  }}\n}}\n",
+        args.train,
+        args.requests,
+        p50,
+        p99,
+        args.requests as f64 / single_wall,
+        allocs_per_request,
+        specs.len(),
+        batch_throughput,
+    );
+    std::fs::write("BENCH_predict.json", &json).expect("write BENCH_predict.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_predict.json");
+}

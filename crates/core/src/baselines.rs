@@ -15,6 +15,7 @@
 
 use crate::categories::QueryCategory;
 use crate::dataset::Dataset;
+use crate::error::{QppError, ResultExt};
 use crate::features::{query_features, FeatureKind};
 use qpp_engine::{PerfMetrics, Plan};
 use qpp_linalg::{LinalgError, Matrix};
@@ -30,32 +31,32 @@ pub struct RegressionPredictor {
 
 impl RegressionPredictor {
     /// Fits one OLS model per metric.
-    pub fn train(dataset: &Dataset, feature_kind: FeatureKind) -> Result<Self, LinalgError> {
+    pub fn train(dataset: &Dataset, feature_kind: FeatureKind) -> Result<Self, QppError> {
         let x = dataset.feature_matrix(feature_kind);
         let y = dataset.performance_matrix();
         Ok(RegressionPredictor {
-            model: MetricRegression::fit(&x, &y)?,
+            model: MetricRegression::fit(&x, &y).ctx("fitting ols baseline")?,
             feature_kind,
         })
     }
 
     /// Predicts all six metrics; values may be negative (that is the
     /// documented failure mode of this baseline).
-    pub fn predict(&self, spec: &QuerySpec, plan: &Plan) -> Result<Vec<f64>, LinalgError> {
+    pub fn predict(&self, spec: &QuerySpec, plan: &Plan) -> Result<Vec<f64>, QppError> {
         let f = query_features(self.feature_kind, spec, plan);
-        self.model.predict(&f)
+        self.model.predict(&f).ctx("ols prediction")
     }
 
     /// Predicts a whole dataset; rows align with records.
-    pub fn predict_dataset(&self, dataset: &Dataset) -> Result<Matrix, LinalgError> {
+    pub fn predict_dataset(&self, dataset: &Dataset) -> Result<Matrix, QppError> {
         let x = dataset.feature_matrix(self.feature_kind);
-        self.model.predict_matrix(&x)
+        self.model.predict_matrix(&x).ctx("ols batch prediction")
     }
 
     /// Counts predictions of `metric` (canonical index) that went
     /// negative — the paper's "76 data points had negative predicted
     /// times" observation.
-    pub fn count_negative(&self, dataset: &Dataset, metric: usize) -> Result<usize, LinalgError> {
+    pub fn count_negative(&self, dataset: &Dataset, metric: usize) -> Result<usize, QppError> {
         assert!(metric < PerfMetrics::DIM);
         let p = self.predict_dataset(dataset)?;
         Ok((0..p.rows()).filter(|&i| p[(i, metric)] < 0.0).count())
@@ -74,10 +75,10 @@ pub struct OptimizerCostModel {
 
 impl OptimizerCostModel {
     /// Fits the line of best fit on (cost, elapsed) pairs.
-    pub fn train(dataset: &Dataset) -> Result<Self, LinalgError> {
+    pub fn train(dataset: &Dataset) -> Result<Self, QppError> {
         let n = dataset.len();
         if n < 2 {
-            return Err(LinalgError::Empty("optimizer cost model"));
+            return Err(LinalgError::Empty("optimizer cost model").into());
         }
         let mut x = Matrix::zeros(n, 1);
         let mut y = Matrix::zeros(n, 1);
@@ -85,7 +86,7 @@ impl OptimizerCostModel {
             x[(i, 0)] = r.optimized.plan.optimizer_cost.max(1e-9).ln();
             y[(i, 0)] = r.metrics.elapsed_seconds.max(1e-9).ln();
         }
-        let ls = qpp_linalg::LeastSquares::fit(&x, &y)?;
+        let ls = qpp_linalg::LeastSquares::fit(&x, &y).ctx("fitting cost line")?;
         let coef = ls.coefficients();
         Ok(OptimizerCostModel {
             intercept: coef[(0, 0)],
@@ -137,10 +138,10 @@ impl PqrPredictor {
         dataset: &Dataset,
         feature_kind: FeatureKind,
         bounds: Vec<f64>,
-    ) -> Result<Self, LinalgError> {
+    ) -> Result<Self, QppError> {
         assert!(!bounds.is_empty(), "need at least one bucket bound");
         if dataset.is_empty() {
-            return Err(LinalgError::Empty("pqr training set"));
+            return Err(LinalgError::Empty("pqr training set").into());
         }
         let x = dataset.feature_matrix(feature_kind);
         let labels: Vec<usize> = dataset

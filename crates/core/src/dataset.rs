@@ -2,7 +2,7 @@
 //! `(query, plan, measured metrics)` records.
 
 use crate::categories::QueryCategory;
-use crate::features::{performance_to_kernel_space, query_features, FeatureKind};
+use crate::features::{feature_dim, performance_to_kernel_space, query_features_to, FeatureKind};
 use qpp_engine::{execute, optimize, Catalog, OptimizedQuery, PerfMetrics, SystemConfig};
 use qpp_linalg::Matrix;
 use qpp_workload::{QuerySpec, Schema};
@@ -70,30 +70,33 @@ impl Dataset {
         self.records.is_empty()
     }
 
-    /// Query feature matrix (one row per record).
+    /// Query feature matrix (one row per record), filled directly into
+    /// one contiguous allocation.
     pub fn feature_matrix(&self, kind: FeatureKind) -> Matrix {
-        let rows: Vec<Vec<f64>> = self
-            .records
-            .iter()
-            .map(|r| query_features(kind, &r.spec, &r.optimized.plan))
-            .collect();
-        Matrix::from_rows(&rows).expect("uniform feature rows")
+        let mut out = Matrix::zeros(self.len(), feature_dim(kind));
+        for (i, r) in self.records.iter().enumerate() {
+            query_features_to(kind, &r.spec, &r.optimized.plan, out.row_mut(i));
+        }
+        out
     }
 
     /// Raw performance matrix (`n x 6`, canonical metric order).
     pub fn performance_matrix(&self) -> Matrix {
-        let rows: Vec<Vec<f64>> = self.records.iter().map(|r| r.metrics.to_vec()).collect();
-        Matrix::from_rows(&rows).expect("uniform metric rows")
+        let mut out = Matrix::zeros(self.len(), PerfMetrics::DIM);
+        for (i, r) in self.records.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(&r.metrics.to_vec());
+        }
+        out
     }
 
     /// Log-space performance matrix for kernelization.
     pub fn kernel_performance_matrix(&self) -> Matrix {
-        let rows: Vec<Vec<f64>> = self
-            .records
-            .iter()
-            .map(|r| performance_to_kernel_space(&r.metrics.to_vec()))
-            .collect();
-        Matrix::from_rows(&rows).expect("uniform metric rows")
+        let mut out = Matrix::zeros(self.len(), PerfMetrics::DIM);
+        for (i, r) in self.records.iter().enumerate() {
+            out.row_mut(i)
+                .copy_from_slice(&performance_to_kernel_space(&r.metrics.to_vec()));
+        }
+        out
     }
 
     /// Elapsed times, seconds.

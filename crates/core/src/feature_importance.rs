@@ -16,6 +16,7 @@
 //! actually keyed on.
 
 use crate::dataset::Dataset;
+use crate::error::QppError;
 use crate::features::PlanFeatures;
 use crate::predictor::KccaPredictor;
 use qpp_linalg::stats::Standardizer;
@@ -47,9 +48,9 @@ pub fn rank_features(
     model: &KccaPredictor,
     train: &Dataset,
     probe: &Dataset,
-) -> Result<Vec<FeatureImportance>, LinalgError> {
+) -> Result<Vec<FeatureImportance>, QppError> {
     if probe.is_empty() {
-        return Err(LinalgError::Empty("feature importance probes"));
+        return Err(LinalgError::Empty("feature importance probes").into());
     }
     let names = PlanFeatures::names();
     let train_x = train.feature_matrix(crate::features::FeatureKind::QueryPlan);
@@ -72,7 +73,7 @@ pub fn rank_features(
         }
     }
     if pairs == 0 {
-        return Err(LinalgError::Empty("feature importance probes"));
+        return Err(LinalgError::Empty("feature importance probes").into());
     }
     for v in &mut neighbor {
         *v /= pairs as f64;

@@ -85,6 +85,21 @@ pub fn query_features(kind: FeatureKind, spec: &QuerySpec, plan: &Plan) -> Vec<f
     }
 }
 
+/// Dimensionality of [`query_features`]'s output for `kind`.
+pub fn feature_dim(kind: FeatureKind) -> usize {
+    match kind {
+        FeatureKind::QueryPlan => PlanFeatures::DIM,
+        FeatureKind::SqlText => SqlTextFeatures::DIM,
+    }
+}
+
+/// Writes the configured query feature vector into a preallocated row
+/// of length [`feature_dim`]`(kind)` — the contiguous batch-assembly
+/// path (one matrix row per query, no per-query row vectors escaping).
+pub fn query_features_to(kind: FeatureKind, spec: &QuerySpec, plan: &Plan, out: &mut [f64]) {
+    out.copy_from_slice(&query_features(kind, spec, plan));
+}
+
 /// Log-transforms a raw performance vector for kernelization:
 /// `ln(1 + x)` per metric.
 pub fn performance_to_kernel_space(metrics: &[f64]) -> Vec<f64> {

@@ -32,10 +32,17 @@
 //!   to customers" flow of Fig. 1);
 //! * [`retrain`] — sliding-window retraining (the paper's future-work
 //!   §VII-C.4).
+//!
+//! All public fallible APIs return [`error::QppError`], the unified
+//! error of the predict path; see [`error`] for the hierarchy.
+
+// The predict path must degrade into typed errors, never panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baselines;
 pub mod categories;
 pub mod dataset;
+pub mod error;
 pub mod feature_importance;
 pub mod features;
 pub mod model_io;
@@ -48,6 +55,7 @@ pub mod workload_mgmt;
 
 pub use categories::QueryCategory;
 pub use dataset::{Dataset, QueryRecord};
+pub use error::{QppError, QppResult, ResultExt};
 pub use features::{FeatureKind, PlanFeatures};
-pub use predictor::{KccaPredictor, Prediction, PredictorOptions};
+pub use predictor::{KccaPredictor, NeighborIds, Prediction, PredictorOptions};
 pub use two_step::TwoStepPredictor;

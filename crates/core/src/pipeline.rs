@@ -1,9 +1,9 @@
 //! End-to-end conveniences: generate → execute → train → evaluate.
 
 use crate::dataset::Dataset;
+use crate::error::QppError;
 use crate::predictor::{KccaPredictor, Prediction, PredictorOptions};
 use qpp_engine::{PerfMetrics, SystemConfig};
-use qpp_linalg::LinalgError;
 use qpp_ml::{fraction_within, predictive_risk};
 use qpp_workload::WorkloadGenerator;
 use serde::{Deserialize, Serialize};
@@ -72,7 +72,7 @@ pub fn train_and_evaluate(
     train: &Dataset,
     test: &Dataset,
     options: PredictorOptions,
-) -> Result<(KccaPredictor, Evaluation), LinalgError> {
+) -> Result<(KccaPredictor, Evaluation), QppError> {
     let model = KccaPredictor::train(train, options)?;
     let predictions = model.predict_dataset(test)?;
     Ok((model, evaluate(&predictions, test)))
@@ -81,6 +81,7 @@ pub fn train_and_evaluate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::predictor::NeighborIds;
 
     #[test]
     fn end_to_end_pipeline_runs() {
@@ -107,7 +108,7 @@ mod tests {
             .iter()
             .map(|r| Prediction {
                 metrics: r.metrics,
-                neighbor_indices: vec![],
+                neighbor_indices: NeighborIds::new(),
                 confidence_distance: 0.0,
                 max_kernel_similarity: 1.0,
             })

@@ -12,12 +12,18 @@
 //! doubles as a confidence signal (§VII-C.3).
 
 use crate::dataset::Dataset;
-use crate::features::{query_features, FeatureKind};
+use crate::error::{QppError, ResultExt};
+use crate::features::{feature_dim, query_features, query_features_to, FeatureKind};
 use qpp_engine::{PerfMetrics, Plan};
-use qpp_linalg::{stats::Standardizer, LinalgError, Matrix};
-use qpp_ml::{DistanceMetric, Kcca, KccaOptions, NearestNeighbors, NeighborWeighting};
+use qpp_linalg::{stats::Standardizer, Matrix, MatrixView};
+use qpp_ml::{
+    DistanceMetric, Kcca, KccaOptions, KnnScratch, NearestNeighbors, NeighborWeighting,
+    ProjectionScratch,
+};
 use qpp_workload::QuerySpec;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::ops::Deref;
 
 /// Tunable knobs of the predictor; defaults are the paper's choices.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -54,13 +60,104 @@ impl Default for PredictorOptions {
     }
 }
 
+/// Neighbor indices stored inline: up to [`NeighborIds::INLINE`]
+/// entries live in the struct itself (covering every practical k — the
+/// paper evaluates 3..7), so building a [`Prediction`] performs no heap
+/// allocation. Larger k spills to a `Vec`. Dereferences to `&[usize]`.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborIds {
+    len: usize,
+    inline: [usize; Self::INLINE],
+    spill: Vec<usize>,
+}
+
+impl NeighborIds {
+    /// Indices held without heap allocation.
+    pub const INLINE: usize = 8;
+
+    /// An empty list (no allocation).
+    pub fn new() -> Self {
+        NeighborIds::default()
+    }
+
+    /// Appends an index, spilling to the heap past [`NeighborIds::INLINE`].
+    pub fn push(&mut self, index: usize) {
+        if self.spill.is_empty() && self.len < Self::INLINE {
+            self.inline[self.len] = index;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(self.len + 1);
+                self.spill.extend_from_slice(&self.inline[..self.len]);
+            }
+            self.spill.push(index);
+        }
+        self.len += 1;
+    }
+
+    /// The indices as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Deref for NeighborIds {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for NeighborIds {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for NeighborIds {}
+
+impl FromIterator<usize> for NeighborIds {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut out = NeighborIds::new();
+        for index in iter {
+            out.push(index);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a NeighborIds {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl Serialize for NeighborIds {
+    fn to_value(&self) -> serde::value::Value {
+        self.as_slice().to_vec().to_value()
+    }
+}
+
+impl Deserialize for NeighborIds {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
+        Ok(Vec::<usize>::from_value(v)?.into_iter().collect())
+    }
+}
+
 /// A prediction for one query.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Prediction {
     /// Predicted values for all six metrics.
     pub metrics: PerfMetrics,
     /// Training-record indices of the neighbors used.
-    pub neighbor_indices: Vec<usize>,
+    pub neighbor_indices: NeighborIds,
     /// Mean distance to the neighbors in the query projection; small
     /// means the model has seen similar queries (high confidence),
     /// large flags a potentially anomalous query (§VII-C.3).
@@ -96,14 +193,31 @@ pub struct KccaPredictor {
     log_performance: Matrix,
 }
 
+/// Per-thread reusable buffers for the single-query predict path. One
+/// instance per worker thread (thread-local), so concurrent serving
+/// threads never contend, and a warmed-up thread performs zero heap
+/// allocations per [`KccaPredictor::predict_features`] call.
+#[derive(Debug, Default)]
+struct PredictScratch {
+    scaled: Vec<f64>,
+    projection: ProjectionScratch,
+    projected: Vec<f64>,
+    knn: KnnScratch,
+    combined: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<PredictScratch> = RefCell::new(PredictScratch::default());
+}
+
 impl KccaPredictor {
     /// Trains on every record of `dataset`.
-    pub fn train(dataset: &Dataset, options: PredictorOptions) -> Result<Self, LinalgError> {
+    pub fn train(dataset: &Dataset, options: PredictorOptions) -> Result<Self, QppError> {
         let x_raw = dataset.feature_matrix(options.feature_kind);
         let scaler = Standardizer::fit(&x_raw);
         let x = scaler.transform(&x_raw);
         let y = dataset.kernel_performance_matrix();
-        let kcca = Kcca::fit(&x, &y, options.kcca)?;
+        let kcca = Kcca::fit(x.view(), y.view(), options.kcca).ctx("fitting kcca")?;
         let neighbors = NearestNeighbors::new(kcca.query_projection().clone(), options.metric);
         Ok(KccaPredictor {
             options,
@@ -136,64 +250,105 @@ impl KccaPredictor {
     }
 
     /// Predicts from a raw query feature vector.
-    pub fn predict_features(&self, features: &[f64]) -> Result<Prediction, LinalgError> {
-        let scaled = self.scaler.transform_row(features);
-        let (projected, max_kernel_similarity) =
-            self.kcca.project_query_with_similarity(&scaled)?;
-        self.finish_prediction(projected, max_kernel_similarity)
+    ///
+    /// The steady-state hot path: standardization, kernel row, ICD
+    /// embedding, CCA projection and kNN combine all write into
+    /// thread-local scratch buffers, so once a thread's buffers have
+    /// warmed up to the model's dimensions this performs **zero heap
+    /// allocations** (guarded by the `alloc_regression` test).
+    pub fn predict_features(&self, features: &[f64]) -> Result<Prediction, QppError> {
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.scaler
+                .transform_row_into(features, &mut scratch.scaled);
+            let max_kernel_similarity = self
+                .kcca
+                .project_query_into(
+                    &scratch.scaled,
+                    &mut scratch.projection,
+                    &mut scratch.projected,
+                )
+                .ctx("projecting query features")?;
+            self.finish_prediction_with(
+                &scratch.projected,
+                &mut scratch.knn,
+                &mut scratch.combined,
+                max_kernel_similarity,
+            )
+        })
     }
 
-    /// Predicts a batch of raw query feature vectors in one pass.
+    /// Predicts a batch of raw query feature vectors (one per row) in
+    /// one pass.
     ///
     /// Entry `i` is bitwise identical to
-    /// `self.predict_features(&rows[i])`: both paths execute the same
+    /// `self.predict_features(rows.row(i))`: both paths execute the same
     /// per-row floating-point operations in the same order, the batch
-    /// path merely amortizes buffer allocations across queries (see
+    /// path merely shares one contiguous scaled matrix and amortizes
+    /// scratch buffers across queries (see
     /// `Kcca::project_queries_with_similarity`).
     pub fn predict_features_batch(
         &self,
-        rows: &[Vec<f64>],
-    ) -> Result<Vec<Prediction>, LinalgError> {
-        let scaled: Vec<Vec<f64>> = rows.iter().map(|r| self.scaler.transform_row(r)).collect();
-        let projections = self.kcca.project_queries_with_similarity(&scaled)?;
+        rows: MatrixView<'_>,
+    ) -> Result<Vec<Prediction>, QppError> {
+        let mut scaled = Matrix::zeros(rows.rows(), rows.cols());
+        for i in 0..rows.rows() {
+            self.scaler.transform_row_to(rows.row(i), scaled.row_mut(i));
+        }
+        let projections = self
+            .kcca
+            .project_queries_with_similarity(scaled.view())
+            .ctx("projecting query batch")?;
+        let mut knn = KnnScratch::new();
+        let mut combined = Vec::new();
         projections
             .into_iter()
-            .map(|(projected, similarity)| self.finish_prediction(projected, similarity))
+            .map(|(projected, similarity)| {
+                self.finish_prediction_with(&projected, &mut knn, &mut combined, similarity)
+            })
             .collect()
     }
 
     /// Shared tail of single and batched prediction: kNN combine in
-    /// projection space plus the confidence signals.
+    /// projection space plus the confidence signals, through caller-
+    /// provided scratch buffers.
     ///
     /// Fails (instead of silently predicting zeros, as it once did)
     /// when no usable neighbor exists — an empty reference or a probe
     /// whose projection is entirely non-finite.
-    fn finish_prediction(
+    fn finish_prediction_with(
         &self,
-        projected: Vec<f64>,
+        projected: &[f64],
+        knn: &mut KnnScratch,
+        combined: &mut Vec<f64>,
         max_kernel_similarity: f64,
-    ) -> Result<Prediction, LinalgError> {
+    ) -> Result<Prediction, QppError> {
         let targets = if self.options.log_space_average {
             &self.log_performance
         } else {
             &self.raw_performance
         };
-        let (mut combined, found) = self.neighbors.predict(
-            &projected,
-            targets,
-            self.options.neighbors,
-            self.options.weighting,
-        )?;
+        self.neighbors
+            .predict_into(
+                projected,
+                targets,
+                self.options.neighbors,
+                self.options.weighting,
+                knn,
+                combined,
+            )
+            .ctx("combining neighbor metrics")?;
         if self.options.log_space_average {
-            for v in &mut combined {
+            for v in combined.iter_mut() {
                 *v = v.exp_m1().max(0.0);
             }
         }
-        // `predict` never returns an empty neighbor list on success.
+        // `predict_into` never leaves an empty neighbor list on success.
+        let found = &knn.neighbors;
         let confidence_distance =
             found.iter().map(|n| n.distance).sum::<f64>() / found.len() as f64;
         Ok(Prediction {
-            metrics: PerfMetrics::from_vec(&combined),
+            metrics: PerfMetrics::from_vec(combined),
             neighbor_indices: found.iter().map(|n| n.index).collect(),
             confidence_distance,
             max_kernel_similarity,
@@ -202,7 +357,7 @@ impl KccaPredictor {
 
     /// Predicts for a query given its optimizer plan — the compile-time
     /// entry point (no execution required).
-    pub fn predict(&self, spec: &QuerySpec, plan: &Plan) -> Result<Prediction, LinalgError> {
+    pub fn predict(&self, spec: &QuerySpec, plan: &Plan) -> Result<Prediction, QppError> {
         let features = query_features(self.options.feature_kind, spec, plan);
         self.predict_features(&features)
     }
@@ -213,17 +368,17 @@ impl KccaPredictor {
     pub fn predict_batch(
         &self,
         queries: &[(&QuerySpec, &Plan)],
-    ) -> Result<Vec<Prediction>, LinalgError> {
-        let features: Vec<Vec<f64>> = queries
-            .iter()
-            .map(|(spec, plan)| query_features(self.options.feature_kind, spec, plan))
-            .collect();
-        self.predict_features_batch(&features)
+    ) -> Result<Vec<Prediction>, QppError> {
+        let mut features = Matrix::zeros(queries.len(), feature_dim(self.options.feature_kind));
+        for (i, (spec, plan)) in queries.iter().enumerate() {
+            query_features_to(self.options.feature_kind, spec, plan, features.row_mut(i));
+        }
+        self.predict_features_batch(features.view())
     }
 
     /// Predicts every record of a dataset (e.g. a held-out test set)
     /// through the batched path.
-    pub fn predict_dataset(&self, dataset: &Dataset) -> Result<Vec<Prediction>, LinalgError> {
+    pub fn predict_dataset(&self, dataset: &Dataset) -> Result<Vec<Prediction>, QppError> {
         let queries: Vec<(&QuerySpec, &Plan)> = dataset
             .records
             .iter()

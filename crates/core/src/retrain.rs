@@ -7,8 +7,8 @@
 //! enough new observations accumulate.
 
 use crate::dataset::{Dataset, QueryRecord};
+use crate::error::QppError;
 use crate::predictor::{KccaPredictor, PredictorOptions};
-use qpp_linalg::LinalgError;
 use std::collections::VecDeque;
 
 /// A continuously retrainable predictor over a sliding window of
@@ -49,7 +49,7 @@ impl SlidingWindowPredictor {
 
     /// Observes one newly executed query; retrains when due. Returns
     /// true when a retrain happened.
-    pub fn observe(&mut self, record: QueryRecord) -> Result<bool, LinalgError> {
+    pub fn observe(&mut self, record: QueryRecord) -> Result<bool, QppError> {
         self.window.push_back(record);
         while self.window.len() > self.capacity {
             self.window.pop_front();
@@ -63,7 +63,7 @@ impl SlidingWindowPredictor {
     }
 
     /// Forces a retrain on the current window.
-    pub fn retrain(&mut self) -> Result<(), LinalgError> {
+    pub fn retrain(&mut self) -> Result<(), QppError> {
         let ds = Dataset {
             config: self.template.config.clone(),
             schema: self.template.schema.clone(),

@@ -7,10 +7,10 @@
 //! the smallest configuration that meets the constraint.
 
 use crate::dataset::Dataset;
+use crate::error::QppError;
 use crate::predictor::{KccaPredictor, PredictorOptions};
 use crate::workload_mgmt::predicted_serial_makespan;
 use qpp_engine::SystemConfig;
-use qpp_linalg::LinalgError;
 use serde::{Deserialize, Serialize};
 
 /// Predicted behaviour of one workload on one configuration.
@@ -50,7 +50,7 @@ pub fn recommend(
     workload_plans: impl Fn(&SystemConfig) -> Dataset,
     deadline_seconds: f64,
     options: PredictorOptions,
-) -> Result<SizingRecommendation, LinalgError> {
+) -> Result<SizingRecommendation, QppError> {
     let mut estimates = Vec::with_capacity(candidates.len());
     let mut recommended = None;
     for (i, (train, config)) in candidates.iter().enumerate() {
@@ -90,7 +90,7 @@ pub fn upgrade_speedup(
     upgraded: &KccaPredictor,
     workload_on_current: &Dataset,
     workload_on_upgraded: &Dataset,
-) -> Result<f64, LinalgError> {
+) -> Result<f64, QppError> {
     let now = predicted_serial_makespan(&current.predict_dataset(workload_on_current)?);
     let then = predicted_serial_makespan(&upgraded.predict_dataset(workload_on_upgraded)?);
     Ok(now / then.max(1e-9))

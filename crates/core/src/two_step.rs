@@ -14,10 +14,10 @@
 
 use crate::categories::QueryCategory;
 use crate::dataset::Dataset;
+use crate::error::QppError;
 use crate::features::query_features;
 use crate::predictor::{KccaPredictor, Prediction, PredictorOptions};
 use qpp_engine::Plan;
-use qpp_linalg::LinalgError;
 use qpp_workload::QuerySpec;
 use serde::{Deserialize, Serialize};
 
@@ -38,7 +38,7 @@ pub struct TwoStepPredictor {
 impl TwoStepPredictor {
     /// Trains the classifier on the full dataset and one specialist per
     /// pooled category that has enough training queries.
-    pub fn train(dataset: &Dataset, options: PredictorOptions) -> Result<Self, LinalgError> {
+    pub fn train(dataset: &Dataset, options: PredictorOptions) -> Result<Self, QppError> {
         let classifier = KccaPredictor::train(dataset, options)?;
         let mut specialists = Vec::new();
         for &cat in &QueryCategory::POOLED {
@@ -64,7 +64,7 @@ impl TwoStepPredictor {
     }
 
     /// Step 1 alone: classify a query by neighbor majority vote.
-    pub fn classify(&self, spec: &QuerySpec, plan: &Plan) -> Result<QueryCategory, LinalgError> {
+    pub fn classify(&self, spec: &QuerySpec, plan: &Plan) -> Result<QueryCategory, QppError> {
         let features = query_features(self.options.feature_kind, spec, plan);
         let p = self.classifier.predict_features(&features)?;
         Ok(self.vote(&p))
@@ -90,7 +90,7 @@ impl TwoStepPredictor {
     }
 
     /// Full two-step prediction.
-    pub fn predict(&self, spec: &QuerySpec, plan: &Plan) -> Result<Prediction, LinalgError> {
+    pub fn predict(&self, spec: &QuerySpec, plan: &Plan) -> Result<Prediction, QppError> {
         let features = query_features(self.options.feature_kind, spec, plan);
         let first = self.classifier.predict_features(&features)?;
         let category = self.vote(&first);
@@ -101,7 +101,7 @@ impl TwoStepPredictor {
     }
 
     /// Predicts every record of a dataset.
-    pub fn predict_dataset(&self, dataset: &Dataset) -> Result<Vec<Prediction>, LinalgError> {
+    pub fn predict_dataset(&self, dataset: &Dataset) -> Result<Vec<Prediction>, QppError> {
         dataset
             .records
             .iter()

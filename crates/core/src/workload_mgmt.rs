@@ -130,7 +130,7 @@ mod tests {
         m.elapsed_seconds = elapsed;
         Prediction {
             metrics: m,
-            neighbor_indices: vec![0, 1, 2],
+            neighbor_indices: vec![0, 1, 2].into_iter().collect(),
             confidence_distance: confidence,
             max_kernel_similarity: 1.0,
         }

@@ -82,7 +82,10 @@ impl IncompleteCholesky {
             0.0
         };
 
-        let mut g_cols: Vec<Vec<f64>> = Vec::new();
+        // Accepted columns of G, stored contiguously: column `t` lives
+        // at `g_cols[t * n..(t + 1) * n]`. One growing allocation
+        // instead of one per pivot.
+        let mut g_cols: Vec<f64> = Vec::new();
         let mut pivots: Vec<usize> = Vec::new();
         let mut selected = vec![false; n];
 
@@ -121,7 +124,7 @@ impl IncompleteCholesky {
                         continue;
                     }
                     let mut v = gram(i, p);
-                    for prev in g_cols_ref {
+                    for prev in g_cols_ref.chunks_exact(n) {
                         v -= prev[i] * prev[p];
                     }
                     let gi = v / gpp;
@@ -129,20 +132,20 @@ impl IncompleteCholesky {
                 }
                 out
             });
-            let mut col = vec![0.0; n];
+            let start = g_cols.len();
+            g_cols.resize(start + n, 0.0);
             let mut i = 0;
             for part in parts {
                 for (g_i, d_i) in part {
-                    col[i] = g_i;
+                    g_cols[start + i] = g_i;
                     d[i] = d_i;
                     i += 1;
                 }
             }
-            col[p] = gpp;
+            g_cols[start + p] = gpp;
             selected[p] = true;
             d[p] = 0.0;
             pivots.push(p);
-            g_cols.push(col);
         }
 
         if pivots.is_empty() {
@@ -154,7 +157,7 @@ impl IncompleteCholesky {
 
         let r = pivots.len();
         let mut g = Matrix::zeros(n, r);
-        for (t, col) in g_cols.iter().enumerate() {
+        for (t, col) in g_cols.chunks_exact(n).enumerate() {
             for i in 0..n {
                 g[(i, t)] = col[i];
             }
@@ -199,6 +202,15 @@ impl IncompleteCholesky {
     /// points `i`, i.e. new points live in the same approximate feature
     /// space as the training rows of `G`.
     pub fn transform_new(&self, kernel_at_pivots: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.rank());
+        self.transform_new_into(kernel_at_pivots, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`IncompleteCholesky::transform_new`], writing into a
+    /// reusable buffer: after warmup the buffer's capacity is retained,
+    /// so steady-state embeddings allocate nothing.
+    pub fn transform_new_into(&self, kernel_at_pivots: &[f64], out: &mut Vec<f64>) -> Result<()> {
         let r = self.rank();
         if kernel_at_pivots.len() != r {
             return Err(LinalgError::ShapeMismatch {
@@ -209,7 +221,8 @@ impl IncompleteCholesky {
         }
         // Forward substitution against the lower-triangular pivot block
         // G[pivots, :] (triangular in selection order by construction).
-        let mut out = vec![0.0; r];
+        out.clear();
+        out.resize(r, 0.0);
         for t in 0..r {
             let p = self.pivots[t];
             let mut v = kernel_at_pivots[t];
@@ -218,7 +231,7 @@ impl IncompleteCholesky {
             }
             out[t] = v / self.g[(p, t)];
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -227,7 +240,9 @@ mod tests {
     use super::*;
     use crate::vector;
 
-    fn gaussian_points() -> Vec<Vec<f64>> {
+    type Points = Vec<Vec<f64>>; // allow-vecvec: test fixture
+
+    fn gaussian_points() -> Points {
         // Deterministic scattered points.
         (0..12)
             .map(|i| {

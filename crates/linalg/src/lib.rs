@@ -21,6 +21,9 @@
 //! * [`geneig`] — generalized symmetric-definite eigenproblem
 //!   `A v = λ B v` via Cholesky reduction (the KCCA core, §VI-A).
 //! * [`stats`] — means, variances, standardization helpers.
+//! * [`view`] — borrowed zero-copy [`MatrixView`] / [`MatrixViewMut`]
+//!   over contiguous row-major storage, the currency of the predict
+//!   path's crate boundaries.
 
 pub mod cholesky;
 pub mod eigen;
@@ -31,6 +34,7 @@ pub mod matrix;
 pub mod qr;
 pub mod stats;
 pub mod vector;
+pub mod view;
 
 pub use cholesky::Cholesky;
 pub use eigen::SymmetricEigen;
@@ -39,3 +43,4 @@ pub use geneig::GeneralizedEigen;
 pub use icd::{IcdOptions, IncompleteCholesky};
 pub use matrix::Matrix;
 pub use qr::{LeastSquares, QrDecomposition};
+pub use view::{MatrixView, MatrixViewMut};

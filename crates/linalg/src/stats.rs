@@ -69,6 +69,29 @@ impl Standardizer {
             .collect()
     }
 
+    /// Standardizes one row into a preallocated slice of the same
+    /// length (the zero-copy batch path).
+    pub fn transform_row_to(&self, row: &[f64], out: &mut [f64]) {
+        for (o, (&v, (&mu, &sd))) in out
+            .iter_mut()
+            .zip(row.iter().zip(self.means.iter().zip(self.stds.iter())))
+        {
+            *o = (v - mu) / sd;
+        }
+    }
+
+    /// Standardizes one row into a reusable buffer. After warmup the
+    /// buffer's capacity is retained, so steady-state calls allocate
+    /// nothing.
+    pub fn transform_row_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            row.iter()
+                .zip(self.means.iter().zip(self.stds.iter()))
+                .map(|(&v, (&mu, &sd))| (v - mu) / sd),
+        );
+    }
+
     /// Standardizes every row of `m`.
     pub fn transform(&self, m: &Matrix) -> Matrix {
         Matrix::from_fn(m.rows(), m.cols(), |i, j| {
@@ -133,6 +156,22 @@ mod tests {
         let back = sc.inverse_row(t.row(1));
         assert!((back[0] - 2.0).abs() < 1e-12);
         assert!((back[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_row_variants_are_bitwise_equal() {
+        let m = Matrix::from_vec(3, 2, vec![1., 5., 2., 7., 3., 9.]).unwrap();
+        let sc = Standardizer::fit(&m);
+        let row = [2.5, 6.5];
+        let owned = sc.transform_row(&row);
+        let mut buf = Vec::new();
+        sc.transform_row_into(&row, &mut buf);
+        let mut slot = [0.0; 2];
+        sc.transform_row_to(&row, &mut slot);
+        for j in 0..2 {
+            assert_eq!(owned[j].to_bits(), buf[j].to_bits());
+            assert_eq!(owned[j].to_bits(), slot[j].to_bits());
+        }
     }
 
     #[test]

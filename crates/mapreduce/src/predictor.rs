@@ -4,6 +4,7 @@
 
 use crate::cluster::{run, ClusterConfig};
 use crate::job::{JobOutcome, JobSpec};
+use qpp_core::error::{QppError, ResultExt};
 use qpp_linalg::stats::Standardizer;
 use qpp_linalg::{LinalgError, Matrix};
 use qpp_ml::{DistanceMetric, Kcca, KccaOptions, NearestNeighbors, NeighborWeighting};
@@ -34,44 +35,59 @@ impl JobPredictor {
         jobs: &[JobSpec],
         cluster: &ClusterConfig,
         k: usize,
-    ) -> Result<(Self, Vec<JobOutcome>), LinalgError> {
+    ) -> Result<(Self, Vec<JobOutcome>), QppError> {
         if jobs.len() < 8 {
-            return Err(LinalgError::Empty("job training set"));
+            return Err(LinalgError::Empty("job training set").into());
         }
         let outcomes: Vec<JobOutcome> = jobs.iter().map(|j| run(j, cluster)).collect();
-        let x_rows: Vec<Vec<f64>> = jobs.iter().map(|j| j.features()).collect();
-        let x_raw = Matrix::from_rows(&x_rows)?;
+        // Assemble all three training matrices directly into contiguous
+        // storage — no per-row vectors at the boundary.
+        let x_dim = jobs[0].features().len();
+        let mut x_raw = Matrix::zeros(jobs.len(), x_dim);
+        for (i, j) in jobs.iter().enumerate() {
+            x_raw.row_mut(i).copy_from_slice(&j.features());
+        }
         let scaler = Standardizer::fit(&x_raw);
         let x = scaler.transform(&x_raw);
-        let y_rows: Vec<Vec<f64>> = outcomes
-            .iter()
-            .map(|o| o.to_vec().iter().map(|v| (1.0 + v).ln()).collect())
-            .collect();
-        let y = Matrix::from_rows(&y_rows)?;
-        let kcca = Kcca::fit(&x, &y, KccaOptions::default())?;
+        let y_dim = outcomes[0].to_vec().len();
+        let mut y = Matrix::zeros(outcomes.len(), y_dim);
+        let mut raw_outcomes = Matrix::zeros(outcomes.len(), y_dim);
+        for (i, o) in outcomes.iter().enumerate() {
+            let raw = o.to_vec();
+            raw_outcomes.row_mut(i).copy_from_slice(&raw);
+            for (dst, v) in y.row_mut(i).iter_mut().zip(raw.iter()) {
+                *dst = (1.0 + v).ln();
+            }
+        }
+        let kcca = Kcca::fit(x.view(), y.view(), KccaOptions::default()).ctx("fitting job kcca")?;
         let neighbors =
             NearestNeighbors::new(kcca.query_projection().clone(), DistanceMetric::Euclidean);
-        let raw_rows: Vec<Vec<f64>> = outcomes.iter().map(|o| o.to_vec()).collect();
         let model = JobPredictor {
             scaler,
             kcca,
             neighbors,
-            raw_outcomes: Matrix::from_rows(&raw_rows)?,
+            raw_outcomes,
             k,
         };
         Ok((model, outcomes))
     }
 
     /// Predicts a job's outcome from its spec alone.
-    pub fn predict(&self, job: &JobSpec) -> Result<JobPrediction, LinalgError> {
+    pub fn predict(&self, job: &JobSpec) -> Result<JobPrediction, QppError> {
         let scaled = self.scaler.transform_row(&job.features());
-        let projected = self.kcca.project_query(&scaled)?;
-        let (combined, found) = self.neighbors.predict(
-            &projected,
-            &self.raw_outcomes,
-            self.k,
-            NeighborWeighting::Equal,
-        )?;
+        let projected = self
+            .kcca
+            .project_query(&scaled)
+            .ctx("projecting job features")?;
+        let (combined, found) = self
+            .neighbors
+            .predict(
+                &projected,
+                &self.raw_outcomes,
+                self.k,
+                NeighborWeighting::Equal,
+            )
+            .ctx("combining job neighbors")?;
         // `predict` never returns an empty neighbor list on success.
         let confidence_distance =
             found.iter().map(|n| n.distance).sum::<f64>() / found.len() as f64;

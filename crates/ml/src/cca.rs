@@ -123,6 +123,18 @@ impl Cca {
         project(row, &self.y_means, &self.wy)
     }
 
+    /// Projects one x-side row into a reusable buffer. After warmup the
+    /// buffer's capacity is retained, so steady-state calls allocate
+    /// nothing. Bitwise equal to [`Cca::project_x`].
+    pub fn project_x_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        project_into(row, &self.x_means, &self.wx, out)
+    }
+
+    /// Projects one y-side row into a reusable buffer.
+    pub fn project_y_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        project_into(row, &self.y_means, &self.wy, out)
+    }
+
     /// Projects every row of an x-side matrix.
     pub fn project_x_matrix(&self, x: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(x.rows(), self.components());
@@ -147,8 +159,15 @@ fn center(m: &Matrix, means: &[f64]) -> Matrix {
 }
 
 fn project(row: &[f64], means: &[f64], w: &Matrix) -> Vec<f64> {
+    let mut out = Vec::with_capacity(w.cols());
+    project_into(row, means, w, &mut out);
+    out
+}
+
+fn project_into(row: &[f64], means: &[f64], w: &Matrix, out: &mut Vec<f64>) {
     debug_assert_eq!(row.len(), w.rows());
-    let mut out = vec![0.0; w.cols()];
+    out.clear();
+    out.resize(w.cols(), 0.0);
     for (i, (&v, &mu)) in row.iter().zip(means.iter()).enumerate() {
         let c = v - mu;
         if c == 0.0 {
@@ -158,7 +177,6 @@ fn project(row: &[f64], means: &[f64], w: &Matrix) -> Vec<f64> {
             *o += c * w[(i, k)];
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -234,6 +252,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cca.components(), 2); // min(3, 2)
+    }
+
+    #[test]
+    fn project_into_is_bitwise_equal_to_project() {
+        let (x, y) = correlated_data(60, 11);
+        let cca = Cca::fit(&x, &y, CcaOptions::default()).unwrap();
+        let mut buf = Vec::new();
+        for i in 0..5 {
+            let owned = cca.project_x(x.row(i));
+            cca.project_x_into(x.row(i), &mut buf);
+            assert_eq!(owned.len(), buf.len());
+            for (a, b) in owned.iter().zip(buf.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

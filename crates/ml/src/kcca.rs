@@ -19,7 +19,7 @@
 
 use crate::cca::{Cca, CcaOptions};
 use crate::kernel::GaussianKernel;
-use qpp_linalg::{IcdOptions, IncompleteCholesky, LinalgError, Matrix};
+use qpp_linalg::{IcdOptions, IncompleteCholesky, LinalgError, Matrix, MatrixView};
 use serde::{Deserialize, Serialize};
 
 /// Options for [`Kcca::fit`].
@@ -72,8 +72,14 @@ pub struct Kcca {
 
 impl Kcca {
     /// Fits KCCA on paired rows of `x` (query features) and `y`
-    /// (performance features).
-    pub fn fit(x: &Matrix, y: &Matrix, opts: KccaOptions) -> Result<Kcca, LinalgError> {
+    /// (performance features). Both sides are borrowed views over
+    /// contiguous storage; nothing is copied until the pivot rows are
+    /// extracted.
+    pub fn fit(
+        x: MatrixView<'_>,
+        y: MatrixView<'_>,
+        opts: KccaOptions,
+    ) -> Result<Kcca, LinalgError> {
         if x.rows() != y.rows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "kcca fit",
@@ -176,28 +182,59 @@ impl Kcca {
         self.project_into(features, &mut k_row)
     }
 
-    /// Projects a batch of query feature vectors, amortizing the
-    /// kernel-row buffer across queries within a chunk.
+    /// Projects a batch of query feature vectors (one per row of the
+    /// view), amortizing the kernel-row and embedding buffers across
+    /// queries within a chunk.
     ///
     /// Row `i` of the result is exactly what
-    /// [`Kcca::project_query_with_similarity`] returns for `rows[i]` —
-    /// per-row work is independent and runs the identical per-row
+    /// [`Kcca::project_query_with_similarity`] returns for `rows.row(i)`
+    /// — per-row work is independent and runs the identical per-row
     /// floating-point operations in the identical order, so results are
     /// bitwise equal to single-query projection for any thread count.
     /// Chunks of 16 queries fan out across the `qpp-par` pool (the
     /// qpp-serve micro-batch path and the experiment hot loops).
     pub fn project_queries_with_similarity(
         &self,
-        rows: &[Vec<f64>],
+        rows: MatrixView<'_>,
     ) -> Result<Vec<(Vec<f64>, f64)>, LinalgError> {
-        let per_chunk = qpp_par::parallel_for_chunks(rows.len(), 16, |chunk| {
-            let mut k_row = Vec::with_capacity(self.x_pivots.rows());
-            rows[chunk.range.clone()]
-                .iter()
-                .map(|features| self.project_into(features, &mut k_row))
+        let per_chunk = qpp_par::parallel_for_chunks(rows.rows(), 16, |chunk| {
+            let mut scratch = ProjectionScratch::new();
+            chunk
+                .range
+                .map(|i| {
+                    let mut out = Vec::with_capacity(self.components());
+                    let similarity =
+                        self.project_query_into(rows.row(i), &mut scratch, &mut out)?;
+                    Ok((out, similarity))
+                })
                 .collect::<Vec<_>>()
         });
         per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Projects a query into a reusable output buffer, returning the
+    /// largest kernel evaluation against the pivots. `scratch` holds the
+    /// kernel-row and ICD-embedding buffers; once all three buffers have
+    /// warmed up to the model's dimensions, this performs no heap
+    /// allocation. Bitwise equal to
+    /// [`Kcca::project_query_with_similarity`].
+    pub fn project_query_into(
+        &self,
+        features: &[f64],
+        scratch: &mut ProjectionScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<f64, LinalgError> {
+        scratch.k_row.clear();
+        scratch.k_row.extend(
+            self.x_pivots
+                .row_iter()
+                .map(|p| self.x_kernel.eval(features, p)),
+        );
+        let similarity = scratch.k_row.iter().cloned().fold(0.0f64, f64::max);
+        self.x_icd
+            .transform_new_into(&scratch.k_row, &mut scratch.embedded)?;
+        self.cca.project_x_into(&scratch.embedded, out);
+        Ok(similarity)
     }
 
     /// Shared per-row projection; `k_row` is a scratch buffer.
@@ -215,6 +252,23 @@ impl Kcca {
         let similarity = k_row.iter().cloned().fold(0.0f64, f64::max);
         let g = self.x_icd.transform_new(k_row)?;
         Ok((self.cca.project_x(&g), similarity))
+    }
+}
+
+/// Reusable buffers for [`Kcca::project_query_into`]: the kernel row
+/// against the pivots and the incomplete-Cholesky embedding. One scratch
+/// per worker thread is enough; buffers grow to the model's dimensions
+/// on first use and are then recycled.
+#[derive(Debug, Default, Clone)]
+pub struct ProjectionScratch {
+    k_row: Vec<f64>,
+    embedded: Vec<f64>,
+}
+
+impl ProjectionScratch {
+    /// Empty scratch; buffers are sized lazily on first projection.
+    pub fn new() -> Self {
+        ProjectionScratch::default()
     }
 }
 
@@ -246,7 +300,7 @@ mod tests {
     #[test]
     fn captures_nonlinear_correlation() {
         let (x, y) = nonlinear_pair(150, 2);
-        let model = Kcca::fit(&x, &y, KccaOptions::default()).unwrap();
+        let model = Kcca::fit(x.view(), y.view(), KccaOptions::default()).unwrap();
         assert!(
             model.correlations()[0] > 0.9,
             "top kernel correlation {}",
@@ -259,7 +313,7 @@ mod tests {
         // Points with similar x land near each other in the query
         // projection (the paper's clustering-effect claim, Fig. 6).
         let (x, y) = nonlinear_pair(120, 7);
-        let model = Kcca::fit(&x, &y, KccaOptions::default()).unwrap();
+        let model = Kcca::fit(x.view(), y.view(), KccaOptions::default()).unwrap();
         let p0 = model.project_query(x.row(0)).unwrap();
         // Training projection of point 0 should match its out-of-sample
         // projection (same point).
@@ -275,7 +329,7 @@ mod tests {
         // projection should have similar performance (the prediction
         // premise). Construct data where x fully determines y.
         let (x, y) = nonlinear_pair(200, 9);
-        let model = Kcca::fit(&x, &y, KccaOptions::default()).unwrap();
+        let model = Kcca::fit(x.view(), y.view(), KccaOptions::default()).unwrap();
         // Leave point 0 out conceptually: find nearest *other* neighbor.
         let probe = model.project_query(x.row(0)).unwrap();
         let mut best = (usize::MAX, f64::INFINITY);
@@ -303,7 +357,7 @@ mod tests {
             icd_tolerance: 0.0,
             ..KccaOptions::default()
         };
-        let model = Kcca::fit(&x, &y, opts).unwrap();
+        let model = Kcca::fit(x.view(), y.view(), opts).unwrap();
         assert!(model.x_rank() <= 10);
         assert!(model.components() <= 10);
     }
@@ -312,13 +366,13 @@ mod tests {
     fn mismatched_rows_rejected() {
         let x = Matrix::zeros(10, 2);
         let y = Matrix::zeros(9, 2);
-        assert!(Kcca::fit(&x, &y, KccaOptions::default()).is_err());
+        assert!(Kcca::fit(x.view(), y.view(), KccaOptions::default()).is_err());
     }
 
     #[test]
     fn tiny_input_rejected() {
         let x = Matrix::zeros(2, 2);
         let y = Matrix::zeros(2, 2);
-        assert!(Kcca::fit(&x, &y, KccaOptions::default()).is_err());
+        assert!(Kcca::fit(x.view(), y.view(), KccaOptions::default()).is_err());
     }
 }

@@ -1,6 +1,6 @@
 //! Gaussian kernels with the paper's scale heuristic.
 
-use qpp_linalg::Matrix;
+use qpp_linalg::{Matrix, MatrixView};
 use serde::{Deserialize, Serialize};
 
 /// Gaussian (RBF) kernel `k(x, y) = exp(-||x - y||² / τ)`.
@@ -35,7 +35,7 @@ impl GaussianKernel {
     /// identity. We therefore anchor τ to the *mean pairwise squared
     /// distance* (same intent: a data-driven scale, one knob), so
     /// `fraction = 1.0` puts the average pair at `k = e⁻¹`.
-    pub fn fit(data: &Matrix, fraction: f64) -> Self {
+    pub fn fit(data: MatrixView<'_>, fraction: f64) -> Self {
         let tau = (fraction * mean_squared_distance(data)).max(1e-6);
         GaussianKernel { tau }
     }
@@ -51,7 +51,7 @@ impl GaussianKernel {
     /// Row chunks are computed in parallel, each row in full. Symmetry
     /// is preserved bitwise without a mirror pass because `sq_dist` is
     /// exactly symmetric: `(x−y)²` and `(y−x)²` are the same float.
-    pub fn matrix(&self, data: &Matrix) -> Matrix {
+    pub fn matrix(&self, data: MatrixView<'_>) -> Matrix {
         let n = data.rows();
         // A few thousand evaluations per chunk; depends only on `n`.
         let rows_per_chunk = (16_384 / n.max(1)).clamp(4, 256);
@@ -80,7 +80,7 @@ impl GaussianKernel {
     }
 
     /// Kernel evaluations of one new point against every row of `data`.
-    pub fn row(&self, data: &Matrix, point: &[f64]) -> Vec<f64> {
+    pub fn row(&self, data: MatrixView<'_>, point: &[f64]) -> Vec<f64> {
         qpp_par::parallel_for_chunks(data.rows(), 1024, |chunk| {
             chunk
                 .range
@@ -91,11 +91,23 @@ impl GaussianKernel {
         .flatten()
         .collect()
     }
+
+    /// Like [`GaussianKernel::row`], writing into a reusable buffer.
+    ///
+    /// Runs serially (the predict path evaluates against a few hundred
+    /// pivots — below any useful parallel grain) and allocates nothing
+    /// once the buffer has warmed up. Each evaluation is the identical
+    /// `eval(data.row(i), point)` of the parallel variant, in the same
+    /// row order, so the values are bitwise equal.
+    pub fn row_into(&self, data: MatrixView<'_>, point: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(data.row_iter().map(|r| self.eval(r, point)));
+    }
 }
 
 /// Mean pairwise squared Euclidean distance over (a deterministic
 /// subsample of) the rows of `data`.
-fn mean_squared_distance(data: &Matrix) -> f64 {
+fn mean_squared_distance(data: MatrixView<'_>) -> f64 {
     let n = data.rows();
     if n < 2 {
         return 1.0;
@@ -154,7 +166,7 @@ mod tests {
     #[test]
     fn matrix_is_symmetric_with_unit_diagonal() {
         let data = Matrix::from_vec(3, 2, vec![0., 0., 1., 0., 5., 5.]).unwrap();
-        let k = GaussianKernel::new(1.0).matrix(&data);
+        let k = GaussianKernel::new(1.0).matrix(data.view());
         for i in 0..3 {
             assert_eq!(k[(i, i)], 1.0);
             for j in 0..3 {
@@ -167,17 +179,17 @@ mod tests {
     fn fit_anchors_tau_to_mean_squared_distance() {
         // Two rows at squared distance 4: mean pairwise d² = 4.
         let data = Matrix::from_vec(2, 2, vec![1., 0., 3., 0.]).unwrap();
-        let k = GaussianKernel::fit(&data, 0.5);
+        let k = GaussianKernel::fit(data.view(), 0.5);
         assert!((k.tau - 2.0).abs() < 1e-12);
         // fraction = 1 ⇒ the average pair evaluates to e⁻¹.
-        let k1 = GaussianKernel::fit(&data, 1.0);
+        let k1 = GaussianKernel::fit(data.view(), 1.0);
         assert!((k1.eval(data.row(0), data.row(1)) - (-1.0f64).exp()).abs() < 1e-12);
     }
 
     #[test]
     fn fit_floors_degenerate_scale() {
         let data = Matrix::from_vec(2, 2, vec![1., 0., 1., 0.]).unwrap(); // identical rows
-        let k = GaussianKernel::fit(&data, 0.1);
+        let k = GaussianKernel::fit(data.view(), 0.1);
         assert!(k.tau >= 1e-6);
     }
 
@@ -185,10 +197,23 @@ mod tests {
     fn row_matches_matrix_column() {
         let data = Matrix::from_vec(3, 2, vec![0., 0., 1., 1., 2., 0.]).unwrap();
         let kern = GaussianKernel::new(3.0);
-        let m = kern.matrix(&data);
-        let r = kern.row(&data, data.row(1));
+        let m = kern.matrix(data.view());
+        let r = kern.row(data.view(), data.row(1));
         for i in 0..3 {
             assert!((r[i] - m[(i, 1)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn row_into_is_bitwise_equal_to_row() {
+        let data = Matrix::from_vec(4, 2, vec![0., 0., 1., 1., 2., 0., -1., 3.]).unwrap();
+        let kern = GaussianKernel::new(1.5);
+        let owned = kern.row(data.view(), &[0.5, 0.5]);
+        let mut buf = Vec::new();
+        kern.row_into(data.view(), &[0.5, 0.5], &mut buf);
+        assert_eq!(owned.len(), buf.len());
+        for (a, b) in owned.iter().zip(buf.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -10,7 +10,7 @@
 //! * weighting — equal vs. 3:2:1 vs. distance-proportional (Table III;
 //!   no consistent winner, equal chosen).
 
-use qpp_linalg::{vector, LinalgError, Matrix};
+use qpp_linalg::{vector, Matrix};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -29,6 +29,13 @@ pub enum KnnError {
     /// (e.g. the probe carries a NaN component), so no neighbor is
     /// usable.
     NoFiniteNeighbors,
+    /// The targets matrix does not have one row per reference row.
+    TargetMismatch {
+        /// Rows in the targets matrix.
+        targets: usize,
+        /// Rows in the reference matrix.
+        reference: usize,
+    },
 }
 
 impl fmt::Display for KnnError {
@@ -38,22 +45,16 @@ impl fmt::Display for KnnError {
             KnnError::NoFiniteNeighbors => {
                 write!(f, "no reference row is at a finite distance from the probe")
             }
+            KnnError::TargetMismatch { targets, reference } => write!(
+                f,
+                "targets must align with reference rows ({targets} target rows \
+                 vs {reference} reference rows)"
+            ),
         }
     }
 }
 
 impl std::error::Error for KnnError {}
-
-/// Lets kNN failures flow through the predictor APIs, whose error type
-/// is [`LinalgError`].
-impl From<KnnError> for LinalgError {
-    fn from(e: KnnError) -> LinalgError {
-        LinalgError::Empty(match e {
-            KnnError::EmptyReference => "knn reference",
-            KnnError::NoFiniteNeighbors => "knn: no finite neighbor distances",
-        })
-    }
-}
 
 /// Distance metric for neighbor search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,16 +89,32 @@ pub enum NeighborWeighting {
 impl NeighborWeighting {
     /// Weights for neighbors sorted by ascending distance.
     pub fn weights(self, distances: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(distances.len());
+        self.weights_for(distances.iter().copied(), &mut out);
+        out
+    }
+
+    /// Weights for neighbors found by [`NearestNeighbors::query`],
+    /// written into a reusable buffer. Bitwise equal to
+    /// [`NeighborWeighting::weights`] on the same distances.
+    pub fn weights_into(self, neighbors: &[Neighbor], out: &mut Vec<f64>) {
+        self.weights_for(neighbors.iter().map(|n| n.distance), out)
+    }
+
+    /// Shared raw-weight / normalize pipeline: fill `out` with the raw
+    /// scheme weights, then divide by their sum.
+    fn weights_for(self, distances: impl ExactSizeIterator<Item = f64>, out: &mut Vec<f64>) {
         let k = distances.len();
-        let raw: Vec<f64> = match self {
-            NeighborWeighting::Equal => vec![1.0; k],
-            NeighborWeighting::RankRatio => (0..k).map(|i| (k - i) as f64).collect(),
-            NeighborWeighting::InverseDistance => {
-                distances.iter().map(|&d| 1.0 / (d + 1e-9)).collect()
-            }
-        };
-        let total: f64 = raw.iter().sum();
-        raw.into_iter().map(|w| w / total).collect()
+        out.clear();
+        match self {
+            NeighborWeighting::Equal => out.extend((0..k).map(|_| 1.0)),
+            NeighborWeighting::RankRatio => out.extend((0..k).map(|i| (k - i) as f64)),
+            NeighborWeighting::InverseDistance => out.extend(distances.map(|d| 1.0 / (d + 1e-9))),
+        }
+        let total: f64 = out.iter().sum();
+        for w in out.iter_mut() {
+            *w /= total;
+        }
     }
 }
 
@@ -178,13 +195,53 @@ impl NearestNeighbors {
         merge_top_k(per_chunk, k)
     }
 
+    /// Like [`NearestNeighbors::query`], writing into a reusable buffer.
+    ///
+    /// References that fit in a single scan chunk (the paper-scale case)
+    /// are scanned serially — the identical loop a one-chunk parallel
+    /// scan runs, so results are bitwise equal — and, once `out` has
+    /// warmed up to capacity `k + 1`, without any heap allocation.
+    /// Larger references delegate to the chunked parallel scan.
+    pub fn query_into(&self, probe: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+        out.clear();
+        let k = k.min(self.len());
+        if k == 0 {
+            return;
+        }
+        if self.len() > SCAN_CHUNK {
+            out.extend(self.query(probe, k));
+            return;
+        }
+        out.reserve(k + 1);
+        for i in 0..self.len() {
+            let d = self.metric.distance(probe, self.reference.row(i));
+            if !d.is_finite() {
+                continue;
+            }
+            if out.len() < k || d < out.last().map_or(f64::INFINITY, |n| n.distance) {
+                let pos = out.partition_point(|n| n.distance <= d);
+                out.insert(
+                    pos,
+                    Neighbor {
+                        index: i,
+                        distance: d,
+                    },
+                );
+                if out.len() > k {
+                    out.pop();
+                }
+            }
+        }
+    }
+
     /// Predicts a target vector for `probe` by combining the `targets`
     /// rows of the k nearest neighbors under `weighting`.
     ///
     /// Returns the prediction and the neighbors used. Fails when the
-    /// reference is empty or when no reference row is at a finite
-    /// distance from the probe — both cases used to yield a silent
-    /// all-zero prediction with an empty neighbor list.
+    /// targets are misaligned with the reference, when the reference is
+    /// empty, or when no reference row is at a finite distance from the
+    /// probe — the latter two used to yield a silent all-zero prediction
+    /// with an empty neighbor list.
     pub fn predict(
         &self,
         probe: &[f64],
@@ -192,25 +249,65 @@ impl NearestNeighbors {
         k: usize,
         weighting: NeighborWeighting,
     ) -> Result<(Vec<f64>, Vec<Neighbor>), KnnError> {
-        assert_eq!(
-            targets.rows(),
-            self.len(),
-            "targets must align with reference rows"
-        );
+        let mut scratch = KnnScratch::new();
+        let mut out = Vec::with_capacity(targets.cols());
+        self.predict_into(probe, targets, k, weighting, &mut scratch, &mut out)?;
+        Ok((out, scratch.neighbors))
+    }
+
+    /// Like [`NearestNeighbors::predict`], writing the prediction into
+    /// `out` and the neighbors used into `scratch.neighbors`. With warm
+    /// buffers and a reference that fits one scan chunk, this performs
+    /// no heap allocation. Bitwise equal to
+    /// [`NearestNeighbors::predict`].
+    pub fn predict_into(
+        &self,
+        probe: &[f64],
+        targets: &Matrix,
+        k: usize,
+        weighting: NeighborWeighting,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), KnnError> {
+        if targets.rows() != self.len() {
+            return Err(KnnError::TargetMismatch {
+                targets: targets.rows(),
+                reference: self.len(),
+            });
+        }
         if self.is_empty() {
             return Err(KnnError::EmptyReference);
         }
-        let neighbors = self.query(probe, k);
-        if neighbors.is_empty() {
+        self.query_into(probe, k, &mut scratch.neighbors);
+        if scratch.neighbors.is_empty() {
             return Err(KnnError::NoFiniteNeighbors);
         }
-        let distances: Vec<f64> = neighbors.iter().map(|n| n.distance).collect();
-        let weights = weighting.weights(&distances);
-        let mut out = vec![0.0; targets.cols()];
-        for (n, &w) in neighbors.iter().zip(weights.iter()) {
-            vector::axpy(w, targets.row(n.index), &mut out);
+        weighting.weights_into(&scratch.neighbors, &mut scratch.weights);
+        out.clear();
+        out.resize(targets.cols(), 0.0);
+        for (n, &w) in scratch.neighbors.iter().zip(scratch.weights.iter()) {
+            vector::axpy(w, targets.row(n.index), out);
         }
-        Ok((out, neighbors))
+        Ok(())
+    }
+}
+
+/// Reusable buffers for [`NearestNeighbors::predict_into`]: the sorted
+/// neighbor list and the combination weights. One scratch per worker
+/// thread is enough; buffers grow to `k` entries on first use and are
+/// then recycled.
+#[derive(Debug, Default, Clone)]
+pub struct KnnScratch {
+    /// Neighbors found by the last `predict_into` call, ascending by
+    /// distance.
+    pub neighbors: Vec<Neighbor>,
+    weights: Vec<f64>,
+}
+
+impl KnnScratch {
+    /// Empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        KnnScratch::default()
     }
 }
 
@@ -348,9 +445,10 @@ mod tests {
         // A reference big enough to span several scan chunks, probed
         // under 1 and 8 threads: identical neighbors either way, and
         // equal-distance ties resolve to the lowest index.
-        let rows: Vec<Vec<f64>> = (0..5000)
-            .map(|i| vec![(i % 97) as f64, ((i * 31) % 89) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = // allow-vecvec: test fixture
+            (0..5000)
+                .map(|i| vec![(i % 97) as f64, ((i * 31) % 89) as f64])
+                .collect();
         let nn =
             NearestNeighbors::new(Matrix::from_rows(&rows).unwrap(), DistanceMetric::Euclidean);
         let probe = [13.0, 42.0];

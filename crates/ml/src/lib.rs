@@ -30,9 +30,11 @@ pub mod regression;
 
 pub use cca::{Cca, CcaOptions};
 pub use decision_tree::{DecisionTree, TreeOptions};
-pub use kcca::{Kcca, KccaOptions};
+pub use kcca::{Kcca, KccaOptions, ProjectionScratch};
 pub use kernel::GaussianKernel;
 pub use kmeans::KMeans;
-pub use knn::{DistanceMetric, KnnError, NearestNeighbors, NeighborWeighting};
+pub use knn::{
+    DistanceMetric, KnnError, KnnScratch, NearestNeighbors, Neighbor, NeighborWeighting,
+};
 pub use metrics::{fraction_within, predictive_risk};
 pub use regression::MetricRegression;

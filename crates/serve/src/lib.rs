@@ -20,16 +20,22 @@
 //!   degradation.
 //! - [`ServiceStats`]: lock-free counters and latency quantiles exposed
 //!   through a [`StatsSnapshot`] API.
+//!
+//! Every fallible API returns [`QppError`], the workspace-level error
+//! of the predict path (re-exported here for embedders).
+
+// Serving must degrade into typed errors, never panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod queue;
 pub mod registry;
 pub mod service;
 pub mod stats;
 
+pub use qpp_core::{QppError, QppResult};
 pub use queue::{PushError, RequestQueue};
 pub use registry::{ModelEntry, ModelKey, ModelRegistry};
 pub use service::{
-    AnswerSource, PendingPrediction, PredictRequest, PredictionService, ServeError, ServeOptions,
-    ServeResponse,
+    AnswerSource, PendingPrediction, PredictRequest, PredictionService, ServeOptions, ServeResponse,
 };
 pub use stats::{LatencyQuantile, ServiceStats, StatsSnapshot};

@@ -8,8 +8,8 @@
 
 use parking_lot::RwLock;
 use qpp_core::baselines::OptimizerCostModel;
-use qpp_core::model_io::{self, ModelIoError};
-use qpp_core::{FeatureKind, KccaPredictor};
+use qpp_core::model_io;
+use qpp_core::{FeatureKind, KccaPredictor, QppError, ResultExt};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -111,8 +111,8 @@ impl ModelRegistry {
         key: ModelKey,
         json: &str,
         fallback: OptimizerCostModel,
-    ) -> Result<u64, ModelIoError> {
-        let predictor = model_io::from_json(json)?;
+    ) -> Result<u64, QppError> {
+        let predictor = model_io::from_json(json).ctx("installing model from json")?;
         Ok(self.install(key, predictor, fallback))
     }
 
@@ -122,8 +122,8 @@ impl ModelRegistry {
         key: ModelKey,
         path: impl AsRef<Path>,
         fallback: OptimizerCostModel,
-    ) -> Result<u64, ModelIoError> {
-        let predictor = model_io::load(path)?;
+    ) -> Result<u64, QppError> {
+        let predictor = model_io::load(path).ctx("installing model from file")?;
         Ok(self.install(key, predictor, fallback))
     }
 
@@ -211,9 +211,16 @@ mod tests {
         assert_eq!(registry.get(&key).unwrap().version, v);
 
         let bad = json.replace("\"format_version\":1", "\"format_version\":7");
-        assert!(matches!(
-            registry.install_from_json(key, &bad, f),
-            Err(ModelIoError::UnsupportedVersion { .. })
-        ));
+        let err = registry.install_from_json(key, &bad, f).unwrap_err();
+        match err {
+            QppError::ModelIo { context, source } => {
+                assert_eq!(context, "installing model from json");
+                assert!(matches!(
+                    source.as_ref(),
+                    qpp_core::model_io::ModelIoError::UnsupportedVersion { .. }
+                ));
+            }
+            other => panic!("expected ModelIo error, got {other:?}"),
+        }
     }
 }

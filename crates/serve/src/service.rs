@@ -5,7 +5,7 @@
 //! Flow per request:
 //!
 //! 1. `submit` (or `submit_async`) enqueues the request; a full queue
-//!    rejects immediately with [`ServeError::QueueFull`].
+//!    rejects immediately with [`QppError::QueueFull`].
 //! 2. A worker drains up to `max_batch` requests, groups them by model
 //!    key, and answers each group with *one* batched KCCA projection +
 //!    kNN pass (`KccaPredictor::predict_batch`).
@@ -20,7 +20,7 @@ use crate::queue::{PushError, RequestQueue};
 use crate::registry::{ModelEntry, ModelKey, ModelRegistry};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use qpp_core::workload_mgmt::{decide, AdmissionDecision, AdmissionPolicy};
-use qpp_core::Prediction;
+use qpp_core::{NeighborIds, Prediction, QppError};
 use qpp_engine::{PerfMetrics, Plan};
 use qpp_workload::QuerySpec;
 use std::sync::atomic::Ordering;
@@ -68,47 +68,17 @@ pub struct ServeResponse {
     pub latency: Duration,
 }
 
-/// Service-level errors surfaced to callers.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ServeError {
-    /// Backpressure: the bounded queue was at capacity.
-    QueueFull {
-        /// Configured capacity that was exceeded.
-        capacity: usize,
-    },
-    /// The service no longer accepts work.
-    ShuttingDown,
-    /// No model is installed under the request's key.
-    UnknownModel {
-        /// The key that failed to resolve.
-        key: String,
-    },
-    /// The KCCA prediction itself failed (and the fallback was
-    /// unavailable because the entry disappeared mid-flight).
-    PredictionFailed {
-        /// Stringified underlying error.
-        detail: String,
-    },
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::QueueFull { capacity } => {
-                write!(f, "rejected: request queue full (capacity {capacity})")
-            }
-            ServeError::ShuttingDown => write!(f, "rejected: service shutting down"),
-            ServeError::UnknownModel { key } => {
-                write!(f, "no model installed for {key}")
-            }
-            ServeError::PredictionFailed { detail } => {
-                write!(f, "prediction failed: {detail}")
-            }
+/// Queue-level backpressure maps onto the workspace error: a full
+/// queue becomes [`QppError::QueueFull`], a draining queue becomes
+/// [`QppError::ShuttingDown`].
+impl From<PushError> for QppError {
+    fn from(e: PushError) -> Self {
+        match e {
+            PushError::Full { capacity } => QppError::QueueFull { capacity },
+            PushError::ShuttingDown => QppError::ShuttingDown,
         }
     }
 }
-
-impl std::error::Error for ServeError {}
 
 /// Tunables for [`PredictionService::start`].
 #[derive(Debug, Clone)]
@@ -139,13 +109,13 @@ impl Default for ServeOptions {
 struct Queued {
     request: PredictRequest,
     enqueued_at: Instant,
-    responder: mpsc::Sender<Result<ServeResponse, ServeError>>,
+    responder: mpsc::Sender<Result<ServeResponse, QppError>>,
 }
 
 /// A submitted request the caller has not yet waited on.
 #[derive(Debug)]
 pub struct PendingPrediction {
-    rx: mpsc::Receiver<Result<ServeResponse, ServeError>>,
+    rx: mpsc::Receiver<Result<ServeResponse, QppError>>,
     request: PredictRequest,
     submitted_at: Instant,
     registry: Arc<ModelRegistry>,
@@ -157,7 +127,7 @@ impl PendingPrediction {
     /// Blocks until the worker answers or the request's deadline
     /// passes, then returns exactly one answer: the worker's if it made
     /// the deadline, otherwise the optimizer-cost fallback.
-    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+    pub fn wait(self) -> Result<ServeResponse, QppError> {
         match self.rx.recv_timeout(self.request.deadline) {
             Ok(answer) => answer,
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -177,20 +147,20 @@ impl PendingPrediction {
     }
 
     /// Answers from the registry's cost model without the worker pool.
-    fn fallback(self) -> Result<ServeResponse, ServeError> {
-        let entry =
-            self.registry
-                .get(&self.request.key)
-                .ok_or_else(|| ServeError::UnknownModel {
-                    key: self.request.key.to_string(),
-                })?;
+    fn fallback(self) -> Result<ServeResponse, QppError> {
+        let entry = self
+            .registry
+            .get(&self.request.key)
+            .ok_or_else(|| QppError::UnknownModel {
+                key: self.request.key.to_string(),
+            })?;
         let elapsed = entry.fallback.predict_elapsed(&self.request.plan);
         let prediction = Prediction {
             metrics: PerfMetrics {
                 elapsed_seconds: elapsed,
                 ..PerfMetrics::zero()
             },
-            neighbor_indices: Vec::new(),
+            neighbor_indices: NeighborIds::new(),
             // The cost model has no notion of projection-space
             // confidence; report perfect confidence so the gateway
             // judges the elapsed estimate on resource limits alone.
@@ -268,9 +238,9 @@ impl PredictionService {
 
     /// Submits a request without waiting for its answer. Fails fast
     /// with backpressure or an unknown-model error.
-    pub fn submit_async(&self, request: PredictRequest) -> Result<PendingPrediction, ServeError> {
+    pub fn submit_async(&self, request: PredictRequest) -> Result<PendingPrediction, QppError> {
         if self.registry.get(&request.key).is_none() {
-            return Err(ServeError::UnknownModel {
+            return Err(QppError::UnknownModel {
                 key: request.key.to_string(),
             });
         }
@@ -294,19 +264,20 @@ impl PredictionService {
                     policy: self.policy,
                 })
             }
-            Err(PushError::Full { capacity }) => {
-                self.stats
-                    .rejected_queue_full
-                    .fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::QueueFull { capacity })
+            Err(e) => {
+                if matches!(e, PushError::Full { .. }) {
+                    self.stats
+                        .rejected_queue_full
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e.into())
             }
-            Err(PushError::ShuttingDown) => Err(ServeError::ShuttingDown),
         }
     }
 
     /// Submits and waits: exactly one answer per accepted request, never
     /// later than (roughly) the request's deadline.
-    pub fn submit(&self, request: PredictRequest) -> Result<ServeResponse, ServeError> {
+    pub fn submit(&self, request: PredictRequest) -> Result<ServeResponse, QppError> {
         self.submit_async(request)?.wait()
     }
 
@@ -379,7 +350,7 @@ fn answer_group(
     // mid-batch.
     let Some(entry) = registry.get(key) else {
         for queued in group {
-            let _ = queued.responder.send(Err(ServeError::UnknownModel {
+            let _ = queued.responder.send(Err(QppError::UnknownModel {
                 key: key.to_string(),
             }));
         }
@@ -396,10 +367,10 @@ fn answer_group(
             }
         }
         Err(e) => {
+            // One failure fans out to every member of the micro-batch;
+            // `QppError` is `Clone` precisely for this.
             for queued in group {
-                let _ = queued.responder.send(Err(ServeError::PredictionFailed {
-                    detail: e.to_string(),
-                }));
+                let _ = queued.responder.send(Err(e.clone()));
             }
         }
     }

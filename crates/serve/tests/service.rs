@@ -7,7 +7,7 @@ use qpp_core::predictor::PredictorOptions;
 use qpp_core::{Dataset, FeatureKind, KccaPredictor};
 use qpp_engine::SystemConfig;
 use qpp_serve::{
-    AnswerSource, ModelKey, ModelRegistry, PredictRequest, PredictionService, ServeError,
+    AnswerSource, ModelKey, ModelRegistry, PredictRequest, PredictionService, QppError,
     ServeOptions,
 };
 use qpp_workload::{Schema, WorkloadGenerator};
@@ -126,7 +126,7 @@ fn backpressure_rejects_without_blocking() {
         "rejection must be immediate"
     );
     match overflow {
-        Err(ServeError::QueueFull { capacity }) => assert_eq!(capacity, 3),
+        Err(QppError::QueueFull { capacity }) => assert_eq!(capacity, 3),
         other => panic!("expected QueueFull, got {other:?}"),
     }
     assert_eq!(service.stats().rejected_queue_full, 1);
@@ -216,7 +216,7 @@ fn unknown_model_fails_fast() {
     let pool = dataset(20, 106);
     let key = ModelKey::new("nowhere", FeatureKind::QueryPlan);
     match service.submit(request(&pool, 0, &key, Duration::from_millis(10))) {
-        Err(ServeError::UnknownModel { key }) => assert!(key.contains("nowhere")),
+        Err(QppError::UnknownModel { key }) => assert!(key.contains("nowhere")),
         other => panic!("expected UnknownModel, got {other:?}"),
     }
 }

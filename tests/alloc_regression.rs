@@ -1,0 +1,49 @@
+//! Steady-state allocation regression: after warm-up, a single-query
+//! `predict_features` call must perform ZERO heap allocations — the
+//! zero-copy data plane's core guarantee. Runs in its own test binary
+//! because a process can have only one `#[global_allocator]`.
+
+use counting_alloc::CountingAllocator;
+use qpp::core::pipeline::collect_tpcds;
+use qpp::core::{KccaPredictor, PredictorOptions};
+use qpp::engine::SystemConfig;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn predict_features_steady_state_allocates_nothing() {
+    let config = SystemConfig::neoview_4();
+    let train = collect_tpcds(150, 71, &config, 2);
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+
+    let probe = &train.records[3];
+    let features = qpp::core::features::query_features(
+        model.options().feature_kind,
+        &probe.spec,
+        &probe.optimized.plan,
+    );
+
+    // Warm up the thread-local scratch buffers (first call sizes them).
+    let warm = model.predict_features(&features).unwrap();
+
+    let before = ALLOC.allocation_events();
+    let mut last = None;
+    for _ in 0..32 {
+        last = Some(model.predict_features(&features).unwrap());
+    }
+    let events = ALLOC.allocation_events() - before;
+    assert_eq!(
+        events, 0,
+        "steady-state predict_features performed {events} heap allocations over 32 calls"
+    );
+
+    // The zero-alloc path still computes the same answer.
+    let last = last.unwrap();
+    assert_eq!(warm.metrics, last.metrics);
+    assert_eq!(warm.neighbor_indices, last.neighbor_indices);
+    assert_eq!(
+        warm.confidence_distance.to_bits(),
+        last.confidence_distance.to_bits()
+    );
+}

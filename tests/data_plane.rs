@@ -1,0 +1,159 @@
+//! Zero-copy data-plane equivalence: every `*_into` scratch-buffer
+//! path must produce bitwise-identical results to the owned allocating
+//! path it replaced, for arbitrary inputs — the contract that lets the
+//! serving hot path reuse buffers without changing a single output bit.
+
+use proptest::prelude::*;
+use qpp::linalg::stats::Standardizer;
+use qpp::linalg::Matrix;
+use qpp::ml::{
+    DistanceMetric, GaussianKernel, Kcca, KccaOptions, KnnScratch, NearestNeighbors,
+    NeighborWeighting, ProjectionScratch,
+};
+use qpp_core::NeighborIds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            m[(i, j)] = rng.random_range(-3.0..3.0);
+        }
+    }
+    m
+}
+
+fn correlated_pair(n: usize, dx: usize, dy: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, dx);
+    let mut y = Matrix::zeros(n, dy);
+    for i in 0..n {
+        let mut norm = 0.0;
+        for j in 0..dx {
+            let v = rng.random_range(-2.0..2.0);
+            x[(i, j)] = v;
+            norm += v * v;
+        }
+        for j in 0..dy {
+            y[(i, j)] = norm.sqrt() * (j as f64 + 1.0) + 0.05 * rng.random_range(-1.0..1.0);
+        }
+    }
+    (x, y)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Kernel row evaluation through a reused scratch buffer is
+    /// bitwise-equal to the allocating path, even when the buffer
+    /// arrives dirty and oversized from a previous query.
+    #[test]
+    fn kernel_row_into_matches_owned(seed in 0u64..1_000, rows in 4usize..40, cols in 1usize..10) {
+        let data = random_matrix(rows, cols, seed);
+        let kern = GaussianKernel::fit(data.view(), 0.25);
+        let probe: Vec<f64> = data.row(rows / 2).to_vec();
+        let owned = kern.row(data.view(), &probe);
+        let mut scratch = vec![f64::NAN; rows * 2 + 3]; // dirty + wrong size
+        kern.row_into(data.view(), &probe, &mut scratch);
+        prop_assert_eq!(bits(&owned), bits(&scratch));
+    }
+
+    /// Standardizer scratch path is bitwise-equal to the owned path.
+    #[test]
+    fn standardize_row_into_matches_owned(seed in 0u64..1_000, rows in 4usize..30, cols in 1usize..8) {
+        let data = random_matrix(rows, cols, seed);
+        let scaler = Standardizer::fit(&data);
+        let probe: Vec<f64> = data.row(0).to_vec();
+        let owned = scaler.transform_row(&probe);
+        let mut scratch = vec![f64::NAN; 1];
+        scaler.transform_row_into(&probe, &mut scratch);
+        prop_assert_eq!(bits(&owned), bits(&scratch));
+    }
+
+    /// Full KCCA query projection through per-worker scratch buffers is
+    /// bitwise-equal to the owned path: same projection, same max
+    /// kernel similarity.
+    #[test]
+    fn kcca_projection_into_matches_owned(seed in 0u64..200) {
+        let (x, y) = correlated_pair(40, 6, 3, seed);
+        let model = Kcca::fit(x.view(), y.view(), KccaOptions::default()).unwrap();
+        let probe: Vec<f64> = x.row(7).to_vec();
+        let (owned, sim_owned) = model.project_query_with_similarity(&probe).unwrap();
+
+        let mut scratch = ProjectionScratch::new();
+        let mut out = vec![f64::NAN; 1];
+        // Run twice through the same scratch: the second pass must not
+        // see residue from the first.
+        for _ in 0..2 {
+            let sim = model.project_query_into(&probe, &mut scratch, &mut out).unwrap();
+            prop_assert_eq!(bits(&owned), bits(&out));
+            prop_assert_eq!(sim_owned.to_bits(), sim.to_bits());
+        }
+    }
+
+    /// kNN prediction through reused scratch is bitwise-equal to the
+    /// owned path: combined metrics, neighbor ids, neighbor distances.
+    #[test]
+    fn knn_predict_into_matches_owned(seed in 0u64..500, n in 8usize..60, k in 1usize..6) {
+        let reference = random_matrix(n, 4, seed);
+        let targets = random_matrix(n, 6, seed.wrapping_add(1));
+        let probe: Vec<f64> = reference.row(n / 3).to_vec();
+        let knn = NearestNeighbors::new(reference, DistanceMetric::Euclidean);
+
+        let (owned, found_owned) = knn
+            .predict(&probe, &targets, k, NeighborWeighting::InverseDistance)
+            .unwrap();
+
+        let mut scratch = KnnScratch::new();
+        let mut combined = vec![f64::NAN; 1];
+        for _ in 0..2 {
+            knn.predict_into(
+                &probe,
+                &targets,
+                k,
+                NeighborWeighting::InverseDistance,
+                &mut scratch,
+                &mut combined,
+            )
+            .unwrap();
+            prop_assert_eq!(bits(&owned), bits(&combined));
+            prop_assert_eq!(found_owned.len(), scratch.neighbors.len());
+            for (a, b) in found_owned.iter().zip(scratch.neighbors.iter()) {
+                prop_assert_eq!(a.index, b.index);
+                prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+        }
+    }
+
+    /// The inline neighbor-id set behaves exactly like a Vec for any
+    /// length, across its inline-to-spill boundary.
+    #[test]
+    fn neighbor_ids_match_vec_semantics(ids in proptest::collection::vec(0usize..10_000, 0..20)) {
+        let n: NeighborIds = ids.iter().copied().collect();
+        prop_assert_eq!(n.as_slice(), ids.as_slice());
+        prop_assert_eq!(n.len(), ids.len());
+        let collected: Vec<usize> = n.into_iter().copied().collect();
+        prop_assert_eq!(collected, ids);
+    }
+}
+
+/// Batch projection over a borrowed matrix view equals row-by-row owned
+/// projection — the contiguous serve path introduces no drift.
+#[test]
+fn batch_projection_matches_rowwise_owned() {
+    let (x, y) = correlated_pair(60, 8, 4, 77);
+    let model = Kcca::fit(x.view(), y.view(), KccaOptions::default()).unwrap();
+    let batch = model.project_queries_with_similarity(x.view()).unwrap();
+    assert_eq!(batch.len(), x.rows());
+    for (i, (proj, sim)) in batch.iter().enumerate() {
+        let (owned, sim_owned) = model.project_query_with_similarity(x.row(i)).unwrap();
+        assert_eq!(bits(&owned), bits(proj));
+        assert_eq!(sim_owned.to_bits(), sim.to_bits());
+    }
+}

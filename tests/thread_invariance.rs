@@ -33,8 +33,8 @@ fn synthetic_pair(n: usize, seed: u64) -> (Matrix, Matrix) {
 fn kcca_fit_is_bitwise_identical_across_thread_counts() {
     let (x, y) = synthetic_pair(300, 17);
     let opts = KccaOptions::default();
-    let serial = qpp_par::with_threads(1, || Kcca::fit(&x, &y, opts).unwrap());
-    let parallel = qpp_par::with_threads(8, || Kcca::fit(&x, &y, opts).unwrap());
+    let serial = qpp_par::with_threads(1, || Kcca::fit(x.view(), y.view(), opts).unwrap());
+    let parallel = qpp_par::with_threads(8, || Kcca::fit(x.view(), y.view(), opts).unwrap());
     assert_eq!(serial.correlations(), parallel.correlations());
     assert_eq!(serial.query_projection(), parallel.query_projection());
     assert_eq!(
@@ -47,13 +47,14 @@ fn kcca_fit_is_bitwise_identical_across_thread_counts() {
 #[test]
 fn batch_projection_is_bitwise_identical_across_thread_counts() {
     let (x, y) = synthetic_pair(200, 23);
-    let model = qpp_par::with_threads(1, || Kcca::fit(&x, &y, KccaOptions::default()).unwrap());
-    let probes: Vec<Vec<f64>> = (0..x.rows()).map(|i| x.row(i).to_vec()).collect();
+    let model = qpp_par::with_threads(1, || {
+        Kcca::fit(x.view(), y.view(), KccaOptions::default()).unwrap()
+    });
     let serial = qpp_par::with_threads(1, || {
-        model.project_queries_with_similarity(&probes).unwrap()
+        model.project_queries_with_similarity(x.view()).unwrap()
     });
     let parallel = qpp_par::with_threads(8, || {
-        model.project_queries_with_similarity(&probes).unwrap()
+        model.project_queries_with_similarity(x.view()).unwrap()
     });
     assert_eq!(serial, parallel);
 }

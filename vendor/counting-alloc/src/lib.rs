@@ -1,0 +1,133 @@
+//! A counting wrapper around the system allocator, for
+//! allocation-regression tests and benchmarks.
+//!
+//! Install it as the `#[global_allocator]` of a test or bench binary,
+//! then diff [`CountingAllocator::allocations`] around the code under
+//! test:
+//!
+//! ```ignore
+//! use counting_alloc::CountingAllocator;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator::new();
+//!
+//! let before = ALLOC.allocations();
+//! hot_path();
+//! assert_eq!(ALLOC.allocations() - before, 0);
+//! ```
+//!
+//! Counters are relaxed atomics: cheap enough to leave enabled, and
+//! exact on a single thread (the intended use — pin the code under
+//! test to the measuring thread).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`GlobalAlloc`] that forwards to [`System`] and counts every
+/// allocation, reallocation and deallocation.
+#[derive(Debug)]
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+    deallocations: AtomicU64,
+    reallocations: AtomicU64,
+    bytes_allocated: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh allocator with all counters at zero.
+    pub const fn new() -> Self {
+        CountingAllocator {
+            allocations: AtomicU64::new(0),
+            deallocations: AtomicU64::new(0),
+            reallocations: AtomicU64::new(0),
+            bytes_allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// Total `alloc`/`alloc_zeroed` calls so far (monotonic).
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Total `dealloc` calls so far (monotonic).
+    pub fn deallocations(&self) -> u64 {
+        self.deallocations.load(Ordering::Relaxed)
+    }
+
+    /// Total `realloc` calls so far (monotonic).
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested from `alloc`/`alloc_zeroed`/`realloc`
+    /// (monotonic; freed bytes are not subtracted).
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Allocation events (allocs + reallocs) — the number a zero-alloc
+    /// steady-state assertion should diff.
+    pub fn allocation_events(&self) -> u64 {
+        self.allocations() + self.reallocations()
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: forwards every call verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counters do not affect layout or pointers.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.reallocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated
+            .fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_manual_alloc_calls() {
+        let a = CountingAllocator::new();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            let p2 = a.realloc(p, layout, 128);
+            assert!(!p2.is_null());
+            let grown = Layout::from_size_align(128, 8).unwrap();
+            a.dealloc(p2, grown);
+        }
+        assert_eq!(a.allocations(), 1);
+        assert_eq!(a.reallocations(), 1);
+        assert_eq!(a.deallocations(), 1);
+        assert_eq!(a.allocation_events(), 2);
+        assert_eq!(a.bytes_allocated(), 64 + 128);
+    }
+}
