@@ -3,16 +3,12 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> zero-copy gate: no new Vec<Vec<f64>> in library code"
-# The data plane operates on contiguous matrices + views; nested row
-# vectors must not creep back in. Test fixtures opt out with a
-# same-line `// allow-vecvec` comment.
-matches=$(grep -rn 'Vec<Vec<f64>>' crates/*/src --include='*.rs' | grep -v 'allow-vecvec' || true)
-if [ -n "$matches" ]; then
-    echo "Vec<Vec<f64>> found in library code (annotate test fixtures with // allow-vecvec):"
-    echo "$matches"
-    exit 1
-fi
+echo "==> qpp-lint: workspace invariants (hot path, determinism, error handling)"
+# Enforces no-vecvec (superseding the old Vec<Vec<f64>> grep gate),
+# no-alloc-hot-path, no-unordered-float-reduce, no-hashmap-iter-order,
+# no-unwrap-lib and no-wallclock-in-model. Rationale and fixes:
+#   cargo run -p qpp-lint -- --explain <rule>
+cargo run -q -p qpp-lint --release -- crates
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

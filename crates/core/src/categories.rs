@@ -7,6 +7,7 @@
 //! depend on them — but they organize the experiments and the two-step
 //! predictor.
 
+use qpp_linalg::vector;
 use serde::{Deserialize, Serialize};
 
 /// Runtime class of a query.
@@ -91,9 +92,9 @@ pub fn summarize_pools(elapsed: &[f64]) -> Vec<PoolSummary> {
             let (mean, min, max) = if times.is_empty() {
                 (0.0, 0.0, 0.0)
             } else {
-                let sum: f64 = times.iter().sum();
-                let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
-                let max = times.iter().cloned().fold(0.0, f64::max);
+                let sum = vector::sum(&times);
+                let min = vector::min_iter(f64::INFINITY, times.iter().copied());
+                let max = vector::max_iter(0.0, times.iter().copied());
                 (sum / instances as f64, min, max)
             };
             PoolSummary {

@@ -20,7 +20,7 @@ use crate::error::QppError;
 use crate::features::PlanFeatures;
 use crate::predictor::KccaPredictor;
 use qpp_linalg::stats::Standardizer;
-use qpp_linalg::LinalgError;
+use qpp_linalg::{vector, LinalgError};
 use serde::{Deserialize, Serialize};
 
 /// Importance score of one query-plan feature.
@@ -134,16 +134,16 @@ pub fn join_feature_share(ranking: &[FeatureImportance]) -> f64 {
             || name.starts_with("merge_join")
             || name.starts_with("semi_join")
     };
-    let total: f64 = ranking.iter().map(|f| f.importance.max(0.0)).sum();
+    let total = vector::sum_iter(ranking.iter().map(|f| f.importance.max(0.0)));
     if total <= 0.0 {
         return 0.0;
     }
-    ranking
-        .iter()
-        .filter(|f| is_join(&f.feature))
-        .map(|f| f.importance.max(0.0))
-        .sum::<f64>()
-        / total
+    vector::sum_iter(
+        ranking
+            .iter()
+            .filter(|f| is_join(&f.feature))
+            .map(|f| f.importance.max(0.0)),
+    ) / total
 }
 
 #[cfg(test)]

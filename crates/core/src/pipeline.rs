@@ -4,6 +4,7 @@ use crate::dataset::Dataset;
 use crate::error::QppError;
 use crate::predictor::{KccaPredictor, Prediction, PredictorOptions};
 use qpp_engine::{PerfMetrics, SystemConfig};
+use qpp_linalg::vector;
 use qpp_ml::{fraction_within, predictive_risk};
 use qpp_workload::WorkloadGenerator;
 use serde::{Deserialize, Serialize};
@@ -37,8 +38,8 @@ pub fn evaluate(predictions: &[Prediction], test: &Dataset) -> Evaluation {
             .iter()
             .map(|pr| pr.metrics.to_vec()[m])
             .collect();
-        let mean = a.iter().sum::<f64>() / a.len().max(1) as f64;
-        let variance: f64 = a.iter().map(|v| (v - mean) * (v - mean)).sum();
+        let mean = vector::sum(&a) / a.len().max(1) as f64;
+        let variance = vector::sum_iter(a.iter().map(|v| (v - mean) * (v - mean)));
         if variance <= 1e-12 {
             risks.push(None); // the paper's "Null" cells
         } else {

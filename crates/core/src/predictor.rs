@@ -15,7 +15,7 @@ use crate::dataset::Dataset;
 use crate::error::{QppError, ResultExt};
 use crate::features::{feature_dim, query_features, query_features_to, FeatureKind};
 use qpp_engine::{PerfMetrics, Plan};
-use qpp_linalg::{stats::Standardizer, Matrix, MatrixView};
+use qpp_linalg::{stats::Standardizer, vector, Matrix, MatrixView};
 use qpp_ml::{
     DistanceMetric, Kcca, KccaOptions, KnnScratch, NearestNeighbors, NeighborWeighting,
     ProjectionScratch,
@@ -256,6 +256,7 @@ impl KccaPredictor {
     /// thread-local scratch buffers, so once a thread's buffers have
     /// warmed up to the model's dimensions this performs **zero heap
     /// allocations** (guarded by the `alloc_regression` test).
+    // qpp-lint: hot-path
     pub fn predict_features(&self, features: &[f64]) -> Result<Prediction, QppError> {
         SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
@@ -316,6 +317,7 @@ impl KccaPredictor {
     /// Fails (instead of silently predicting zeros, as it once did)
     /// when no usable neighbor exists — an empty reference or a probe
     /// whose projection is entirely non-finite.
+    // qpp-lint: hot-path
     fn finish_prediction_with(
         &self,
         projected: &[f64],
@@ -346,9 +348,12 @@ impl KccaPredictor {
         // `predict_into` never leaves an empty neighbor list on success.
         let found = &knn.neighbors;
         let confidence_distance =
-            found.iter().map(|n| n.distance).sum::<f64>() / found.len() as f64;
+            vector::sum_iter(found.iter().map(|n| n.distance)) / found.len() as f64;
         Ok(Prediction {
             metrics: PerfMetrics::from_vec(combined),
+            // NeighborIds stores up to `INLINE` indices without heap;
+            // k ≤ 8 in every supported configuration.
+            // qpp-lint: allow(no-alloc-hot-path)
             neighbor_indices: found.iter().map(|n| n.index).collect(),
             confidence_distance,
             max_kernel_similarity,

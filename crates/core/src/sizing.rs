@@ -11,6 +11,7 @@ use crate::error::QppError;
 use crate::predictor::{KccaPredictor, PredictorOptions};
 use crate::workload_mgmt::predicted_serial_makespan;
 use qpp_engine::SystemConfig;
+use qpp_linalg::vector;
 use serde::{Deserialize, Serialize};
 
 /// Predicted behaviour of one workload on one configuration.
@@ -59,12 +60,9 @@ pub fn recommend(
         let workload = workload_plans(config);
         let preds = model.predict_dataset(&workload)?;
         let makespan = predicted_serial_makespan(&preds);
-        let longest = preds
-            .iter()
-            .map(|p| p.metrics.elapsed_seconds)
-            .fold(0.0, f64::max);
-        let ios: f64 = preds.iter().map(|p| p.metrics.disk_ios).sum();
-        let bytes: f64 = preds.iter().map(|p| p.metrics.message_bytes).sum();
+        let longest = vector::max_iter(0.0, preds.iter().map(|p| p.metrics.elapsed_seconds));
+        let ios = vector::sum_iter(preds.iter().map(|p| p.metrics.disk_ios));
+        let bytes = vector::sum_iter(preds.iter().map(|p| p.metrics.message_bytes));
         if recommended.is_none() && makespan <= deadline_seconds {
             recommended = Some(i);
         }

@@ -8,6 +8,7 @@
 //! flagging from prediction confidence.
 
 use crate::predictor::Prediction;
+use qpp_linalg::vector;
 use serde::{Deserialize, Serialize};
 
 /// Admission policy limits.
@@ -117,7 +118,7 @@ pub fn schedule_shortest_first(predictions: &[Prediction]) -> Vec<usize> {
 /// Expected makespan if the given queries run one after another — used
 /// by "can this workload finish in the batch window?" checks.
 pub fn predicted_serial_makespan(predictions: &[Prediction]) -> f64 {
-    predictions.iter().map(|p| p.metrics.elapsed_seconds).sum()
+    vector::sum_iter(predictions.iter().map(|p| p.metrics.elapsed_seconds))
 }
 
 #[cfg(test)]

@@ -20,6 +20,9 @@
 //!   repartitioning message traffic, plans that change with the system
 //!   configuration, and run-to-run noise.
 
+// Library code must degrade into typed errors, never panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod catalog;
 pub mod config;
 pub mod executor;

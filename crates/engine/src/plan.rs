@@ -57,11 +57,24 @@ impl OpKind {
     ];
 
     /// Index of this kind within [`OpKind::ALL`].
+    ///
+    /// Kept as an exhaustive match (checked against `ALL` by the
+    /// roundtrip test below) so the lookup cannot panic.
     pub fn index(self) -> usize {
-        OpKind::ALL
-            .iter()
-            .position(|&k| k == self)
-            .expect("kind in ALL")
+        match self {
+            OpKind::FileScan => 0,
+            OpKind::NestedLoopJoin => 1,
+            OpKind::HashJoin => 2,
+            OpKind::MergeJoin => 3,
+            OpKind::SemiJoin => 4,
+            OpKind::Sort => 5,
+            OpKind::HashGroupBy => 6,
+            OpKind::Exchange => 7,
+            OpKind::Split => 8,
+            OpKind::Top => 9,
+            OpKind::Root => 10,
+            OpKind::Filter => 11,
+        }
     }
 
     /// Short lowercase name (matches the paper's plan listings, e.g.
@@ -125,11 +138,12 @@ impl Plan {
 
     /// Sum of estimated cardinalities over operators of the given kind.
     pub fn cardinality_sum(&self, kind: OpKind) -> f64 {
-        self.nodes
-            .iter()
-            .filter(|n| n.kind == kind)
-            .map(|n| n.est_rows)
-            .sum()
+        qpp_linalg::vector::sum_iter(
+            self.nodes
+                .iter()
+                .filter(|n| n.kind == kind)
+                .map(|n| n.est_rows),
+        )
     }
 
     /// Validates arena well-formedness: children precede parents, every

@@ -158,7 +158,7 @@ impl Cholesky {
 
     /// Log-determinant of `A` (`= 2 Σ ln L[i,i]`).
     pub fn log_det(&self) -> f64 {
-        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+        crate::vector::sum_iter((0..self.l.rows()).map(|i| self.l[(i, i)].ln())) * 2.0
     }
 }
 

@@ -75,7 +75,7 @@ impl IncompleteCholesky {
         .into_iter()
         .flatten()
         .collect();
-        let initial_trace: f64 = d.iter().sum();
+        let initial_trace = crate::vector::sum(&d);
         let tol = if initial_trace > 0.0 {
             opts.relative_tolerance * initial_trace
         } else {
@@ -99,12 +99,12 @@ impl IncompleteCholesky {
                     p = i;
                 }
             }
-            let remaining: f64 = d
-                .iter()
-                .zip(selected.iter())
-                .filter(|(_, &s)| !s)
-                .map(|(v, _)| v.max(0.0))
-                .sum();
+            let remaining = crate::vector::sum_iter(
+                d.iter()
+                    .zip(selected.iter())
+                    .filter(|(_, &s)| !s)
+                    .map(|(v, _)| v.max(0.0)),
+            );
             if p == usize::MAX || best <= 0.0 || (t > 0 && remaining <= tol) {
                 break;
             }
@@ -162,12 +162,12 @@ impl IncompleteCholesky {
                 g[(i, t)] = col[i];
             }
         }
-        let residual_trace = d
-            .iter()
-            .zip(selected.iter())
-            .filter(|(_, &s)| !s)
-            .map(|(v, _)| v.max(0.0))
-            .sum();
+        let residual_trace = crate::vector::sum_iter(
+            d.iter()
+                .zip(selected.iter())
+                .filter(|(_, &s)| !s)
+                .map(|(v, _)| v.max(0.0)),
+        );
         Ok(IncompleteCholesky {
             g,
             pivots,
@@ -210,6 +210,7 @@ impl IncompleteCholesky {
     /// Like [`IncompleteCholesky::transform_new`], writing into a
     /// reusable buffer: after warmup the buffer's capacity is retained,
     /// so steady-state embeddings allocate nothing.
+    // qpp-lint: hot-path
     pub fn transform_new_into(&self, kernel_at_pivots: &[f64], out: &mut Vec<f64>) -> Result<()> {
         let r = self.rank();
         if kernel_at_pivots.len() != r {

@@ -25,6 +25,9 @@
 //!   over contiguous row-major storage, the currency of the predict
 //!   path's crate boundaries.
 
+// Library code must degrade into typed errors, never panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cholesky;
 pub mod eigen;
 pub mod error;

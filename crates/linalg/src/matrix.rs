@@ -251,7 +251,11 @@ impl Matrix {
                 *o += v;
             }
         }
-        Matrix::from_vec(n, n, acc).expect("gram buffer is n*n")
+        Matrix {
+            rows: n,
+            cols: n,
+            data: acc,
+        }
     }
 
     /// Element-wise sum `self + rhs`.
@@ -320,12 +324,12 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+        crate::vector::sum_iter(self.data.iter().map(|v| v * v)).sqrt()
     }
 
     /// Largest absolute entry.
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+        crate::vector::max_iter(0.0, self.data.iter().map(|v| v.abs()))
     }
 
     /// True when every entry is finite.

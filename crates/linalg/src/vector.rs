@@ -1,4 +1,44 @@
 //! Small vector kernels used across the workspace.
+//!
+//! The reductions here (`sum`, `sum_iter`, `min_iter`, `max_iter`,
+//! `dot`, `mean`, `variance`) are the *canonical ordered float
+//! reductions* of the workspace: strictly sequential, left-to-right,
+//! fixed seed. Float addition is not associative, so the bitwise
+//! determinism guarantee (tests/thread_invariance.rs) requires every
+//! float reduction to pin its evaluation order — `qpp-lint`'s
+//! `no-unordered-float-reduce` rule steers all library code here. The
+//! interior `.sum()`/`.fold()` calls below are the sanctioned
+//! primitives and carry the corresponding allow annotations.
+
+/// Ordered sequential sum of a slice: left to right, seed `0.0`.
+///
+/// Bitwise identical to `a.iter().sum::<f64>()` — this is the
+/// sanctioned spelling of that reduction in library code.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    sum_iter(a.iter().copied())
+}
+
+/// Ordered sequential sum of an iterator: left to right, seed `0.0`.
+#[inline]
+pub fn sum_iter(it: impl IntoIterator<Item = f64>) -> f64 {
+    // qpp-lint: allow(no-unordered-float-reduce) — the canonical ordered reduction
+    it.into_iter().fold(0.0, |acc, v| acc + v)
+}
+
+/// Ordered sequential minimum: `fold(seed, f64::min)` left to right.
+#[inline]
+pub fn min_iter(seed: f64, it: impl IntoIterator<Item = f64>) -> f64 {
+    // qpp-lint: allow(no-unordered-float-reduce) — the canonical ordered reduction
+    it.into_iter().fold(seed, f64::min)
+}
+
+/// Ordered sequential maximum: `fold(seed, f64::max)` left to right.
+#[inline]
+pub fn max_iter(seed: f64, it: impl IntoIterator<Item = f64>) -> f64 {
+    // qpp-lint: allow(no-unordered-float-reduce) — the canonical ordered reduction
+    it.into_iter().fold(seed, f64::max)
+}
 
 /// Dot product of two equal-length slices.
 ///
@@ -7,6 +47,7 @@
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
+    // qpp-lint: allow(no-unordered-float-reduce) — canonical ordered kernel
     a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
 }
 
@@ -26,6 +67,7 @@ pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
             let d = x - y;
             d * d
         })
+        // qpp-lint: allow(no-unordered-float-reduce) — canonical ordered kernel
         .sum()
 }
 
@@ -68,7 +110,7 @@ pub fn mean(a: &[f64]) -> f64 {
     if a.is_empty() {
         return 0.0;
     }
-    a.iter().sum::<f64>() / a.len() as f64
+    sum(a) / a.len() as f64
 }
 
 /// Population variance; 0 for inputs shorter than 2.
@@ -77,7 +119,7 @@ pub fn variance(a: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(a);
-    a.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / a.len() as f64
+    sum_iter(a.iter().map(|&v| (v - m) * (v - m))) / a.len() as f64
 }
 
 #[cfg(test)]
@@ -111,6 +153,24 @@ mod tests {
         assert_eq!(y, vec![21., 42.]);
         scale(0.5, &mut y);
         assert_eq!(y, vec![10.5, 21.]);
+    }
+
+    #[test]
+    fn ordered_reductions_match_bare_spellings() {
+        let a = [0.1, 0.7, -2.5, 3.75, 1e-9];
+        assert_eq!(sum(&a), a.iter().sum::<f64>());
+        assert_eq!(
+            sum_iter(a.iter().map(|&v| v * v)),
+            a.iter().map(|&v| v * v).sum::<f64>()
+        );
+        assert_eq!(
+            min_iter(f64::INFINITY, a.iter().copied()),
+            a.iter().copied().fold(f64::INFINITY, f64::min)
+        );
+        assert_eq!(
+            max_iter(0.0, a.iter().copied()),
+            a.iter().copied().fold(0.0, f64::max)
+        );
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! Lightweight item scanner: turns a lexed file into the structural
+//! facts the rules match against.
+//!
+//! Nothing here is a full parser. The scanner extracts exactly four
+//! things, all computed from the token stream (so strings and comments
+//! can never confuse it):
+//!
+//! * **test regions** — byte ranges of `#[cfg(test)]` items and
+//!   `#[test]` functions, which most rules exempt;
+//! * **hot-path functions** — body ranges of `fn`s marked with a
+//!   `// qpp-lint: hot-path` comment;
+//! * **allow directives** — per-line `// qpp-lint: allow(rule, ...)`
+//!   opt-outs (plus the legacy `// allow-vecvec` spelling);
+//! * **map-typed identifiers** — names declared with a `HashMap` /
+//!   `HashSet` type, used by the iteration-order rule.
+
+use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::path::Path;
+
+/// Everything the rules need to know about one source file.
+pub struct FileModel {
+    /// Path as given on the command line (kept verbatim in output).
+    pub path: String,
+    /// Full source text.
+    pub src: String,
+    /// Token and comment streams.
+    pub lexed: Lexed,
+    /// Byte offset where each 1-based line starts.
+    pub line_starts: Vec<usize>,
+    /// Byte ranges of `#[cfg(test)]` items and `#[test]` fns.
+    pub test_regions: Vec<Range<usize>>,
+    /// Body byte ranges of functions marked `// qpp-lint: hot-path`.
+    pub hot_fns: Vec<Range<usize>>,
+    /// `(line, rule)` pairs from allow directives; rule `"*"` means all.
+    pub allows: Vec<(u32, String)>,
+    /// Identifiers declared with a hash-map/set type in this file.
+    pub map_idents: BTreeSet<String>,
+    /// Crate this file belongs to (`core` for `crates/core/src/...`),
+    /// taken from the component after the **last** `crates` directory
+    /// so fixture trees can replicate real layouts.
+    pub crate_name: Option<String>,
+    /// True for files under `tests/`, `benches/` or `examples/`.
+    pub is_test_file: bool,
+    /// True for binary targets (`src/bin/...` or `main.rs`).
+    pub is_bin_file: bool,
+}
+
+impl FileModel {
+    /// Lexes and scans one file.
+    pub fn build(path: &str, src: String) -> FileModel {
+        let lexed = lex(&src);
+        let mut line_starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let (crate_name, is_test_file, is_bin_file) = classify(path);
+        let test_regions = find_test_regions(&lexed.tokens, &src);
+        let hot_fns = find_hot_fns(&lexed, &src);
+        let allows = find_allows(&lexed.comments, &line_starts, &src);
+        let map_idents = find_map_idents(&lexed.tokens, &src);
+        FileModel {
+            path: path.to_string(),
+            src,
+            lexed,
+            line_starts,
+            test_regions,
+            hot_fns,
+            allows,
+            map_idents,
+            crate_name,
+            is_test_file,
+            is_bin_file,
+        }
+    }
+
+    /// Token text.
+    pub fn text(&self, t: &Token) -> &str {
+        &self.src[t.start..t.end]
+    }
+
+    /// The full source line `line` (1-based), without trailing newline.
+    pub fn line_text(&self, line: u32) -> &str {
+        let i = (line as usize).saturating_sub(1);
+        let start = self.line_starts.get(i).copied().unwrap_or(0);
+        let end = self
+            .line_starts
+            .get(i + 1)
+            .map(|e| e.saturating_sub(1))
+            .unwrap_or(self.src.len());
+        self.src[start..end.max(start)].trim_end()
+    }
+
+    /// True when byte `offset` falls inside any test region.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&offset))
+    }
+
+    /// True when byte `offset` falls inside a hot-path function body.
+    pub fn in_hot_fn(&self, offset: usize) -> bool {
+        self.hot_fns.iter().any(|r| r.contains(&offset))
+    }
+
+    /// True when `rule` is allowed on `line` by a directive comment
+    /// (same line, or a directive alone on the previous line).
+    pub fn is_allowed(&self, line: u32, rule: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| *l == line && (r == rule || r == "*"))
+    }
+}
+
+/// Splits `path` into (crate name, is-test-file, is-bin-file), looking
+/// at the components after the last `crates` directory.
+fn classify(path: &str) -> (Option<String>, bool, bool) {
+    let comps: Vec<&str> = Path::new(path)
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    let (crate_name, rest): (Option<String>, &[&str]) =
+        match comps.iter().rposition(|c| *c == "crates") {
+            Some(i) => (
+                comps.get(i + 1).map(|s| s.to_string()),
+                comps.get(i + 2..).unwrap_or(&[]),
+            ),
+            None => (None, &comps[..]),
+        };
+    let is_test_file = rest
+        .iter()
+        .any(|c| *c == "tests" || *c == "benches" || *c == "examples");
+    let is_bin_file =
+        rest.contains(&"bin") || rest.last().map(|c| *c == "main.rs").unwrap_or(false);
+    (crate_name, is_test_file, is_bin_file)
+}
+
+/// Token index of the `}` matching the `{` at token index `open`.
+fn match_brace(tokens: &[Token], open: usize, src: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (off, t) in tokens[open..].iter().enumerate() {
+        if t.kind == TokenKind::Punct {
+            match &src[t.start..t.end] {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(open + off);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Finds `#[cfg(test)]` / `#[test]` attribute targets and returns the
+/// byte range of each target item (attribute through closing brace).
+fn find_test_regions(tokens: &[Token], src: &str) -> Vec<Range<usize>> {
+    let txt = |k: usize| tokens.get(k).map(|t| &src[t.start..t.end]);
+    let mut regions: Vec<Range<usize>> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let after_attr = match match_test_attribute(tokens, i, src) {
+            Some(k) => k,
+            None => {
+                i += 1;
+                continue;
+            }
+        };
+        // Find the item body: first `{` before a `;` at bracket depth 0,
+        // skipping any stacked attributes.
+        let mut k = after_attr;
+        let mut depth = 0i32;
+        let mut body: Option<Range<usize>> = None;
+        while k < tokens.len() {
+            match txt(k) {
+                Some("#") if txt(k + 1) == Some("[") && depth == 0 => {
+                    // Skip a stacked `#[...]` attribute group.
+                    let mut d = 0i32;
+                    k += 1;
+                    while k < tokens.len() {
+                        match txt(k) {
+                            Some("[") => d += 1,
+                            Some("]") => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                Some("(") | Some("[") => depth += 1,
+                Some(")") | Some("]") => depth -= 1,
+                Some(";") if depth == 0 => break, // braceless item
+                Some("{") if depth == 0 => {
+                    if let Some(close) = match_brace(tokens, k, src) {
+                        body = Some(tokens[i].start..tokens[close].end);
+                    }
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(r) = body {
+            i = k; // resume after the body opener; nested attrs are inside
+            regions.push(r);
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// If the attribute starting at token `i` is `#[test]` or a `#[cfg(...)]`
+/// whose arguments mention `test`, returns the index one past its `]`.
+fn match_test_attribute(tokens: &[Token], i: usize, src: &str) -> Option<usize> {
+    let txt = |k: usize| tokens.get(k).map(|t| &src[t.start..t.end]);
+    if txt(i)? != "#" || txt(i + 1)? != "[" {
+        return None;
+    }
+    match txt(i + 2)? {
+        "test" if txt(i + 3)? == "]" => Some(i + 4),
+        "cfg" if txt(i + 3)? == "(" => {
+            let mut depth = 1usize;
+            let mut k = i + 4;
+            let mut saw_test = false;
+            while k < tokens.len() && depth > 0 {
+                match txt(k)? {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "test" => saw_test = true,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if saw_test && txt(k) == Some("]") {
+                Some(k + 1)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Body ranges of `fn`s preceded by a `qpp-lint: hot-path` comment.
+fn find_hot_fns(lexed: &Lexed, src: &str) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        if !is_marker(&c.text, "hot-path") {
+            continue;
+        }
+        // First `fn` token after the marker (attributes and doc comments
+        // may sit between the marker and the fn).
+        let fn_idx = lexed.tokens.iter().position(|t| {
+            t.start >= c.end && t.kind == TokenKind::Ident && &src[t.start..t.end] == "fn"
+        });
+        let fn_idx = match fn_idx {
+            Some(i) => i,
+            None => continue,
+        };
+        let open = lexed.tokens[fn_idx..]
+            .iter()
+            .position(|t| t.kind == TokenKind::Punct && &src[t.start..t.end] == "{")
+            .map(|off| fn_idx + off);
+        if let Some(open) = open {
+            if let Some(close) = match_brace(&lexed.tokens, open, src) {
+                out.push(lexed.tokens[open].start..lexed.tokens[close].end);
+            }
+        }
+    }
+    out
+}
+
+/// True when `text` is a bare `qpp-lint:` marker directive for `word`
+/// (e.g. `qpp-lint: hot-path`). The directive must *start* the comment
+/// — prose that merely mentions `qpp-lint: hot-path` in backticks does
+/// not mark anything.
+fn is_marker(text: &str, word: &str) -> bool {
+    match text.trim_start().strip_prefix("qpp-lint:") {
+        Some(rest) => rest.trim() == word,
+        None => false,
+    }
+}
+
+/// Parses allow directives out of the comment stream. A directive on a
+/// code line covers that line; a directive alone on its line covers the
+/// next line.
+fn find_allows(comments: &[Comment], line_starts: &[usize], src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for c in comments {
+        let mut rules: Vec<String> = Vec::new();
+        if let Some(rest) = c.text.trim_start().strip_prefix("qpp-lint:") {
+            let rest = rest.trim();
+            if let Some(args) = rest.strip_prefix("allow") {
+                if let Some(inner) = args
+                    .trim()
+                    .strip_prefix('(')
+                    .and_then(|a| a.split(')').next())
+                {
+                    for rule in inner.split(',') {
+                        let rule = rule.trim();
+                        if !rule.is_empty() {
+                            rules.push(rule.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        // Legacy spelling kept working so existing fixtures need no churn.
+        if c.text.contains("allow-vecvec") {
+            rules.push("no-vecvec".to_string());
+        }
+        if rules.is_empty() {
+            continue;
+        }
+        let line_start = line_starts.get(c.line as usize - 1).copied().unwrap_or(0);
+        let alone = src[line_start..c.start].trim().is_empty();
+        for rule in rules {
+            out.push((c.line, rule.clone()));
+            if alone {
+                out.push((c.line + 1, rule));
+            }
+        }
+    }
+    out
+}
+
+/// Collects identifiers declared with a `HashMap`/`HashSet` type:
+/// `name: ...HashMap<...`, or `let [mut] name = HashMap::new()`.
+fn find_map_idents(tokens: &[Token], src: &str) -> BTreeSet<String> {
+    let txt = |k: usize| tokens.get(k).map(|t| &src[t.start..t.end]);
+    let mut out = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = &src[t.start..t.end];
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        // `name: RwLock<HashMap<K, V>>` — walk backwards over the type
+        // expression to the introducing `:` (skipping `::` pairs), then
+        // take the identifier before it. A `use` path never crosses a
+        // single `:`, so imports declare nothing.
+        let mut k = i;
+        while k > 0 {
+            k -= 1;
+            match txt(k) {
+                Some(":") => {
+                    if k > 0 && txt(k - 1) == Some(":") {
+                        k -= 1; // `::` path separator — skip the pair
+                        continue;
+                    }
+                    if k > 0 && tokens[k - 1].kind == TokenKind::Ident {
+                        let prev = &src[tokens[k - 1].start..tokens[k - 1].end];
+                        out.insert(prev.to_string());
+                    }
+                    break;
+                }
+                Some("<") | Some(">") | Some("&") => continue,
+                Some(_) if tokens[k].kind == TokenKind::Ident => continue,
+                Some(_) if tokens[k].kind == TokenKind::Lifetime => continue,
+                _ => break,
+            }
+        }
+        // `let [mut] name = HashMap::new()`.
+        if i >= 2 && txt(i - 1) == Some("=") {
+            let mut k = i - 2;
+            if k > 0 && txt(k) == Some("mut") {
+                k -= 1;
+            }
+            if tokens[k].kind == TokenKind::Ident && txt(k) != Some("mut") {
+                out.insert(src[tokens[k].start..tokens[k].end].to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build("crates/demo/src/lib.rs", src.to_string())
+    }
+
+    #[test]
+    fn classifies_paths_after_last_crates_component() {
+        let (c, t, b) = classify("crates/serve/tests/service.rs");
+        assert_eq!(c.as_deref(), Some("serve"));
+        assert!(t && !b);
+        let (c, t, b) = classify("crates/lint/tests/fixtures/x/crates/ml/src/fires.rs");
+        assert_eq!(c.as_deref(), Some("ml"));
+        assert!(!t && !b);
+        let (c, t, b) = classify("crates/bench/src/bin/loadgen.rs");
+        assert_eq!(c.as_deref(), Some("bench"));
+        assert!(!t && b);
+    }
+
+    #[test]
+    fn cfg_test_module_becomes_a_test_region() {
+        let m =
+            model("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n");
+        assert_eq!(m.test_regions.len(), 1);
+        let unwrap_at = m.src.find("unwrap").unwrap_or(0);
+        assert!(m.in_test_region(unwrap_at));
+        let lib_at = m.src.find("lib").unwrap_or(0);
+        assert!(!m.in_test_region(lib_at));
+    }
+
+    #[test]
+    fn test_attribute_fn_becomes_a_region() {
+        let m = model("#[test]\nfn t() { let x = 1; }\nfn real() {}\n");
+        assert_eq!(m.test_regions.len(), 1);
+    }
+
+    #[test]
+    fn hot_path_marker_attaches_to_next_fn() {
+        let m = model(
+            "// qpp-lint: hot-path\npub fn fast(out: &mut Vec<f64>) {\n    out.clear();\n}\nfn cold() {}\n",
+        );
+        assert_eq!(m.hot_fns.len(), 1);
+        let clear_at = m.src.find("clear").unwrap_or(0);
+        assert!(m.in_hot_fn(clear_at));
+        let cold_at = m.src.find("cold").unwrap_or(0);
+        assert!(!m.in_hot_fn(cold_at));
+    }
+
+    #[test]
+    fn allow_directives_cover_their_line_and_the_next() {
+        let m = model(
+            "// qpp-lint: allow(no-unwrap-lib)\nlet a = x.unwrap();\nlet b = y.unwrap(); // qpp-lint: allow(no-unwrap-lib, no-vecvec)\n",
+        );
+        assert!(m.is_allowed(2, "no-unwrap-lib"));
+        assert!(m.is_allowed(3, "no-unwrap-lib"));
+        assert!(m.is_allowed(3, "no-vecvec"));
+        assert!(!m.is_allowed(2, "no-vecvec"));
+    }
+
+    #[test]
+    fn map_typed_idents_are_collected() {
+        let m = model(
+            "use std::collections::HashMap;\nstruct S { models: RwLock<HashMap<K, V>> }\nfn f() { let mut cache = HashMap::new(); }\n",
+        );
+        assert!(m.map_idents.contains("models"));
+        assert!(m.map_idents.contains("cache"));
+        assert!(!m.map_idents.contains("collections"));
+        assert!(!m.map_idents.contains("std"));
+    }
+}

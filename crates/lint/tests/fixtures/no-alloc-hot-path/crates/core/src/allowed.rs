@@ -1,0 +1,9 @@
+//! Fixture: a justified opt-out for a provably non-allocating collect.
+
+// qpp-lint: hot-path
+pub fn predict_ids(indices: &[usize]) -> usize {
+    // Collecting into an inline small-vec does not touch the heap.
+    // qpp-lint: allow(no-alloc-hot-path)
+    let ids: Vec<usize> = indices.iter().copied().collect();
+    ids.len()
+}

@@ -1,0 +1,9 @@
+//! Fixture: scratch-buffer reuse inside a marked hot function passes.
+
+// qpp-lint: hot-path
+pub fn predict_into(row: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(row.len());
+    out.extend(row.iter().map(|v| v * 2.0));
+    out.resize(row.len(), 0.0);
+}

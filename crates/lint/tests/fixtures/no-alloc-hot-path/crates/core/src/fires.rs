@@ -1,0 +1,12 @@
+//! Fixture: allocating constructs inside a marked hot function.
+
+// qpp-lint: hot-path
+pub fn predict_into(row: &[f64], out: &mut Vec<f64>) {
+    let tmp = vec![0.0; row.len()];
+    let copied = tmp.clone();
+    out.extend(copied.iter().copied());
+}
+
+pub fn cold_path_is_free() -> Vec<f64> {
+    vec![1.0, 2.0]
+}

@@ -1,0 +1,9 @@
+//! Fixture: order-insensitive aggregation may opt out.
+
+use std::collections::HashMap;
+
+pub fn total(counts: &HashMap<String, u64>) -> u64 {
+    // Order cannot escape a commutative integer sum.
+    // qpp-lint: allow(no-hashmap-iter-order)
+    counts.values().sum::<u64>()
+}

@@ -1,0 +1,11 @@
+//! Fixture: ordered maps iterate deterministically and pass.
+
+use std::collections::BTreeMap;
+
+pub fn listing(models: &BTreeMap<String, u64>) -> Vec<String> {
+    models.keys().cloned().collect()
+}
+
+pub fn lookup(models: &BTreeMap<String, u64>, key: &str) -> Option<u64> {
+    models.get(key).copied()
+}

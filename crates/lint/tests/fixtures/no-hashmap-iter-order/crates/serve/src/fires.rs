@@ -1,0 +1,15 @@
+//! Fixture: hash-map iteration order escaping into results.
+
+use std::collections::HashMap;
+
+pub fn listing(models: &HashMap<String, u64>) -> Vec<String> {
+    models.keys().cloned().collect()
+}
+
+pub fn dump(models: &HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (k, v) in models {
+        out.push((k.clone(), *v));
+    }
+    out
+}

@@ -1,0 +1,6 @@
+//! Fixture: an opted-out float reduction (the canonical-helper pattern).
+
+pub fn ordered_total(xs: &[f64]) -> f64 {
+    // qpp-lint: allow(no-unordered-float-reduce)
+    xs.iter().fold(0.0, |acc, v| acc + v)
+}

@@ -1,0 +1,14 @@
+//! Fixture: integer reductions are order-free and pass.
+
+pub fn count(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}
+
+pub fn width(xs: &[u32]) -> u64 {
+    let total: u64 = xs.iter().map(|&v| v as u64).sum();
+    total
+}
+
+pub fn deepest(xs: &[usize]) -> usize {
+    xs.iter().copied().fold(0usize, usize::max)
+}

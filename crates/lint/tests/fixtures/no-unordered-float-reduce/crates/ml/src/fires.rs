@@ -1,0 +1,13 @@
+//! Fixture: bare float reductions in model code must be rejected.
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+pub fn peak(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+pub fn norm_sq(xs: &[f64]) -> f64 {
+    xs.iter().map(|v| v * v).sum::<f64>()
+}

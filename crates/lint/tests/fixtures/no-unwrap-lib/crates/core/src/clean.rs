@@ -1,0 +1,14 @@
+//! Fixture: typed errors and fallbacks pass.
+
+pub fn first(v: &[u64]) -> Option<u64> {
+    v.first().copied()
+}
+
+pub fn with_default(v: Option<u64>) -> u64 {
+    v.unwrap_or(0)
+}
+
+pub fn propagate(v: Result<u64, String>) -> Result<u64, String> {
+    let n = v?;
+    Ok(n + 1)
+}

@@ -1,0 +1,13 @@
+//! Fixture: panicking escape hatches in library code must be rejected.
+
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Result<u64, String>) -> u64 {
+    v.expect("must succeed")
+}
+
+pub fn bail() -> u64 {
+    panic!("library code must not panic")
+}

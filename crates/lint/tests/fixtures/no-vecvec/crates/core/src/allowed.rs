@@ -1,0 +1,10 @@
+//! Fixture: both directive spellings suppress the rule.
+
+// qpp-lint: allow(no-vecvec)
+pub fn rows() -> Vec<Vec<f64>> {
+    Vec::new()
+}
+
+pub fn legacy() -> Vec<Vec<f64>> { // allow-vecvec
+    Vec::new()
+}

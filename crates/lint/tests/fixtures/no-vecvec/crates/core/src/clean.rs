@@ -1,0 +1,9 @@
+//! Fixture: contiguous storage passes.
+
+pub fn rows() -> Vec<f64> {
+    vec![1.0, 2.0, 3.0, 4.0]
+}
+
+pub fn names() -> Vec<Vec<u8>> {
+    Vec::new()
+}

@@ -1,0 +1,5 @@
+//! Fixture: nested row vectors in library code must be rejected.
+
+pub fn rows() -> Vec<Vec<f64>> {
+    vec![vec![1.0, 2.0], vec![3.0, 4.0]]
+}

@@ -1,0 +1,8 @@
+//! Fixture: the directive mechanically suppresses the rule (policy
+//! still says wall-clock code belongs outside the model crates).
+
+use std::time::Instant; // qpp-lint: allow(no-wallclock-in-model)
+
+pub fn elapsed_nanos(start: Instant) -> u128 { // qpp-lint: allow(no-wallclock-in-model)
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,5 @@
+//! Fixture: time taken as a parameter passes.
+
+pub fn seed_from_param(nanos: u64) -> u64 {
+    nanos.wrapping_mul(6364136223846793005)
+}

@@ -1,0 +1,9 @@
+//! Fixture: wall-clock reads in deterministic model code must be
+//! rejected.
+
+use std::time::Instant;
+
+pub fn seed_from_clock() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,44 @@
+//! Snapshot of the machine-readable `--json` output format.
+//!
+//! The JSON shape is consumed by CI tooling; changing it is a breaking
+//! change and must be deliberate — update the snapshot alongside the
+//! version field.
+
+use qpp_lint::{json, lint_paths};
+
+#[test]
+fn json_output_matches_snapshot() {
+    let path = "tests/fixtures/no-vecvec/crates/core/src/fires.rs";
+    let (diags, errors) = lint_paths(&[path.to_string()]);
+    assert!(errors.is_empty(), "{errors:?}");
+    let expected = r#"{
+  "version": 1,
+  "count": 1,
+  "diagnostics": [
+    {
+      "rule": "no-vecvec",
+      "file": "tests/fixtures/no-vecvec/crates/core/src/fires.rs",
+      "line": 3,
+      "col": 18,
+      "message": "nested `Vec<Vec<f64>>` in library code — use a contiguous `Matrix`/`MatrixView` instead",
+      "snippet": "pub fn rows() -> Vec<Vec<f64>> {"
+    }
+  ]
+}
+"#;
+    assert_eq!(json::to_json(&diags), expected);
+}
+
+#[test]
+fn json_escapes_special_characters() {
+    let diags = qpp_lint::lint_source(
+        "virtual/crates/core/src/lib.rs",
+        "pub fn f(v: Option<u64>) -> u64 {\n    v.expect(\"tab\\there\")\n}\n".to_string(),
+    );
+    assert_eq!(diags.len(), 1);
+    let out = json::to_json(&diags);
+    // The snippet contains a quoted string: it must arrive escaped.
+    assert!(out.contains(r#"v.expect(\"tab\\there\")"#), "{out}");
+    let empty = json::to_json(&[]);
+    assert!(empty.contains("\"count\": 0"), "{empty}");
+}

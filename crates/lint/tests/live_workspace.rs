@@ -1,0 +1,19 @@
+//! The linter's own acceptance test: the real workspace is clean.
+//!
+//! This is the same check `ci.sh` runs as its first gate; keeping it in
+//! the test suite means `cargo test` alone catches a regression in any
+//! crate — including edits that bypass ci.sh.
+
+use qpp_lint::lint_paths;
+
+#[test]
+fn live_workspace_has_no_violations() {
+    let crates_dir = format!("{}/../../crates", env!("CARGO_MANIFEST_DIR"));
+    let (diags, errors) = lint_paths(&[crates_dir]);
+    assert!(errors.is_empty(), "walk errors: {errors:?}");
+    assert!(
+        diags.is_empty(),
+        "workspace must be lint-clean; run `cargo run -p qpp-lint -- crates`:\n{}",
+        qpp_lint::render_human(&diags)
+    );
+}

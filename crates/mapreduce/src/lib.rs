@@ -14,6 +14,9 @@
 //! records, shuffle bytes, reduce input records, HDFS bytes read, and
 //! spilled records.
 
+// Library code must degrade into typed errors, never panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cluster;
 pub mod job;
 pub mod predictor;

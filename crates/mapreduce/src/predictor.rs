@@ -6,7 +6,7 @@ use crate::cluster::{run, ClusterConfig};
 use crate::job::{JobOutcome, JobSpec};
 use qpp_core::error::{QppError, ResultExt};
 use qpp_linalg::stats::Standardizer;
-use qpp_linalg::{LinalgError, Matrix};
+use qpp_linalg::{vector, LinalgError, Matrix};
 use qpp_ml::{DistanceMetric, Kcca, KccaOptions, NearestNeighbors, NeighborWeighting};
 use serde::{Deserialize, Serialize};
 
@@ -90,7 +90,7 @@ impl JobPredictor {
             .ctx("combining job neighbors")?;
         // `predict` never returns an empty neighbor list on success.
         let confidence_distance =
-            found.iter().map(|n| n.distance).sum::<f64>() / found.len() as f64;
+            vector::sum_iter(found.iter().map(|n| n.distance)) / found.len() as f64;
         Ok(JobPrediction {
             outcome: JobOutcome {
                 elapsed_seconds: combined[0],

@@ -13,7 +13,7 @@
 //! [`crate::kcca`]: KCCA is linear CCA applied to incomplete-Cholesky
 //! feature embeddings.
 
-use qpp_linalg::{stats, GeneralizedEigen, LinalgError, Matrix};
+use qpp_linalg::{stats, vector, GeneralizedEigen, LinalgError, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Options for [`Cca::fit`].
@@ -79,7 +79,7 @@ impl Cca {
         b.set_block(p, p, &cyy);
         // Regularize relative to the average variance so κ means the
         // same thing across differently scaled inputs.
-        let avg_var = (0..d).map(|i| b[(i, i)]).sum::<f64>() / d as f64;
+        let avg_var = vector::sum_iter((0..d).map(|i| b[(i, i)])) / d as f64;
         let kappa = opts.regularization * avg_var.max(1e-12);
         b.add_diagonal(kappa);
 
@@ -126,6 +126,7 @@ impl Cca {
     /// Projects one x-side row into a reusable buffer. After warmup the
     /// buffer's capacity is retained, so steady-state calls allocate
     /// nothing. Bitwise equal to [`Cca::project_x`].
+    // qpp-lint: hot-path
     pub fn project_x_into(&self, row: &[f64], out: &mut Vec<f64>) {
         project_into(row, &self.x_means, &self.wx, out)
     }
@@ -164,6 +165,7 @@ fn project(row: &[f64], means: &[f64], w: &Matrix) -> Vec<f64> {
     out
 }
 
+// qpp-lint: hot-path
 fn project_into(row: &[f64], means: &[f64], w: &Matrix, out: &mut Vec<f64>) {
     debug_assert_eq!(row.len(), w.rows());
     out.clear();

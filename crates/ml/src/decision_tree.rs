@@ -7,7 +7,7 @@
 //! leaves are runtime buckets; a plain Gini-split CART over the same
 //! features captures its essential behaviour as a comparison point.
 
-use qpp_linalg::Matrix;
+use qpp_linalg::{vector, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Tree construction options.
@@ -118,13 +118,10 @@ fn gini(counts: &[usize], total: usize) -> f64 {
         return 0.0;
     }
     let t = total as f64;
-    1.0 - counts
-        .iter()
-        .map(|&c| {
-            let p = c as f64 / t;
-            p * p
-        })
-        .sum::<f64>()
+    1.0 - vector::sum_iter(counts.iter().map(|&c| {
+        let p = c as f64 / t;
+        p * p
+    }))
 }
 
 fn build(

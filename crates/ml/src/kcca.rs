@@ -19,7 +19,7 @@
 
 use crate::cca::{Cca, CcaOptions};
 use crate::kernel::GaussianKernel;
-use qpp_linalg::{IcdOptions, IncompleteCholesky, LinalgError, Matrix, MatrixView};
+use qpp_linalg::{vector, IcdOptions, IncompleteCholesky, LinalgError, Matrix, MatrixView};
 use serde::{Deserialize, Serialize};
 
 /// Options for [`Kcca::fit`].
@@ -218,6 +218,7 @@ impl Kcca {
     /// warmed up to the model's dimensions, this performs no heap
     /// allocation. Bitwise equal to
     /// [`Kcca::project_query_with_similarity`].
+    // qpp-lint: hot-path
     pub fn project_query_into(
         &self,
         features: &[f64],
@@ -230,7 +231,7 @@ impl Kcca {
                 .row_iter()
                 .map(|p| self.x_kernel.eval(features, p)),
         );
-        let similarity = scratch.k_row.iter().cloned().fold(0.0f64, f64::max);
+        let similarity = vector::max_iter(0.0, scratch.k_row.iter().copied());
         self.x_icd
             .transform_new_into(&scratch.k_row, &mut scratch.embedded)?;
         self.cca.project_x_into(&scratch.embedded, out);
@@ -249,7 +250,7 @@ impl Kcca {
                 .row_iter()
                 .map(|p| self.x_kernel.eval(features, p)),
         );
-        let similarity = k_row.iter().cloned().fold(0.0f64, f64::max);
+        let similarity = vector::max_iter(0.0, k_row.iter().copied());
         let g = self.x_icd.transform_new(k_row)?;
         Ok((self.cca.project_x(&g), similarity))
     }

@@ -76,7 +76,9 @@ impl GaussianKernel {
         if flat.is_empty() {
             return Matrix::zeros(n, n);
         }
-        Matrix::from_vec(n, n, flat).expect("kernel matrix is n*n")
+        // `flat` holds exactly n*n entries by construction, so from_vec
+        // cannot fail; the fallback keeps this path panic-free.
+        Matrix::from_vec(n, n, flat).unwrap_or_else(|_| Matrix::zeros(n, n))
     }
 
     /// Kernel evaluations of one new point against every row of `data`.
@@ -99,6 +101,7 @@ impl GaussianKernel {
     /// once the buffer has warmed up. Each evaluation is the identical
     /// `eval(data.row(i), point)` of the parallel variant, in the same
     /// row order, so the values are bitwise equal.
+    // qpp-lint: hot-path
     pub fn row_into(&self, data: MatrixView<'_>, point: &[f64], out: &mut Vec<f64>) {
         out.clear();
         out.extend(data.row_iter().map(|r| self.eval(r, point)));

@@ -44,7 +44,7 @@ impl KMeans {
             .map(|i| vector::sq_dist(data.row(i), centroids.row(0)))
             .collect();
         for c in 1..k {
-            let total: f64 = min_d2.iter().sum();
+            let total = vector::sum(&min_d2);
             let pick = if total <= 0.0 {
                 rng.random_range(0..n)
             } else {
@@ -109,9 +109,9 @@ impl KMeans {
             }
         }
 
-        let inertia = (0..n)
-            .map(|i| vector::sq_dist(data.row(i), centroids.row(assignment[i])))
-            .sum();
+        let inertia = vector::sum_iter(
+            (0..n).map(|i| vector::sq_dist(data.row(i), centroids.row(assignment[i]))),
+        );
         KMeans {
             centroids,
             inertia,

@@ -97,12 +97,14 @@ impl NeighborWeighting {
     /// Weights for neighbors found by [`NearestNeighbors::query`],
     /// written into a reusable buffer. Bitwise equal to
     /// [`NeighborWeighting::weights`] on the same distances.
+    // qpp-lint: hot-path
     pub fn weights_into(self, neighbors: &[Neighbor], out: &mut Vec<f64>) {
         self.weights_for(neighbors.iter().map(|n| n.distance), out)
     }
 
     /// Shared raw-weight / normalize pipeline: fill `out` with the raw
     /// scheme weights, then divide by their sum.
+    // qpp-lint: hot-path
     fn weights_for(self, distances: impl ExactSizeIterator<Item = f64>, out: &mut Vec<f64>) {
         let k = distances.len();
         out.clear();
@@ -111,7 +113,7 @@ impl NeighborWeighting {
             NeighborWeighting::RankRatio => out.extend((0..k).map(|i| (k - i) as f64)),
             NeighborWeighting::InverseDistance => out.extend(distances.map(|d| 1.0 / (d + 1e-9))),
         }
-        let total: f64 = out.iter().sum();
+        let total = vector::sum(out);
         for w in out.iter_mut() {
             *w /= total;
         }
@@ -202,6 +204,7 @@ impl NearestNeighbors {
     /// scan runs, so results are bitwise equal — and, once `out` has
     /// warmed up to capacity `k + 1`, without any heap allocation.
     /// Larger references delegate to the chunked parallel scan.
+    // qpp-lint: hot-path
     pub fn query_into(&self, probe: &[f64], k: usize, out: &mut Vec<Neighbor>) {
         out.clear();
         let k = k.min(self.len());
@@ -260,6 +263,7 @@ impl NearestNeighbors {
     /// buffers and a reference that fits one scan chunk, this performs
     /// no heap allocation. Bitwise equal to
     /// [`NearestNeighbors::predict`].
+    // qpp-lint: hot-path
     pub fn predict_into(
         &self,
         probe: &[f64],
@@ -317,9 +321,9 @@ impl KnnScratch {
 /// Selecting the minimum by `(distance, index)` reproduces the serial
 /// scan's tie-breaking — first-seen (lowest-index) row wins — so the
 /// merged result is independent of how chunks were scheduled.
-fn merge_top_k(lists: Vec<Vec<Neighbor>>, k: usize) -> Vec<Neighbor> {
-    if lists.len() == 1 {
-        return lists.into_iter().next().unwrap();
+fn merge_top_k(mut lists: Vec<Vec<Neighbor>>, k: usize) -> Vec<Neighbor> {
+    if let [single] = &mut lists[..] {
+        return std::mem::take(single);
     }
     let mut heads = vec![0usize; lists.len()];
     let mut out = Vec::with_capacity(k);

@@ -18,6 +18,9 @@
 //! * [`decision_tree`] — a small CART classifier backing the PQR-style
 //!   runtime-range baseline from the related work (§III).
 
+// Library code must degrade into typed errors, never panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cca;
 pub mod decision_tree;
 pub mod kcca;

@@ -1,5 +1,7 @@
 //! Prediction-quality metrics.
 
+use qpp_linalg::vector;
+
 /// The paper's *predictive risk* (§VI-C):
 ///
 /// ```text
@@ -11,13 +13,14 @@
 pub fn predictive_risk(predicted: &[f64], actual: &[f64]) -> f64 {
     assert_eq!(predicted.len(), actual.len(), "length mismatch");
     assert!(!actual.is_empty(), "empty input");
-    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
-    let ss_res: f64 = predicted
-        .iter()
-        .zip(actual.iter())
-        .map(|(&p, &a)| (p - a) * (p - a))
-        .sum();
-    let ss_tot: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
+    let mean = vector::sum(actual) / actual.len() as f64;
+    let ss_res = vector::sum_iter(
+        predicted
+            .iter()
+            .zip(actual.iter())
+            .map(|(&p, &a)| (p - a) * (p - a)),
+    );
+    let ss_tot = vector::sum_iter(actual.iter().map(|&a| (a - mean) * (a - mean)));
     if ss_tot <= 0.0 {
         // Constant actuals: perfect iff residuals vanish.
         return if ss_res == 0.0 {
@@ -54,12 +57,12 @@ pub fn mean_relative_error(predicted: &[f64], actual: &[f64]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
-    predicted
-        .iter()
-        .zip(actual.iter())
-        .map(|(&p, &a)| (p - a).abs() / a.abs().max(1e-12))
-        .sum::<f64>()
-        / actual.len() as f64
+    vector::sum_iter(
+        predicted
+            .iter()
+            .zip(actual.iter())
+            .map(|(&p, &a)| (p - a).abs() / a.abs().max(1e-12)),
+    ) / actual.len() as f64
 }
 
 /// Predictive risk after dropping the `drop_worst` largest squared

@@ -29,11 +29,14 @@
 //! `QPP_THREADS` environment variable (read once per process), then
 //! [`std::thread::available_parallelism`].
 
+// Library code must degrade into typed errors, never panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Hard cap on pooled worker threads (the calling thread is extra).
 const MAX_WORKERS: usize = 64;
@@ -100,6 +103,9 @@ pub struct Chunk {
 /// a pure function of `n` and `chunk_size`, so both the partitioning
 /// and the merge order are independent of the worker count and results
 /// are bitwise reproducible.
+// The merge loop's `expect` guards the filled-slot invariant (see the
+// comment at the call site); silently skipping a slot is worse.
+#[allow(clippy::expect_used)]
 pub fn parallel_for_chunks<R, F>(n: usize, chunk_size: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -118,12 +124,20 @@ where
             index: c,
             range: start..end,
         });
-        *slots[c].lock().unwrap() = Some(out);
+        *slots[c].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
     };
     run_chunks(chunks, &body);
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("every chunk ran"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                // run_chunks returns only after every chunk completed,
+                // so each slot is filled; silently dropping one would
+                // corrupt the merge order, hence the loud invariant.
+                // qpp-lint: allow(no-unwrap-lib)
+                .expect("every chunk ran")
+        })
         .collect()
 }
 
@@ -233,6 +247,9 @@ impl Pool {
         }
     }
 
+    // Thread-spawn failure is unrecoverable resource exhaustion; the
+    // lone `expect` below is the sanctioned loud failure for it.
+    #[allow(clippy::expect_used)]
     fn ensure_workers(&self, want: usize) {
         let want = want.min(MAX_WORKERS);
         loop {
@@ -255,6 +272,9 @@ impl Pool {
                         help(&region);
                     }
                 })
+                // Thread-spawn failure means the process is out of
+                // resources; there is no useful degraded mode here.
+                // qpp-lint: allow(no-unwrap-lib)
                 .expect("spawn qpp-par worker");
         }
     }
@@ -262,9 +282,16 @@ impl Pool {
 
 /// A pooled worker's side of a region: enter, steal chunks until the
 /// counter runs dry, leave.
+/// Locks a region's status, recovering from poisoning: worker panics
+/// are tracked explicitly via `Status::panicked`, so a poisoned mutex
+/// carries no extra information and must not wedge the owner.
+fn lock_status(region: &Region) -> MutexGuard<'_, Status> {
+    region.status.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn help(region: &Region) {
     {
-        let mut st = region.status.lock().unwrap();
+        let mut st = lock_status(region);
         if st.closed {
             return; // Stale offer; the owner already finished.
         }
@@ -279,7 +306,7 @@ fn help(region: &Region) {
             unsafe { (region.call)(region.data, c) };
         }
     }));
-    let mut st = region.status.lock().unwrap();
+    let mut st = lock_status(region);
     if outcome.is_err() {
         st.panicked = true;
     }
@@ -324,10 +351,10 @@ fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, body: &F) {
             unsafe { (region.call)(region.data, c) };
         }
     }));
-    let mut st = region.status.lock().unwrap();
+    let mut st = lock_status(&region);
     st.closed = true;
     while st.active_helpers > 0 {
-        st = region.done.wait(st).unwrap();
+        st = region.done.wait(st).unwrap_or_else(PoisonError::into_inner);
     }
     let helper_panicked = st.panicked;
     drop(st);
@@ -335,6 +362,9 @@ fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, body: &F) {
         panic::resume_unwind(payload);
     }
     if helper_panicked {
+        // Re-raises a panic that already tore down a pooled worker —
+        // swallowing it would return incomplete results as if valid.
+        // qpp-lint: allow(no-unwrap-lib)
         panic!("qpp-par: a pooled worker panicked inside a parallel region");
     }
 }

@@ -10,15 +10,16 @@ use parking_lot::RwLock;
 use qpp_core::baselines::OptimizerCostModel;
 use qpp_core::model_io;
 use qpp_core::{FeatureKind, KccaPredictor, QppError, ResultExt};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Registry key: a system-configuration name plus the feature kind the
 /// model was trained on ([`FeatureKind`] has no `Hash`, so it is folded
-/// into a stable tag).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// into a stable tag). Keys are totally ordered so registry listings
+/// come out in a stable order regardless of install order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ModelKey {
     /// `SystemConfig::name` of the deployment the model targets.
     pub config: String,
@@ -67,9 +68,13 @@ pub struct ModelEntry {
 }
 
 /// Concurrent registry of prediction models.
+///
+/// Backed by a `BTreeMap` so every listing (`keys()`) is sorted by
+/// `(config, feature tag)` — hash-map iteration order is randomized per
+/// process and must never reach service output.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
-    models: RwLock<HashMap<ModelKey, Arc<ModelEntry>>>,
+    models: RwLock<BTreeMap<ModelKey, Arc<ModelEntry>>>,
     /// Total installs (first install counts); `swap_count()` reports
     /// installs that *replaced* an existing entry.
     installs: AtomicU64,
@@ -133,7 +138,7 @@ impl ModelRegistry {
         self.models.read().get(key).cloned()
     }
 
-    /// Installed keys, unordered.
+    /// Installed keys, sorted by `(config, feature tag)`.
     pub fn keys(&self) -> Vec<ModelKey> {
         self.models.read().keys().cloned().collect()
     }
@@ -197,6 +202,31 @@ mod tests {
         registry.install(plan.clone(), m, f);
         assert!(registry.get(&plan).is_some());
         assert!(registry.get(&text).is_none());
+    }
+
+    #[test]
+    fn keys_listing_is_sorted_regardless_of_install_order() {
+        let registry = ModelRegistry::new();
+        let (m, f) = trained(15);
+        // Install in an order that differs from the sorted order.
+        for config in ["zeta-9", "alpha-1", "neoview-4"] {
+            registry.install(
+                ModelKey::new(config, FeatureKind::SqlText),
+                m.clone(),
+                f.clone(),
+            );
+            registry.install(
+                ModelKey::new(config, FeatureKind::QueryPlan),
+                m.clone(),
+                f.clone(),
+            );
+        }
+        let listed: Vec<String> = registry.keys().iter().map(|k| k.to_string()).collect();
+        let mut sorted = listed.clone();
+        sorted.sort();
+        assert_eq!(listed, sorted, "registry listing must be sorted");
+        assert_eq!(listed[0], "alpha-1/query-plan");
+        assert_eq!(listed[5], "zeta-9/sql-text");
     }
 
     #[test]

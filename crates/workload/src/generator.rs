@@ -52,7 +52,9 @@ impl WorkloadGenerator {
 
     /// Generates one query from a weighted-random template.
     pub fn generate_one(&mut self) -> QuerySpec {
-        let total = *self.cumulative_weights.last().expect("non-empty");
+        // The constructor rejects empty template lists, so the weight
+        // table is never empty; the fallback keeps this path panic-free.
+        let total = self.cumulative_weights.last().copied().unwrap_or(1.0);
         let roll: f64 = self.rng.random_range(0.0..total);
         let idx = self
             .cumulative_weights

@@ -15,6 +15,9 @@
 //! drive cost. SQL-text features are therefore nearly useless for
 //! prediction, exactly as the paper found.
 
+// Library code must degrade into typed errors, never panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod customer;
 pub mod features;
 pub mod generator;

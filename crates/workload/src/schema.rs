@@ -63,7 +63,7 @@ impl Table {
 
     /// Full row width in bytes.
     pub fn row_width(&self) -> u64 {
-        self.columns.iter().map(|c| c.width as u64).sum()
+        self.columns.iter().map(|c| c.width as u64).sum::<u64>()
     }
 
     /// Looks up a column by name.
@@ -101,7 +101,7 @@ impl Schema {
         self.tables
             .iter()
             .map(|t| t.rows(self.scale_factor) * t.row_width())
-            .sum()
+            .sum::<u64>()
     }
 
     /// The TPC-DS-shaped schema at the given scale factor.
