@@ -22,4 +22,24 @@ QPP_THREADS=1 cargo test -q --workspace
 echo "==> cargo test (default threads)"
 cargo test -q --workspace
 
+echo "==> obs smoke: serving example under a tight deadline exports a live trace"
+# A 1µs deadline forces client-side fallbacks while the workers still
+# drain every request, so the exported JSONL must show the full
+# queue_wait -> worker -> predict span chain AND tagged fallbacks.
+cargo build -q --release --example serving
+TRACE_OUT=$(mktemp /tmp/qpp_trace.XXXXXX.jsonl)
+QPP_DEMO_TRAIN=120 QPP_DEMO_REQUESTS=400 QPP_DEADLINE_US=1 \
+    QPP_TRACE_OUT="$TRACE_OUT" ./target/release/examples/serving >/dev/null
+for stage in queue_wait worker predict; do
+    grep -q "\"stage\":\"$stage\"" "$TRACE_OUT" \
+        || { echo "obs smoke: no $stage span in $TRACE_OUT"; exit 1; }
+done
+FALLBACKS=$(sed -n 's/.*"counter":"fallback_answers","value":\([0-9]*\).*/\1/p' "$TRACE_OUT")
+if [ -z "$FALLBACKS" ] || [ "$FALLBACKS" -eq 0 ]; then
+    echo "obs smoke: expected a nonzero fallback_answers counter, got '${FALLBACKS:-missing}'"
+    exit 1
+fi
+echo "obs smoke OK: spans present, $FALLBACKS fallbacks tagged"
+rm -f "$TRACE_OUT"
+
 echo "CI OK"

@@ -1,6 +1,8 @@
 //! Predict-path benchmark: single-query latency quantiles, batch
-//! throughput, and heap allocations per request on the zero-copy data
-//! plane. Writes `BENCH_predict.json` in the working directory.
+//! throughput, heap allocations per request on the zero-copy data
+//! plane, and qpp-obs per-stage breakdowns of both training and the
+//! predict hot path. Writes `BENCH_predict.json` in the working
+//! directory.
 //!
 //! ```text
 //! cargo run --release -p qpp-bench --bin predict_bench
@@ -54,12 +56,49 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Per-stage (hits, total_ns) deltas between two recorder summaries —
+/// the exact cost of the code that ran between the two snapshots.
+fn diff_stages(
+    before: &[qpp_obs::StageSummary],
+    after: &[qpp_obs::StageSummary],
+) -> Vec<(qpp_obs::Stage, u64, u64)> {
+    after
+        .iter()
+        .map(|a| {
+            let b = before.iter().find(|b| b.stage == a.stage);
+            (
+                a.stage,
+                a.hits - b.map_or(0, |b| b.hits),
+                a.total_ns - b.map_or(0, |b| b.total_ns),
+            )
+        })
+        .filter(|(_, hits, _)| *hits > 0)
+        .collect()
+}
+
+/// Renders stage deltas as a JSON object keyed by stage name.
+fn stages_json(stages: &[(qpp_obs::Stage, u64, u64)], indent: &str) -> String {
+    let entries: Vec<String> = stages
+        .iter()
+        .map(|(stage, hits, ns)| {
+            format!(
+                "{indent}  \"{stage}\": {{\"hits\": {hits}, \"total_us\": {:.3}, \"mean_us\": {:.3}}}",
+                *ns as f64 / 1e3,
+                *ns as f64 / 1e3 / (*hits).max(1) as f64,
+            )
+        })
+        .collect();
+    format!("{{\n{}\n{indent}}}", entries.join(",\n"))
+}
+
 fn main() {
     let args = parse_args();
     let config = SystemConfig::neoview_4();
     eprintln!("training model on {} queries …", args.train);
     let train = collect_tpcds(args.train, 29, &config, 4);
+    let stages_pre_train = qpp_obs::recorder().stage_summary();
     let model = KccaPredictor::train(&train, PredictorOptions::default()).expect("train");
+    let train_stages = diff_stages(&stages_pre_train, &qpp_obs::recorder().stage_summary());
     let kind = model.options().feature_kind;
 
     // Pre-extract feature vectors so the benchmark times the predict
@@ -75,6 +114,7 @@ fn main() {
 
     // Single-query latency + allocations per request.
     let mut latencies_us = Vec::with_capacity(args.requests);
+    let stages_pre_predict = qpp_obs::recorder().stage_summary();
     let alloc_before = ALLOC.allocation_events();
     let t0 = Instant::now();
     for i in 0..args.requests {
@@ -86,6 +126,7 @@ fn main() {
     }
     let single_wall = t0.elapsed().as_secs_f64();
     let alloc_events = ALLOC.allocation_events() - alloc_before;
+    let predict_stages = diff_stages(&stages_pre_predict, &qpp_obs::recorder().stage_summary());
     // The latency vector itself grows by push; discount its (amortized,
     // pre-reserved) appends are already excluded by with_capacity.
     let allocs_per_request = alloc_events as f64 / args.requests as f64;
@@ -111,7 +152,7 @@ fn main() {
     let batch_throughput = (rounds * specs.len()) as f64 / batch_wall;
 
     let json = format!(
-        "{{\n  \"bench\": \"predict\",\n  \"train_rows\": {},\n  \"requests\": {},\n  \"single_query\": {{\n    \"p50_us\": {:.3},\n    \"p99_us\": {:.3},\n    \"throughput_per_sec\": {:.1},\n    \"allocs_per_request\": {:.4}\n  }},\n  \"batch\": {{\n    \"batch_size\": {},\n    \"throughput_per_sec\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"predict\",\n  \"train_rows\": {},\n  \"requests\": {},\n  \"single_query\": {{\n    \"p50_us\": {:.3},\n    \"p99_us\": {:.3},\n    \"throughput_per_sec\": {:.1},\n    \"allocs_per_request\": {:.4}\n  }},\n  \"batch\": {{\n    \"batch_size\": {},\n    \"throughput_per_sec\": {:.1}\n  }},\n  \"train_stages\": {},\n  \"predict_stages\": {}\n}}\n",
         args.train,
         args.requests,
         p50,
@@ -120,6 +161,8 @@ fn main() {
         allocs_per_request,
         specs.len(),
         batch_throughput,
+        stages_json(&train_stages, "  "),
+        stages_json(&predict_stages, "  "),
     );
     std::fs::write("BENCH_predict.json", &json).expect("write BENCH_predict.json");
     println!("{json}");

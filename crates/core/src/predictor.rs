@@ -212,13 +212,28 @@ thread_local! {
 
 impl KccaPredictor {
     /// Trains on every record of `dataset`.
+    ///
+    /// Each pipeline stage records a `qpp_obs` span (standardize,
+    /// kernel fit, ICD, eigensolve, kNN build), so
+    /// `qpp_obs::recorder().stage_summary()` gives a per-stage training
+    /// breakdown. All wall-clock reads live inside qpp-obs; this crate
+    /// stays free of `Instant` per the `no-wallclock-in-model` lint.
     pub fn train(dataset: &Dataset, options: PredictorOptions) -> Result<Self, QppError> {
+        let mut total = qpp_obs::span(qpp_obs::Stage::TrainTotal);
+        total.set_value(dataset.records.len() as u64);
         let x_raw = dataset.feature_matrix(options.feature_kind);
-        let scaler = Standardizer::fit(&x_raw);
-        let x = scaler.transform(&x_raw);
+        let (scaler, x) = {
+            let _s = qpp_obs::span(qpp_obs::Stage::TrainStandardize);
+            let scaler = Standardizer::fit(&x_raw);
+            let x = scaler.transform(&x_raw);
+            (scaler, x)
+        };
         let y = dataset.kernel_performance_matrix();
         let kcca = Kcca::fit(x.view(), y.view(), options.kcca).ctx("fitting kcca")?;
-        let neighbors = NearestNeighbors::new(kcca.query_projection().clone(), options.metric);
+        let neighbors = {
+            let _s = qpp_obs::span(qpp_obs::Stage::TrainKnnBuild);
+            NearestNeighbors::new(kcca.query_projection().clone(), options.metric)
+        };
         Ok(KccaPredictor {
             options,
             scaler,
@@ -260,16 +275,20 @@ impl KccaPredictor {
     pub fn predict_features(&self, features: &[f64]) -> Result<Prediction, QppError> {
         SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
-            self.scaler
-                .transform_row_into(features, &mut scratch.scaled);
-            let max_kernel_similarity = self
-                .kcca
-                .project_query_into(
+            {
+                let _s = qpp_obs::span(qpp_obs::Stage::PredictStandardize);
+                self.scaler
+                    .transform_row_into(features, &mut scratch.scaled);
+            }
+            let max_kernel_similarity = {
+                let _s = qpp_obs::span(qpp_obs::Stage::PredictProject);
+                self.kcca.project_query_into(
                     &scratch.scaled,
                     &mut scratch.projection,
                     &mut scratch.projected,
                 )
-                .ctx("projecting query features")?;
+            }
+            .ctx("projecting query features")?;
             self.finish_prediction_with(
                 &scratch.projected,
                 &mut scratch.knn,
@@ -292,6 +311,8 @@ impl KccaPredictor {
         &self,
         rows: MatrixView<'_>,
     ) -> Result<Vec<Prediction>, QppError> {
+        let mut batch_span = qpp_obs::span(qpp_obs::Stage::PredictBatch);
+        batch_span.set_value(rows.rows() as u64);
         let mut scaled = Matrix::zeros(rows.rows(), rows.cols());
         for i in 0..rows.rows() {
             self.scaler.transform_row_to(rows.row(i), scaled.row_mut(i));
@@ -330,6 +351,8 @@ impl KccaPredictor {
         } else {
             &self.raw_performance
         };
+        let mut knn_span = qpp_obs::span(qpp_obs::Stage::PredictKnn);
+        knn_span.set_value(self.options.neighbors as u64);
         self.neighbors
             .predict_into(
                 projected,
@@ -345,6 +368,7 @@ impl KccaPredictor {
                 *v = v.exp_m1().max(0.0);
             }
         }
+        drop(knn_span);
         // `predict_into` never leaves an empty neighbor list on success.
         let found = &knn.neighbors;
         let confidence_distance =

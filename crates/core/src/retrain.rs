@@ -36,8 +36,16 @@ impl SlidingWindowPredictor {
     ) -> Self {
         assert!(capacity >= 8, "window too small to train KCCA");
         assert!(refresh_every >= 1);
+        // Keep only the newest `capacity` records of an oversized
+        // template: the window invariant (len <= capacity, oldest
+        // evicted first) must hold from construction, not only after
+        // the first `observe`.
+        let mut window: VecDeque<QueryRecord> = template.records.iter().cloned().collect();
+        while window.len() > capacity {
+            window.pop_front();
+        }
         SlidingWindowPredictor {
-            window: template.records.iter().cloned().collect(),
+            window,
             capacity,
             refresh_every,
             seen_since_refresh: 0,
@@ -117,6 +125,24 @@ mod tests {
         let after = sw.model().unwrap().training_size();
         assert_eq!(after, 50);
         assert!(after >= before);
+    }
+
+    /// Regression: the constructor used to copy the whole template into
+    /// the window without trimming, so a template larger than `capacity`
+    /// violated the window invariant (and the first retrain trained on
+    /// more records than the window was ever supposed to hold) until
+    /// enough `observe` calls flushed the excess.
+    #[test]
+    fn constructor_trims_oversized_template_to_capacity() {
+        let seed_data = dataset(40, 75);
+        let newest_ids: Vec<u64> = seed_data.records[30..].iter().map(|r| r.spec.id).collect();
+        let sw = SlidingWindowPredictor::new(seed_data, 10, 5, PredictorOptions::default());
+        assert_eq!(sw.window_len(), 10, "window must respect capacity at birth");
+        let window_ids: Vec<u64> = sw.window.iter().map(|r| r.spec.id).collect();
+        assert_eq!(
+            window_ids, newest_ids,
+            "trimming must evict the oldest records, keeping the newest"
+        );
     }
 
     #[test]

@@ -17,3 +17,38 @@ fn live_workspace_has_no_violations() {
         qpp_lint::render_human(&diags)
     );
 }
+
+/// The observability crate sits on the serve hot path, so it gets the
+/// strictest treatment: not only lint-clean, but with ZERO opt-outs of
+/// the allocation rule. Recording an event must be allocation-free by
+/// construction, not by waiver.
+#[test]
+fn obs_crate_is_lint_clean_with_no_alloc_waivers() {
+    let obs_dir = format!("{}/../../crates/obs", env!("CARGO_MANIFEST_DIR"));
+    let (diags, errors) = lint_paths(std::slice::from_ref(&obs_dir));
+    assert!(errors.is_empty(), "walk errors: {errors:?}");
+    assert!(
+        diags.is_empty(),
+        "qpp-obs must be lint-clean:\n{}",
+        qpp_lint::render_human(&diags)
+    );
+
+    let mut sources = Vec::new();
+    let src_dir = std::path::Path::new(&obs_dir).join("src");
+    for entry in std::fs::read_dir(&src_dir).expect("read crates/obs/src") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            sources.push(path);
+        }
+    }
+    assert!(!sources.is_empty(), "crates/obs/src holds Rust sources");
+    for path in sources {
+        let text = std::fs::read_to_string(&path).expect("read obs source");
+        assert!(
+            !text.contains("allow(no-alloc-hot-path)"),
+            "{} opts out of no-alloc-hot-path; the obs hot path must be \
+             allocation-free without waivers",
+            path.display()
+        );
+    }
+}

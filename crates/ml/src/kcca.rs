@@ -91,26 +91,43 @@ impl Kcca {
         if n < 4 {
             return Err(LinalgError::Empty("kcca needs >= 4 rows"));
         }
-        let x_kernel = GaussianKernel::fit(x, opts.x_kernel_fraction);
-        let y_kernel = GaussianKernel::fit(y, opts.y_kernel_fraction);
+        // Stage spans (kernel fit / ICD / eigensolve) feed the training
+        // breakdown in `qpp_obs::recorder().stage_summary()`. Kernel
+        // *entries* are evaluated lazily inside the ICD factorization,
+        // so their cost lands in the ICD span by construction.
+        let (x_kernel, y_kernel) = {
+            let _s = qpp_obs::span(qpp_obs::Stage::TrainKernel);
+            (
+                GaussianKernel::fit(x, opts.x_kernel_fraction),
+                GaussianKernel::fit(y, opts.y_kernel_fraction),
+            )
+        };
 
         let icd_opts = IcdOptions {
             max_rank: opts.max_rank,
             relative_tolerance: opts.icd_tolerance,
         };
-        let x_icd =
-            IncompleteCholesky::factor(n, |i, j| x_kernel.eval(x.row(i), x.row(j)), icd_opts)?;
-        let y_icd =
-            IncompleteCholesky::factor(n, |i, j| y_kernel.eval(y.row(i), y.row(j)), icd_opts)?;
+        let (x_icd, y_icd) = {
+            let mut s = qpp_obs::span(qpp_obs::Stage::TrainIcd);
+            s.set_value(n as u64);
+            let x_icd =
+                IncompleteCholesky::factor(n, |i, j| x_kernel.eval(x.row(i), x.row(j)), icd_opts)?;
+            let y_icd =
+                IncompleteCholesky::factor(n, |i, j| y_kernel.eval(y.row(i), y.row(j)), icd_opts)?;
+            (x_icd, y_icd)
+        };
 
-        let cca = Cca::fit(
-            x_icd.g(),
-            y_icd.g(),
-            CcaOptions {
-                components: opts.components,
-                regularization: opts.regularization,
-            },
-        )?;
+        let cca = {
+            let _s = qpp_obs::span(qpp_obs::Stage::TrainEigensolve);
+            Cca::fit(
+                x_icd.g(),
+                y_icd.g(),
+                CcaOptions {
+                    components: opts.components,
+                    regularization: opts.regularization,
+                },
+            )?
+        };
         let x_projection = cca.project_x_matrix(x_icd.g());
         let y_projection = cca.project_y_matrix(y_icd.g());
         let x_pivots = x.select_rows(x_icd.pivots());

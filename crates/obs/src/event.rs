@@ -1,0 +1,249 @@
+//! Event model: what one recorded observation looks like.
+//!
+//! Events are fixed-size `Copy` values — no strings, no boxes — so the
+//! hot path can hand them to the ring buffer without touching the heap.
+//! Human-readable names only materialize at export time.
+
+/// Which instrumented stage an event belongs to.
+///
+/// The serving path (admission → queue → worker → predict → fallback)
+/// and the offline pipeline (standardize → kernel → ICD → eigensolve →
+/// kNN build) share one namespace so a single exported trace can mix
+/// both layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Stage {
+    /// Request admission: registry lookup + queue push at submit time.
+    Admission,
+    /// Time a request sat in the bounded queue before a worker drained it.
+    QueueWait,
+    /// Worker handling of one request, dequeue to response send.
+    Worker,
+    /// The (possibly batched) KCCA prediction answering one request.
+    Predict,
+    /// Client-side optimizer-cost fallback after a deadline miss.
+    Fallback,
+    /// A model install/hot-swap landed in the registry.
+    ModelSwap,
+    /// Whole-batch KCCA projection + kNN pass (`predict_features_batch`).
+    PredictBatch,
+    /// Single-query standardization (`transform_row_into`).
+    PredictStandardize,
+    /// Single-query kernel row + ICD embedding + CCA projection.
+    PredictProject,
+    /// kNN search + neighbor-metric combine.
+    PredictKnn,
+    /// Whole `KccaPredictor::train` call.
+    TrainTotal,
+    /// Feature standardization fit + transform.
+    TrainStandardize,
+    /// Gaussian kernel scale fitting (both sides). Kernel *entries* are
+    /// evaluated lazily inside the ICD stage.
+    TrainKernel,
+    /// Pivoted incomplete Cholesky on both kernel sides.
+    TrainIcd,
+    /// Regularized CCA on the ICD embeddings (the generalized
+    /// eigensolve of the paper's Eq. 2).
+    TrainEigensolve,
+    /// Building the nearest-neighbor index over the query projection.
+    TrainKnnBuild,
+}
+
+impl Stage {
+    /// Number of stages (sizes the per-stage accumulator arrays).
+    pub const COUNT: usize = 16;
+
+    /// Every stage, in declaration order (stable for reports).
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Admission,
+        Stage::QueueWait,
+        Stage::Worker,
+        Stage::Predict,
+        Stage::Fallback,
+        Stage::ModelSwap,
+        Stage::PredictBatch,
+        Stage::PredictStandardize,
+        Stage::PredictProject,
+        Stage::PredictKnn,
+        Stage::TrainTotal,
+        Stage::TrainStandardize,
+        Stage::TrainKernel,
+        Stage::TrainIcd,
+        Stage::TrainEigensolve,
+        Stage::TrainKnnBuild,
+    ];
+
+    /// Dense index into per-stage accumulators.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Decodes an index back into a stage (export-time use; torn ring
+    /// slots can carry garbage, hence `Option`).
+    pub fn from_index(i: u64) -> Option<Stage> {
+        Stage::ALL.get(i as usize).copied()
+    }
+
+    /// Stable snake_case name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Admission => "admission",
+            Stage::QueueWait => "queue_wait",
+            Stage::Worker => "worker",
+            Stage::Predict => "predict",
+            Stage::Fallback => "fallback",
+            Stage::ModelSwap => "model_swap",
+            Stage::PredictBatch => "predict_batch",
+            Stage::PredictStandardize => "predict_standardize",
+            Stage::PredictProject => "predict_project",
+            Stage::PredictKnn => "predict_knn",
+            Stage::TrainTotal => "train_total",
+            Stage::TrainStandardize => "train_standardize",
+            Stage::TrainKernel => "train_kernel",
+            Stage::TrainIcd => "train_icd",
+            Stage::TrainEigensolve => "train_eigensolve",
+            Stage::TrainKnnBuild => "train_knn_build",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Event flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A completed span: `start_ns .. start_ns + dur_ns`.
+    Span,
+    /// An instantaneous marker (`dur_ns == 0`).
+    Mark,
+}
+
+impl EventKind {
+    fn from_index(i: u64) -> Option<EventKind> {
+        match i {
+            0 => Some(EventKind::Span),
+            1 => Some(EventKind::Mark),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Mark => "mark",
+        }
+    }
+}
+
+/// One recorded observation. Fixed-size and `Copy`: recording one never
+/// allocates, and the ring stores it as plain atomic words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Trace this event belongs to; 0 means "untraced" (background
+    /// work: training, offline experiment loops).
+    pub trace_id: u64,
+    /// Span or mark.
+    pub kind: EventKind,
+    /// Which instrumented stage.
+    pub stage: Stage,
+    /// Monotonic nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds (0 for marks).
+    pub dur_ns: u64,
+    /// Free-form payload: queue depth, batch size, model version, …
+    pub value: u64,
+}
+
+impl Event {
+    /// Packs `kind` and `stage` into one word for ring storage.
+    pub(crate) fn tag(&self) -> u64 {
+        ((self.kind as u64) << 8) | self.stage as u64
+    }
+
+    /// Inverse of [`Event::tag`]; `None` on torn/garbage words.
+    pub(crate) fn untag(tag: u64) -> Option<(EventKind, Stage)> {
+        let kind = EventKind::from_index(tag >> 8)?;
+        let stage = Stage::from_index(tag & 0xff)?;
+        Some((kind, stage))
+    }
+
+    /// One JSONL line (no trailing newline). Timestamps and durations
+    /// are reported in microseconds for readability.
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"trace\":{},\"kind\":\"{}\",\"stage\":\"{}\",\"start_us\":{:.3},\"dur_us\":{:.3},\"value\":{}}}",
+            self.trace_id,
+            self.kind.name(),
+            self.stage.name(),
+            self.start_ns as f64 / 1e3,
+            self.dur_ns as f64 / 1e3,
+            self.value,
+        )
+    }
+}
+
+/// Renders a slice of events as JSONL, one event per line.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_round_trip() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(Stage::from_index(i as u64), Some(*s));
+        }
+        assert_eq!(Stage::from_index(Stage::COUNT as u64), None);
+        assert_eq!(Stage::ALL.len(), Stage::COUNT);
+    }
+
+    #[test]
+    fn tag_round_trips() {
+        for s in Stage::ALL {
+            for kind in [EventKind::Span, EventKind::Mark] {
+                let e = Event {
+                    trace_id: 7,
+                    kind,
+                    stage: s,
+                    start_ns: 1,
+                    dur_ns: 2,
+                    value: 3,
+                };
+                assert_eq!(Event::untag(e.tag()), Some((kind, s)));
+            }
+        }
+        assert_eq!(Event::untag(u64::MAX), None);
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let e = Event {
+            trace_id: 42,
+            kind: EventKind::Span,
+            stage: Stage::QueueWait,
+            start_ns: 1_500,
+            dur_ns: 2_000,
+            value: 9,
+        };
+        let line = e.to_jsonl();
+        assert!(line.contains("\"trace\":42"));
+        assert!(line.contains("\"stage\":\"queue_wait\""));
+        assert!(line.contains("\"start_us\":1.500"));
+        assert!(line.contains("\"dur_us\":2.000"));
+        assert!(line.contains("\"value\":9"));
+    }
+}

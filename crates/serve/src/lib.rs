@@ -19,10 +19,17 @@
 //!   optimizer-cost baseline instead — bounded latency, graceful
 //!   degradation.
 //! - [`ServiceStats`]: lock-free counters and latency quantiles exposed
-//!   through a [`StatsSnapshot`] API.
+//!   through a [`StatsSnapshot`] API, built on `qpp_obs` metric
+//!   primitives.
+//! - Tracing: every accepted request gets a `qpp_obs` trace ID at
+//!   admission, carried through the queue, the worker, and the
+//!   prediction; `qpp_obs::recorder().export_trace(id)` reconstructs a
+//!   request's timeline (admission → queue wait → worker → predict,
+//!   plus a `fallback` marker when the deadline answer was used). The
+//!   ID is returned on [`ServeResponse::trace_id`].
 //!
 //! Every fallible API returns [`QppError`], the workspace-level error
-//! of the predict path (re-exported here for embedders).
+//! of the predict path (re-exported for embedders).
 
 // Serving must degrade into typed errors, never panics.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]

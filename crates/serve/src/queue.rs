@@ -6,6 +6,10 @@
 //! condition variable and drain up to a batch-size limit per wakeup,
 //! which is what lets workers answer several requests with a single
 //! batched KCCA projection + kNN pass.
+//!
+//! The queue itself records nothing: queue-wait spans are timed at the
+//! service layer (enqueue stamp in `Queued`, drain stamp in the worker
+//! loop), keeping this container generic over its item type.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;

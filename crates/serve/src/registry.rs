@@ -106,6 +106,10 @@ impl ModelRegistry {
         if replaced {
             self.swaps.fetch_add(1, Ordering::Relaxed);
         }
+        // Untraced marker (trace 0): installs happen outside any request,
+        // but a ModelSwap event in the exported window lets a trace
+        // reader correlate latency shifts with a mid-run hot-swap.
+        qpp_obs::recorder().record_mark(0, qpp_obs::Stage::ModelSwap, version);
         version
     }
 

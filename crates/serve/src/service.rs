@@ -22,8 +22,8 @@ use crate::stats::{ServiceStats, StatsSnapshot};
 use qpp_core::workload_mgmt::{decide, AdmissionDecision, AdmissionPolicy};
 use qpp_core::{NeighborIds, Prediction, QppError};
 use qpp_engine::{PerfMetrics, Plan};
+use qpp_obs::Stage;
 use qpp_workload::QuerySpec;
-use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -66,6 +66,11 @@ pub struct ServeResponse {
     pub model_version: u64,
     /// End-to-end latency from submission to answer.
     pub latency: Duration,
+    /// The request's trace ID: every span this request produced
+    /// (admission, queue wait, worker, predict, fallback) carries it,
+    /// so `qpp_obs::recorder().export_trace(trace_id)` reconstructs the
+    /// request's timeline.
+    pub trace_id: u64,
 }
 
 /// Queue-level backpressure maps onto the workspace error: a full
@@ -109,6 +114,10 @@ impl Default for ServeOptions {
 struct Queued {
     request: PredictRequest,
     enqueued_at: Instant,
+    /// Enqueue time on the obs clock, so the queue-wait span shares an
+    /// epoch with every other span in the trace.
+    enqueued_ns: u64,
+    trace_id: u64,
     responder: mpsc::Sender<Result<ServeResponse, QppError>>,
 }
 
@@ -118,17 +127,34 @@ pub struct PendingPrediction {
     rx: mpsc::Receiver<Result<ServeResponse, QppError>>,
     request: PredictRequest,
     submitted_at: Instant,
+    trace_id: u64,
     registry: Arc<ModelRegistry>,
     stats: Arc<ServiceStats>,
     policy: AdmissionPolicy,
 }
 
 impl PendingPrediction {
+    /// The trace ID assigned to this request at submission.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
     /// Blocks until the worker answers or the request's deadline
     /// passes, then returns exactly one answer: the worker's if it made
     /// the deadline, otherwise the optimizer-cost fallback.
+    ///
+    /// The deadline is measured from *submission*, not from this call:
+    /// time the caller spent between `submit_async` and `wait` counts
+    /// against it. (Waiting the full `deadline` from wait-start let a
+    /// slow caller stretch its latency budget to submit-to-wait gap +
+    /// deadline, which is exactly the bounded-latency guarantee the
+    /// deadline exists to give up on time.)
     pub fn wait(self) -> Result<ServeResponse, QppError> {
-        match self.rx.recv_timeout(self.request.deadline) {
+        let remaining = self
+            .request
+            .deadline
+            .saturating_sub(self.submitted_at.elapsed());
+        match self.rx.recv_timeout(remaining) {
             Ok(answer) => answer,
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 // One last non-blocking look: the worker may have
@@ -169,7 +195,10 @@ impl PendingPrediction {
         };
         let decision = decide(&self.policy, &prediction);
         record_decision(&self.stats, &decision);
-        self.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.stats.fallbacks.incr();
+        let rec = qpp_obs::recorder();
+        rec.record_mark(self.trace_id, Stage::Fallback, entry.version);
+        rec.fallback_answers.incr();
         let latency = self.submitted_at.elapsed();
         self.stats.record_latency(latency);
         Ok(ServeResponse {
@@ -178,6 +207,7 @@ impl PendingPrediction {
             source: AnswerSource::CostModelFallback,
             model_version: entry.version,
             latency,
+            trace_id: self.trace_id,
         })
     }
 }
@@ -185,13 +215,13 @@ impl PendingPrediction {
 fn record_decision(stats: &ServiceStats, decision: &AdmissionDecision) {
     match decision {
         AdmissionDecision::Admit { .. } => {
-            stats.admitted.fetch_add(1, Ordering::Relaxed);
+            stats.admitted.incr();
         }
         AdmissionDecision::Reject { .. } => {
-            stats.policy_rejected.fetch_add(1, Ordering::Relaxed);
+            stats.policy_rejected.incr();
         }
         AdmissionDecision::ReviewRequired { .. } => {
-            stats.review_required.fetch_add(1, Ordering::Relaxed);
+            stats.review_required.incr();
         }
     }
 }
@@ -239,6 +269,9 @@ impl PredictionService {
     /// Submits a request without waiting for its answer. Fails fast
     /// with backpressure or an unknown-model error.
     pub fn submit_async(&self, request: PredictRequest) -> Result<PendingPrediction, QppError> {
+        let rec = qpp_obs::recorder();
+        let trace_id = rec.next_trace_id();
+        let admit_start = rec.now_ns();
         if self.registry.get(&request.key).is_none() {
             return Err(QppError::UnknownModel {
                 key: request.key.to_string(),
@@ -249,16 +282,26 @@ impl PredictionService {
         let queued = Queued {
             request: request.clone(),
             enqueued_at: now,
+            enqueued_ns: rec.now_ns(),
+            trace_id,
             responder: tx,
         };
         match self.queue.try_push(queued) {
             Ok(depth) => {
-                self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                self.stats.submitted.incr();
                 self.stats.observe_queue_depth(depth);
+                rec.record_span(
+                    trace_id,
+                    Stage::Admission,
+                    admit_start,
+                    rec.now_ns().saturating_sub(admit_start),
+                    depth as u64,
+                );
                 Ok(PendingPrediction {
                     rx,
                     request,
                     submitted_at: now,
+                    trace_id,
                     registry: Arc::clone(&self.registry),
                     stats: Arc::clone(&self.stats),
                     policy: self.policy,
@@ -266,9 +309,7 @@ impl PredictionService {
             }
             Err(e) => {
                 if matches!(e, PushError::Full { .. }) {
-                    self.stats
-                        .rejected_queue_full
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.stats.rejected_queue_full.incr();
                 }
                 Err(e.into())
             }
@@ -283,9 +324,7 @@ impl PredictionService {
 
     /// Point-in-time statistics, including the registry's swap count.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats
-            .model_swaps
-            .store(self.registry.swap_count(), Ordering::Relaxed);
+        self.stats.model_swaps.set(self.registry.swap_count());
         self.stats.snapshot(self.queue.len())
     }
 
@@ -319,6 +358,17 @@ fn worker_loop(
 ) {
     while let Some(batch) = queue.drain_batch(max_batch) {
         stats.record_batch(batch.len());
+        let rec = qpp_obs::recorder();
+        let drained_ns = rec.now_ns();
+        for queued in &batch {
+            rec.record_span(
+                queued.trace_id,
+                Stage::QueueWait,
+                queued.enqueued_ns,
+                drained_ns.saturating_sub(queued.enqueued_ns),
+                batch.len() as u64,
+            );
+        }
         // Group while preserving arrival order within each group. The
         // number of distinct keys per batch is tiny (usually 1), so a
         // linear scan beats a map here.
@@ -333,7 +383,7 @@ fn worker_loop(
             }
         }
         for (key, group) in groups {
-            answer_group(registry, stats, policy, &key, group);
+            answer_group(registry, stats, policy, &key, group, drained_ns);
         }
     }
 }
@@ -344,6 +394,7 @@ fn answer_group(
     policy: &AdmissionPolicy,
     key: &ModelKey,
     group: Vec<Queued>,
+    drained_ns: u64,
 ) {
     // Resolve the model once per group: every request in the group is
     // answered by the same consistent entry even if a hot-swap lands
@@ -360,10 +411,32 @@ fn answer_group(
         .iter()
         .map(|q| (&q.request.spec, &q.request.plan))
         .collect();
-    match entry.predictor.predict_batch(&queries) {
+    let rec = qpp_obs::recorder();
+    // A single-member group runs the predictor under the request's own
+    // trace, so the core-layer sub-spans (standardize/project/kNN) tag
+    // themselves to it. A multi-member batch answers several traces at
+    // once; its sub-spans stay untraced (0), and each member instead
+    // gets a Predict span over the shared batch interval below.
+    let group_trace = if group.len() == 1 {
+        group[0].trace_id
+    } else {
+        0
+    };
+    let group_len = group.len() as u64;
+    let predict_start = rec.now_ns();
+    let result = qpp_obs::with_trace(group_trace, || entry.predictor.predict_batch(&queries));
+    let predict_dur = rec.now_ns().saturating_sub(predict_start);
+    match result {
         Ok(predictions) => {
             for (queued, prediction) in group.into_iter().zip(predictions) {
-                respond(stats, policy, &entry, queued, prediction);
+                rec.record_span(
+                    queued.trace_id,
+                    Stage::Predict,
+                    predict_start,
+                    predict_dur,
+                    group_len,
+                );
+                respond(stats, policy, &entry, queued, prediction, drained_ns);
             }
         }
         Err(e) => {
@@ -382,6 +455,7 @@ fn respond(
     entry: &ModelEntry,
     queued: Queued,
     prediction: Prediction,
+    drained_ns: u64,
 ) {
     let decision = decide(policy, &prediction);
     let latency = queued.enqueued_at.elapsed();
@@ -391,13 +465,26 @@ fn respond(
         source: AnswerSource::Kcca,
         model_version: entry.version,
         latency,
+        trace_id: queued.trace_id,
     };
+    let rec = qpp_obs::recorder();
+    // Record the worker span *before* handing the answer over: once the
+    // client holds the response it may export the trace, and the span
+    // must already be in the ring.
+    rec.record_span(
+        queued.trace_id,
+        Stage::Worker,
+        drained_ns,
+        rec.now_ns().saturating_sub(drained_ns),
+        entry.version,
+    );
     if queued.responder.send(Ok(response)).is_ok() {
-        stats.completed.fetch_add(1, Ordering::Relaxed);
+        stats.completed.incr();
         stats.record_latency(latency);
         record_decision(stats, &decision);
+        rec.kcca_answers.incr();
     } else {
         // Client already fell back (deadline) or went away.
-        stats.late_answers.fetch_add(1, Ordering::Relaxed);
+        stats.late_answers.incr();
     }
 }

@@ -1,124 +1,101 @@
 //! Service statistics: lock-free counters and a log-spaced latency
 //! histogram, exposed through an immutable snapshot API.
+//!
+//! The primitives live in `qpp-obs` ([`qpp_obs::Counter`],
+//! [`qpp_obs::Histogram`], [`LatencyQuantile`]) so the serving stats,
+//! the trace recorder, and the bench harness share one implementation
+//! and one set of quantile conventions; this module is the serving
+//! view over them.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use qpp_obs::{Counter, Histogram};
 use std::time::{Duration, Instant};
 
-/// Latency histogram bucket count. Bucket `i` holds samples in
-/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended.
-const BUCKETS: usize = 26; // 1 µs .. ~33 s
+pub use qpp_obs::LatencyQuantile;
 
 /// Live counters for a running prediction service.
 ///
-/// All fields are atomics: workers and clients update them without any
-/// shared lock, and [`ServiceStats::snapshot`] reads a consistent-enough
-/// view for monitoring (individual counters are exact; cross-counter
-/// skew is bounded by in-flight requests).
-#[derive(Debug)]
+/// All fields are lock-free: workers and clients update them without
+/// any shared lock, and [`ServiceStats::snapshot`] reads a
+/// consistent-enough view for monitoring (individual counters are
+/// exact; cross-counter skew is bounded by in-flight requests).
+#[derive(Debug, Default)]
 pub struct ServiceStats {
-    started: Instant,
+    started: Option<Instant>,
     /// Requests accepted into the queue.
-    pub submitted: AtomicU64,
+    pub submitted: Counter,
     /// Requests answered by a worker through the KCCA model.
-    pub completed: AtomicU64,
+    pub completed: Counter,
     /// Requests answered client-side by the cost-model fallback after
     /// the per-request deadline expired.
-    pub fallbacks: AtomicU64,
+    pub fallbacks: Counter,
     /// Worker answers that arrived after the client had already fallen
     /// back (wasted work; the client saw exactly one answer).
-    pub late_answers: AtomicU64,
+    pub late_answers: Counter,
     /// Requests rejected at submission because the queue was full.
-    pub rejected_queue_full: AtomicU64,
+    pub rejected_queue_full: Counter,
     /// Admission-gateway outcomes across all answered requests.
-    pub admitted: AtomicU64,
+    pub admitted: Counter,
     /// Requests the policy rejected (predicted over a resource limit).
-    pub policy_rejected: AtomicU64,
+    pub policy_rejected: Counter,
     /// Requests flagged for human review (low prediction confidence).
-    pub review_required: AtomicU64,
+    pub review_required: Counter,
     /// Micro-batches drained by workers.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Requests carried by those batches (mean batch size = this /
     /// `batches`).
-    pub batched_requests: AtomicU64,
+    pub batched_requests: Counter,
     /// Largest queue depth observed at submission time.
-    pub max_queue_depth: AtomicU64,
+    pub max_queue_depth: Counter,
     /// Model hot-swaps observed via the registry.
-    pub model_swaps: AtomicU64,
-    latency: [AtomicU64; BUCKETS],
-}
-
-impl Default for ServiceStats {
-    fn default() -> Self {
-        ServiceStats {
-            started: Instant::now(),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            fallbacks: AtomicU64::new(0),
-            late_answers: AtomicU64::new(0),
-            rejected_queue_full: AtomicU64::new(0),
-            admitted: AtomicU64::new(0),
-            policy_rejected: AtomicU64::new(0),
-            review_required: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_requests: AtomicU64::new(0),
-            max_queue_depth: AtomicU64::new(0),
-            model_swaps: AtomicU64::new(0),
-            latency: [const { AtomicU64::new(0) }; BUCKETS],
-        }
-    }
+    pub model_swaps: Counter,
+    latency: Histogram,
 }
 
 impl ServiceStats {
     /// Creates zeroed stats with the uptime clock starting now.
     pub fn new() -> Self {
-        Self::default()
+        ServiceStats {
+            started: Some(Instant::now()),
+            ..ServiceStats::default()
+        }
     }
 
     /// Records one end-to-end request latency.
     pub fn record_latency(&self, latency: Duration) {
-        let micros = latency.as_micros().max(1) as u64;
-        let bucket = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
-        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency.as_micros() as u64);
     }
 
     /// Records a drained micro-batch of `len` requests.
     pub fn record_batch(&self, len: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests
-            .fetch_add(len as u64, Ordering::Relaxed);
+        self.batches.incr();
+        self.batched_requests.add(len as u64);
     }
 
     /// Raises the max-queue-depth watermark to at least `depth`.
     pub fn observe_queue_depth(&self, depth: usize) {
-        self.max_queue_depth
-            .fetch_max(depth as u64, Ordering::Relaxed);
+        self.max_queue_depth.observe_max(depth as u64);
     }
 
     /// An immutable view of the counters plus derived rates/quantiles.
     pub fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
-        let latency: Vec<u64> = self
-            .latency
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let completed = self.completed.load(Ordering::Relaxed);
-        let fallbacks = self.fallbacks.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched = self.batched_requests.load(Ordering::Relaxed);
+        let completed = self.completed.get();
+        let fallbacks = self.fallbacks.get();
+        let batches = self.batches.get();
+        let batched = self.batched_requests.get();
         let answered = completed + fallbacks;
-        let uptime = self.started.elapsed();
+        let uptime = self.started.map(|s| s.elapsed()).unwrap_or_default();
         StatsSnapshot {
             uptime,
-            submitted: self.submitted.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
             completed,
             fallbacks,
-            late_answers: self.late_answers.load(Ordering::Relaxed),
-            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
-            admitted: self.admitted.load(Ordering::Relaxed),
-            policy_rejected: self.policy_rejected.load(Ordering::Relaxed),
-            review_required: self.review_required.load(Ordering::Relaxed),
+            late_answers: self.late_answers.get(),
+            rejected_queue_full: self.rejected_queue_full.get(),
+            admitted: self.admitted.get(),
+            policy_rejected: self.policy_rejected.get(),
+            review_required: self.review_required.get(),
             queue_depth,
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.get(),
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
@@ -134,80 +111,12 @@ impl ServiceStats {
             } else {
                 fallbacks as f64 / answered as f64
             },
-            p50_latency: quantile(&latency, 0.50),
-            p95_latency: quantile(&latency, 0.95),
-            p99_latency: quantile(&latency, 0.99),
-            model_swaps: self.model_swaps.load(Ordering::Relaxed),
+            p50_latency: self.latency.quantile(0.50),
+            p95_latency: self.latency.quantile(0.95),
+            p99_latency: self.latency.quantile(0.99),
+            model_swaps: self.model_swaps.get(),
         }
     }
-}
-
-/// A latency quantile estimated from the log-spaced histogram.
-///
-/// When `saturated` is false the true quantile is `<= bound_us`. When it
-/// is true the sample landed in the open-ended last bucket and only a
-/// lower bound is known: the quantile is `>= bound_us`, possibly far
-/// beyond it. Reporting code must not present a saturated bound as a
-/// finite upper bound.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LatencyQuantile {
-    /// Bucket bound, microseconds. Upper bound unless `saturated`.
-    pub bound_us: u64,
-    /// True when the quantile fell in the open-ended last bucket.
-    pub saturated: bool,
-}
-
-impl LatencyQuantile {
-    fn finite(bound_us: u64) -> LatencyQuantile {
-        LatencyQuantile {
-            bound_us,
-            saturated: false,
-        }
-    }
-
-    fn saturated() -> LatencyQuantile {
-        LatencyQuantile {
-            bound_us: 1u64 << (BUCKETS - 1),
-            saturated: true,
-        }
-    }
-}
-
-impl std::fmt::Display for LatencyQuantile {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}{}",
-            if self.saturated { ">=" } else { "<=" },
-            self.bound_us
-        )
-    }
-}
-
-/// Bound (µs) of the histogram bucket containing quantile `q`.
-///
-/// The last bucket has no upper edge, so a quantile landing there is
-/// returned as saturated at the bucket's *lower* edge (`2^(BUCKETS-1)`,
-/// ~33 s) instead of the fictitious finite `2^BUCKETS` the histogram
-/// cannot actually distinguish from infinity.
-fn quantile(latency: &[u64], q: f64) -> LatencyQuantile {
-    let total: u64 = latency.iter().sum();
-    if total == 0 {
-        return LatencyQuantile::finite(0);
-    }
-    let rank = ((total as f64) * q).ceil() as u64;
-    let mut seen = 0;
-    for (i, &count) in latency.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            return if i == BUCKETS - 1 {
-                LatencyQuantile::saturated()
-            } else {
-                LatencyQuantile::finite(1u64 << (i + 1))
-            };
-        }
-    }
-    LatencyQuantile::saturated()
 }
 
 /// Point-in-time statistics view.
@@ -330,6 +239,34 @@ mod tests {
         assert_eq!(snap.p99_latency.bound_us, 1u64 << 25);
         let text = format!("{snap}");
         assert!(text.contains(">=33554432"), "display: {text}");
+    }
+
+    /// Regression for the q=0 / low-q bug: the old quantile computed
+    /// `rank = ceil(total * q)` with no floor, so q small enough to
+    /// round to rank 0 matched the *empty* first bucket and reported a
+    /// finite `<= 2` µs even when every sample was orders of magnitude
+    /// slower.
+    #[test]
+    fn low_quantiles_cannot_report_an_empty_bucket() {
+        let stats = ServiceStats::new();
+        for _ in 0..10 {
+            stats.record_latency(Duration::from_micros(1024)); // bucket 10
+        }
+        let counts = {
+            let mut c = [0u64; qpp_obs::BUCKETS];
+            c[10] = 10;
+            c
+        };
+        let q0 = qpp_obs::quantile_of(&counts, 0.0);
+        assert_eq!(q0.bound_us, (1 << 11) - 1, "q=0 must land in bucket 10");
+        // And through the snapshot path: p50 of all-slow samples cannot
+        // be faster than the samples.
+        let snap = stats.snapshot(0);
+        assert!(
+            snap.p50_latency.bound_us >= 1024,
+            "p50 {:?}",
+            snap.p50_latency
+        );
     }
 
     #[test]

@@ -208,6 +208,168 @@ fn hot_swap_mid_stream_is_atomic() {
     assert_eq!(snap.model_swaps, 6);
 }
 
+/// Regression: `wait` used to arm `recv_timeout` with the request's
+/// full deadline measured from wait-start, ignoring time already spent
+/// since submission. A caller that did 300 ms of work between
+/// `submit_async` and `wait` got 300 ms + deadline of total budget; the
+/// deadline must be measured from submission.
+#[test]
+fn deadline_counts_from_submission_not_wait_start() {
+    let train = dataset(60, 107);
+    let (model, fallback) = trained(&train);
+    let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(key.clone(), model, fallback);
+
+    // No workers: the KCCA answer never arrives, so `wait` must hold
+    // exactly the deadline's remainder before falling back.
+    let service = PredictionService::start(
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 0,
+            ..ServeOptions::default()
+        },
+    );
+
+    let pending = service
+        .submit_async(request(&train, 0, &key, Duration::from_millis(400)))
+        .expect("under capacity");
+    std::thread::sleep(Duration::from_millis(300));
+    let wait_start = Instant::now();
+    let resp = pending.wait().expect("fallback answers");
+    let waited = wait_start.elapsed();
+    assert_eq!(resp.source, AnswerSource::CostModelFallback);
+    // ~100 ms of deadline remained; the old code waited the full 400 ms
+    // from here.
+    assert!(
+        waited < Duration::from_millis(300),
+        "wait held {waited:?}, deadline remainder was ~100ms"
+    );
+    // End-to-end latency stays near the deadline, not sleep + deadline.
+    assert!(
+        resp.latency < Duration::from_millis(650),
+        "end-to-end {:?} blew past the 400ms deadline budget",
+        resp.latency
+    );
+}
+
+/// When the deadline has already expired before `wait` is called, the
+/// fallback must answer (near-)immediately instead of waiting a full
+/// fresh deadline.
+#[test]
+fn expired_deadline_falls_back_immediately() {
+    let train = dataset(60, 108);
+    let (model, fallback) = trained(&train);
+    let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(key.clone(), model, fallback);
+
+    let service = PredictionService::start(
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 0,
+            ..ServeOptions::default()
+        },
+    );
+
+    let pending = service
+        .submit_async(request(&train, 0, &key, Duration::from_millis(100)))
+        .expect("under capacity");
+    std::thread::sleep(Duration::from_millis(250));
+    let wait_start = Instant::now();
+    let resp = pending.wait().expect("fallback answers");
+    assert_eq!(resp.source, AnswerSource::CostModelFallback);
+    assert!(
+        wait_start.elapsed() < Duration::from_millis(100),
+        "expired deadline must not wait again (held {:?})",
+        wait_start.elapsed()
+    );
+}
+
+/// One served request produces a complete trace: admission, queue-wait,
+/// worker and predict spans all stamped with the trace ID the response
+/// reports.
+#[test]
+fn served_request_exports_a_complete_trace() {
+    use qpp_obs::{EventKind, Stage};
+
+    let train = dataset(60, 109);
+    let (model, fallback) = trained(&train);
+    let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(key.clone(), model, fallback);
+
+    let service = PredictionService::start(
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 1,
+            ..ServeOptions::default()
+        },
+    );
+
+    let resp = service
+        .submit(request(&train, 0, &key, Duration::from_secs(10)))
+        .expect("request answered");
+    assert_eq!(resp.source, AnswerSource::Kcca);
+    assert_ne!(resp.trace_id, 0, "accepted requests are always traced");
+
+    let events = qpp_obs::recorder().export_trace(resp.trace_id);
+    for stage in [
+        Stage::Admission,
+        Stage::QueueWait,
+        Stage::Worker,
+        Stage::Predict,
+    ] {
+        let found = events
+            .iter()
+            .find(|e| e.stage == stage && e.kind == EventKind::Span)
+            .unwrap_or_else(|| panic!("trace missing {stage} span: {events:?}"));
+        assert_eq!(found.trace_id, resp.trace_id);
+    }
+    // A KCCA answer must not be tagged as a fallback.
+    assert!(
+        !events.iter().any(|e| e.stage == Stage::Fallback),
+        "kcca answer wrongly tagged fallback: {events:?}"
+    );
+}
+
+/// A deadline-missed request's trace carries the fallback marker, and
+/// the global fallback counter moves — the optimizer-cost fallback rate
+/// is a first-class metric.
+#[test]
+fn fallback_answers_are_tagged_in_trace_and_counted() {
+    use qpp_obs::{EventKind, Stage};
+
+    let train = dataset(60, 110);
+    let (model, fallback) = trained(&train);
+    let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(key.clone(), model, fallback);
+
+    let service = PredictionService::start(
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 0,
+            ..ServeOptions::default()
+        },
+    );
+
+    let fallbacks_before = qpp_obs::recorder().fallback_answers.get();
+    let resp = service
+        .submit(request(&train, 0, &key, Duration::from_millis(20)))
+        .expect("fallback answers");
+    assert_eq!(resp.source, AnswerSource::CostModelFallback);
+    assert!(qpp_obs::recorder().fallback_answers.get() > fallbacks_before);
+
+    let events = qpp_obs::recorder().export_trace(resp.trace_id);
+    let mark = events
+        .iter()
+        .find(|e| e.stage == Stage::Fallback)
+        .unwrap_or_else(|| panic!("fallback answer not tagged: {events:?}"));
+    assert_eq!(mark.kind, EventKind::Mark);
+    assert_eq!(mark.trace_id, resp.trace_id);
+}
+
 /// Submitting against a key with no installed model fails fast.
 #[test]
 fn unknown_model_fails_fast() {

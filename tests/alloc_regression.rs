@@ -1,7 +1,10 @@
 //! Steady-state allocation regression: after warm-up, a single-query
 //! `predict_features` call must perform ZERO heap allocations — the
-//! zero-copy data plane's core guarantee. Runs in its own test binary
-//! because a process can have only one `#[global_allocator]`.
+//! zero-copy data plane's core guarantee. The measured calls run under
+//! an active qpp-obs trace, so the guarantee covers prediction *with
+//! observability enabled*: span recording into the pre-sized event ring
+//! is allocation-free by design. Runs in its own test binary because a
+//! process can have only one `#[global_allocator]`.
 
 use counting_alloc::CountingAllocator;
 use qpp::core::pipeline::collect_tpcds;
@@ -24,18 +27,30 @@ fn predict_features_steady_state_allocates_nothing() {
         &probe.optimized.plan,
     );
 
-    // Warm up the thread-local scratch buffers (first call sizes them).
+    // Warm up the thread-local scratch buffers (first call sizes them)
+    // and the global obs recorder (first span allocates its ring).
     let warm = model.predict_features(&features).unwrap();
+    let trace_id = qpp::obs::next_trace_id();
 
     let before = ALLOC.allocation_events();
+    let recorded_before = qpp::obs::recorder().events_recorded();
     let mut last = None;
-    for _ in 0..32 {
-        last = Some(model.predict_features(&features).unwrap());
-    }
+    qpp::obs::with_trace(trace_id, || {
+        for _ in 0..32 {
+            last = Some(model.predict_features(&features).unwrap());
+        }
+    });
     let events = ALLOC.allocation_events() - before;
+    let recorded = qpp::obs::recorder().events_recorded() - recorded_before;
     assert_eq!(
         events, 0,
         "steady-state predict_features performed {events} heap allocations over 32 calls"
+    );
+    // Observability was genuinely on during the measured loop: every
+    // call recorded its spans (standardize, project, kNN).
+    assert!(
+        recorded >= 32,
+        "expected >=32 trace events during the measured loop, saw {recorded}"
     );
 
     // The zero-alloc path still computes the same answer.

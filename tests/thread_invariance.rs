@@ -1,7 +1,10 @@
 //! Bitwise thread-invariance of the deterministic parallel engine: the
 //! same training data must produce the same bits — projections,
 //! correlations, neighbor lists, predictions — whether the `qpp-par`
-//! pool runs with 1 thread or 8.
+//! pool runs with 1 thread or 8. The end-to-end legs run under active
+//! qpp-obs traces: observability records timing *around* the
+//! deterministic math, never inside it, so it must not perturb a single
+//! bit.
 
 use qpp::core::pipeline::collect_tpcds;
 use qpp::core::{KccaPredictor, PredictorOptions};
@@ -94,9 +97,14 @@ fn end_to_end_predictions_are_bitwise_identical_across_thread_counts() {
     })
     .unwrap();
 
-    let serial_preds = qpp_par::with_threads(1, || serial_model.predict_dataset(&test).unwrap());
-    let parallel_preds =
-        qpp_par::with_threads(8, || parallel_model.predict_dataset(&test).unwrap());
+    // Each leg predicts under its own live trace: span recording must
+    // not perturb the computation it times.
+    let serial_preds = qpp::obs::with_trace(qpp::obs::next_trace_id(), || {
+        qpp_par::with_threads(1, || serial_model.predict_dataset(&test).unwrap())
+    });
+    let parallel_preds = qpp::obs::with_trace(qpp::obs::next_trace_id(), || {
+        qpp_par::with_threads(8, || parallel_model.predict_dataset(&test).unwrap())
+    });
     assert_eq!(serial_preds.len(), parallel_preds.len());
     for (a, b) in serial_preds.iter().zip(parallel_preds.iter()) {
         assert_eq!(a.metrics, b.metrics);
@@ -110,4 +118,37 @@ fn end_to_end_predictions_are_bitwise_identical_across_thread_counts() {
             b.max_kernel_similarity.to_bits()
         );
     }
+}
+
+/// Recording spans must be observationally free: predictions computed
+/// with tracing active are bitwise identical to untraced ones, while
+/// the trace itself actually captured the per-call spans.
+#[test]
+fn tracing_does_not_perturb_prediction_bits() {
+    let config = SystemConfig::neoview_4();
+    let train = collect_tpcds(120, 43, &config, 2);
+    let test = collect_tpcds(20, 44, &config, 2);
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+
+    let untraced = model.predict_dataset(&test).unwrap();
+
+    let trace_id = qpp::obs::next_trace_id();
+    let traced = qpp::obs::with_trace(trace_id, || model.predict_dataset(&test).unwrap());
+
+    assert_eq!(untraced.len(), traced.len());
+    for (a, b) in untraced.iter().zip(traced.iter()) {
+        for (x, y) in a.metrics.to_vec().iter().zip(b.metrics.to_vec().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.neighbor_indices, b.neighbor_indices);
+        assert_eq!(
+            a.confidence_distance.to_bits(),
+            b.confidence_distance.to_bits()
+        );
+    }
+    let events = qpp::obs::recorder().export_trace(trace_id);
+    assert!(
+        !events.is_empty(),
+        "tracing was supposed to be live during the traced leg"
+    );
 }
