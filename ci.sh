@@ -42,4 +42,27 @@ fi
 echo "obs smoke OK: spans present, $FALLBACKS fallbacks tagged"
 rm -f "$TRACE_OUT"
 
+echo "==> adapt smoke: drifted workload triggers retrain + canary swap end to end"
+# The adaptive example injects a 3x elapsed-time drift under a live
+# service. Its trace dump must show the whole episode — drift mark,
+# retrain span, shadow-score span — and a nonzero canary_swaps counter.
+cargo build -q --release --example adaptive_serving
+ADAPT_OUT=$(mktemp /tmp/qpp_adapt.XXXXXX.jsonl)
+QPP_TRACE_OUT="$ADAPT_OUT" ./target/release/examples/adaptive_serving >/dev/null
+for stage in drift retrain shadow_score canary_swap; do
+    grep -q "\"stage\":\"$stage\"" "$ADAPT_OUT" \
+        || { echo "adapt smoke: no $stage event in $ADAPT_OUT"; exit 1; }
+done
+SWAPS=$(sed -n 's/.*"counter":"canary_swaps","value":\([0-9]*\).*/\1/p' "$ADAPT_OUT")
+if [ -z "$SWAPS" ] || [ "$SWAPS" -eq 0 ]; then
+    echo "adapt smoke: expected a nonzero canary_swaps counter, got '${SWAPS:-missing}'"
+    exit 1
+fi
+if grep -rq "qpp-lint: allow(" crates/adapt/src; then
+    echo "adapt smoke: crates/adapt/src carries a lint waiver; it must be clean without opt-outs"
+    exit 1
+fi
+echo "adapt smoke OK: drift -> retrain -> shadow_score -> canary_swap chain traced, $SWAPS swap(s)"
+rm -f "$ADAPT_OUT"
+
 echo "CI OK"

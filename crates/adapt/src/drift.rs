@@ -1,0 +1,396 @@
+//! Deterministic drift detection over prediction-error streams.
+//!
+//! One Page–Hinkley test per metric stream (the six paper metrics plus
+//! a seventh "overall" stream, the mean of the six), gated by a
+//! windowed mean-ratio check so slow noise accumulation alone cannot
+//! fire. Both tests are driven purely by the error values and the
+//! caller-supplied epoch (observation count) — no wall clock anywhere,
+//! so a replay of the same error sequence drifts at the same epoch on
+//! any machine.
+//!
+//! Page–Hinkley: a calibration mean `μ₀` and standard deviation `σ₀`
+//! are frozen over the first `warmup` samples; each later sample `x`
+//! accumulates the *normalized* deviation
+//! `mₜ = mₜ₋₁ + ((x − μ₀)/σ₀ − δ)`; the test statistic is
+//! `mₜ − min(m)`, which stays bounded (the `−δ` drift pulls a
+//! stationary walk down faster than its `±1σ` steps push it up) and
+//! grows linearly once the mean shifts up by more than `δ·σ₀`.
+//! Normalizing by `σ₀` matters: per-query log-ratio errors are *noisy*
+//! (σ near the mean itself for KCCA predictions), and a fixed absolute
+//! slack is either deaf on quiet streams or alarm-happy on loud ones.
+//! Drift is declared when the statistic exceeds `λ` *and* the mean of
+//! the last `window` samples exceeds `μ₀ · min_ratio`.
+
+use qpp_engine::PerfMetrics;
+use std::collections::VecDeque;
+
+/// Index of the synthetic "overall" stream (mean of the six metric
+/// errors) in [`DriftDetector`]; metric streams are `0..6`.
+pub const OVERALL: usize = PerfMetrics::DIM;
+
+/// Streams tracked: six metrics + overall.
+pub const STREAMS: usize = PerfMetrics::DIM + 1;
+
+/// Drift-detection tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Samples used to freeze the calibration mean `μ₀` and std `σ₀`.
+    pub warmup: usize,
+    /// Recent-window length for the mean-ratio gate.
+    pub window: usize,
+    /// Page–Hinkley slack `δ` in calibration-σ units: mean shifts
+    /// smaller than `δ·σ₀` never accumulate.
+    pub delta: f64,
+    /// Page–Hinkley threshold `λ` on the normalized test statistic. A
+    /// mean shift of `Δ·σ₀` fires after about `λ/(Δ−δ)` samples.
+    pub lambda: f64,
+    /// Recent mean must exceed `μ₀ ·` this for drift to be declared.
+    pub min_ratio: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            warmup: 40,
+            window: 16,
+            delta: 0.25,
+            lambda: 8.0,
+            min_ratio: 1.4,
+        }
+    }
+}
+
+/// Page–Hinkley + mean-ratio state for one stream.
+#[derive(Debug, Clone)]
+struct StreamState {
+    n: u64,
+    calib_sum: f64,
+    calib_sumsq: f64,
+    mean0: f64,
+    sigma0: f64,
+    calibrated: bool,
+    recent: VecDeque<f64>,
+    recent_sum: f64,
+    mh: f64,
+    min_mh: f64,
+}
+
+impl StreamState {
+    fn new(window: usize) -> StreamState {
+        StreamState {
+            n: 0,
+            calib_sum: 0.0,
+            calib_sumsq: 0.0,
+            mean0: 0.0,
+            sigma0: 1.0,
+            calibrated: false,
+            recent: VecDeque::with_capacity(window),
+            recent_sum: 0.0,
+            mh: 0.0,
+            min_mh: 0.0,
+        }
+    }
+
+    fn push_recent(&mut self, x: f64, window: usize) {
+        self.recent.push_back(x);
+        self.recent_sum += x;
+        while self.recent.len() > window {
+            if let Some(old) = self.recent.pop_front() {
+                self.recent_sum -= old;
+            }
+        }
+    }
+
+    fn recent_mean(&self) -> f64 {
+        if self.recent.is_empty() {
+            0.0
+        } else {
+            self.recent_sum / self.recent.len() as f64
+        }
+    }
+
+    fn score(&self) -> f64 {
+        self.mh - self.min_mh
+    }
+
+    /// Feeds one sample; returns `Some(score)` when past warmup and
+    /// both tests agree the mean has shifted up.
+    fn observe(&mut self, x: f64, cfg: &DriftConfig) -> Option<f64> {
+        self.n += 1;
+        self.push_recent(x, cfg.window);
+        if !self.calibrated {
+            self.calib_sum += x;
+            self.calib_sumsq += x * x;
+            if self.n as usize >= cfg.warmup {
+                self.mean0 = self.calib_sum / self.n as f64;
+                let variance =
+                    (self.calib_sumsq / self.n as f64 - self.mean0 * self.mean0).max(0.0);
+                // Floors: a near-constant calibration stream must not
+                // divide deviations by ~zero (5% of the mean, with an
+                // absolute backstop for a near-zero mean).
+                self.sigma0 = variance.sqrt().max(0.05 * self.mean0).max(1e-6);
+                self.calibrated = true;
+            }
+            return None;
+        }
+        self.mh += (x - self.mean0) / self.sigma0 - cfg.delta;
+        if self.mh < self.min_mh {
+            self.min_mh = self.mh;
+        }
+        let score = self.score();
+        if score > cfg.lambda && self.recent_mean() > self.ratio_floor(cfg) {
+            Some(score)
+        } else {
+            None
+        }
+    }
+
+    fn ratio_floor(&self, cfg: &DriftConfig) -> f64 {
+        // A tiny absolute floor keeps near-zero calibration means (a
+        // near-perfect model) from declaring drift on harmless noise.
+        (self.mean0 * cfg.min_ratio).max(0.01)
+    }
+}
+
+/// A declared drift on one stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSignal {
+    /// Caller-supplied epoch (observation count) at declaration.
+    pub epoch: u64,
+    /// Stream index: `0..6` = canonical metric, [`OVERALL`] = mean.
+    pub metric: usize,
+    /// Human-readable stream name.
+    pub metric_name: &'static str,
+    /// Page–Hinkley statistic at declaration.
+    pub score: f64,
+    /// Recent-window mean error at declaration.
+    pub recent_mean: f64,
+    /// Frozen calibration mean error.
+    pub calibration_mean: f64,
+}
+
+/// Per-metric drift detectors over the error streams produced by
+/// [`crate::ErrorTracker::record`].
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    streams: [StreamState; STREAMS],
+}
+
+impl DriftDetector {
+    /// Creates calibrating detectors for all streams.
+    pub fn new(cfg: DriftConfig) -> DriftDetector {
+        DriftDetector {
+            cfg,
+            streams: std::array::from_fn(|_| StreamState::new(cfg.window)),
+        }
+    }
+
+    /// Feeds the per-metric errors of one completed query. Returns the
+    /// first stream (lowest index) declaring drift this epoch, if any —
+    /// deterministic for a deterministic error sequence.
+    pub fn observe(&mut self, epoch: u64, errors: &[f64; PerfMetrics::DIM]) -> Option<DriftSignal> {
+        let overall = crate::tracker::mean_error(errors);
+        let mut fired: Option<DriftSignal> = None;
+        for (i, stream) in self.streams.iter_mut().enumerate() {
+            let x = if i == OVERALL { overall } else { errors[i] };
+            if let Some(score) = stream.observe(x, &self.cfg) {
+                if fired.is_none() {
+                    fired = Some(DriftSignal {
+                        epoch,
+                        metric: i,
+                        metric_name: stream_name(i),
+                        score,
+                        recent_mean: stream.recent_mean(),
+                        calibration_mean: stream.mean0,
+                    });
+                }
+            }
+        }
+        fired
+    }
+
+    /// Recent-window mean of a stream (index `0..6` or [`OVERALL`]).
+    pub fn recent_mean(&self, stream: usize) -> f64 {
+        self.streams[stream].recent_mean()
+    }
+
+    /// Frozen calibration mean of a stream (0.0 while calibrating).
+    pub fn calibration_mean(&self, stream: usize) -> f64 {
+        self.streams[stream].mean0
+    }
+
+    /// Frozen calibration std of a stream (1.0 while calibrating).
+    pub fn calibration_sigma(&self, stream: usize) -> f64 {
+        self.streams[stream].sigma0
+    }
+
+    /// Current Page–Hinkley statistic of a stream.
+    pub fn score(&self, stream: usize) -> f64 {
+        self.streams[stream].score()
+    }
+
+    /// True once every stream has frozen its calibration mean.
+    pub fn calibrated(&self) -> bool {
+        self.streams.iter().all(|s| s.calibrated)
+    }
+
+    /// Discards all state and recalibrates from scratch — called after
+    /// a model swap (the error distribution changed by design) and
+    /// after a rejected candidate (re-baseline on the new normal
+    /// instead of alarming forever).
+    pub fn reset(&mut self) {
+        self.streams = std::array::from_fn(|_| StreamState::new(self.cfg.window));
+    }
+
+    /// The configuration this detector runs with.
+    pub fn config(&self) -> DriftConfig {
+        self.cfg
+    }
+}
+
+/// Stream display name: the canonical metric names plus "overall".
+pub fn stream_name(stream: usize) -> &'static str {
+    if stream == OVERALL {
+        "overall"
+    } else {
+        PerfMetrics::NAMES[stream]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn errs(v: f64) -> [f64; PerfMetrics::DIM] {
+        [v; PerfMetrics::DIM]
+    }
+
+    #[test]
+    fn no_drift_before_warmup() {
+        let mut d = DriftDetector::new(DriftConfig::default());
+        for epoch in 0..40 {
+            assert!(d.observe(epoch, &errs(5.0)).is_none(), "epoch {epoch}");
+        }
+        assert!(d.calibrated());
+    }
+
+    #[test]
+    fn stationary_stream_stays_quiet() {
+        let cfg = DriftConfig::default();
+        let mut d = DriftDetector::new(cfg);
+        let mut rng = StdRng::seed_from_u64(9);
+        for epoch in 0..2000 {
+            let e = 0.4 + rng.random_range(-0.1..0.1);
+            assert!(
+                d.observe(epoch, &errs(e)).is_none(),
+                "false positive at {epoch}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_shift_is_detected_and_attributed() {
+        let cfg = DriftConfig::default();
+        let mut d = DriftDetector::new(cfg);
+        let mut rng = StdRng::seed_from_u64(10);
+        for epoch in 0..cfg.warmup as u64 {
+            let e = 0.3 + rng.random_range(-0.05..0.05);
+            // Shift only metric 0: attribution must name it.
+            let mut v = errs(e);
+            v[0] = e;
+            assert!(d.observe(epoch, &v).is_none());
+        }
+        let mut fired = None;
+        for epoch in 0..200u64 {
+            let e = 0.3 + rng.random_range(-0.05..0.05);
+            let mut v = errs(e);
+            v[0] = e + 0.9; // metric 0 drifts 4x
+            if let Some(sig) = d.observe(cfg.warmup as u64 + epoch, &v) {
+                fired = Some(sig);
+                break;
+            }
+        }
+        let sig = fired.expect("drift must be detected");
+        assert_eq!(sig.metric, 0, "first drifted stream is metric 0");
+        assert_eq!(sig.metric_name, "elapsed_time");
+        assert!(sig.score > cfg.lambda);
+        assert!(sig.recent_mean > sig.calibration_mean * cfg.min_ratio);
+    }
+
+    #[test]
+    fn detection_is_deterministic_in_the_epoch() {
+        let run = || {
+            let cfg = DriftConfig::default();
+            let mut d = DriftDetector::new(cfg);
+            for epoch in 0..300u64 {
+                let e = if epoch < 60 { 0.3 } else { 1.2 };
+                if let Some(sig) = d.observe(epoch, &errs(e)) {
+                    return Some(sig.epoch);
+                }
+            }
+            None
+        };
+        let a = run().expect("detects");
+        let b = run().expect("detects");
+        assert_eq!(a, b, "same sequence must drift at the same epoch");
+    }
+
+    #[test]
+    fn reset_recalibrates_from_scratch() {
+        let cfg = DriftConfig::default();
+        let mut d = DriftDetector::new(cfg);
+        for epoch in 0..60u64 {
+            d.observe(epoch, &errs(0.3));
+        }
+        // Force drift.
+        let mut fired = false;
+        for epoch in 60..160u64 {
+            if d.observe(epoch, &errs(1.5)).is_some() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+        d.reset();
+        assert!(!d.calibrated());
+        // The high errors are the new normal after reset: quiet.
+        for epoch in 0..500u64 {
+            assert!(d.observe(epoch, &errs(1.5)).is_none(), "epoch {epoch}");
+        }
+    }
+
+    /// Satellite property test: across 500 seeded stationary runs the
+    /// detector produces at most a bounded handful of false positives.
+    #[test]
+    fn property_stationary_false_positive_rate_is_bounded() {
+        let cfg = DriftConfig::default();
+        let mut false_positives = 0;
+        for seed in 0..500u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut d = DriftDetector::new(cfg);
+            let base: f64 = 0.2 + rng.random_range(0.0..0.4);
+            let noise: f64 = 0.05 + rng.random_range(0.0..0.1);
+            let mut run_fired = false;
+            for epoch in 0..400u64 {
+                let mut v = [0.0; PerfMetrics::DIM];
+                for slot in v.iter_mut() {
+                    *slot = (base + rng.random_range(-noise..noise)).max(0.0);
+                }
+                if d.observe(epoch, &v).is_some() {
+                    run_fired = true;
+                    break;
+                }
+            }
+            if run_fired {
+                false_positives += 1;
+            }
+        }
+        assert!(
+            false_positives <= 5,
+            "{false_positives}/500 stationary runs declared drift"
+        );
+    }
+}

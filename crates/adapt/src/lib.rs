@@ -1,0 +1,47 @@
+//! qpp-adapt: the continuous-learning control plane.
+//!
+//! The paper trains KCCA models offline (§VI) and acknowledges the
+//! obvious production gap: workloads shift, statistics go stale, and a
+//! model trained last month quietly degrades. This crate closes the
+//! loop around the serving layer:
+//!
+//! - [`ErrorTracker`]: lock-free, allocation-free streaming error
+//!   distributions over `(prediction, observed)` pairs — per query
+//!   template and global, for all six paper metrics — built on
+//!   `qpp_obs` counter/histogram primitives.
+//! - [`DriftDetector`]: a Page–Hinkley test per metric stream gated by
+//!   a windowed mean-ratio check. Deterministic: decisions depend only
+//!   on the error values and caller-supplied epochs, never a clock.
+//! - [`AdaptiveController`]: the phase machine wiring it together. It
+//!   plugs into `qpp_serve` as a [`qpp_serve::CompletionObserver`]; on
+//!   drift it queues a [`RetrainTask`] that trains a candidate on the
+//!   live [`qpp_core::retrain::SlidingWindowPredictor`] window,
+//!   shadow-scores it against the incumbent on held-out live traffic,
+//!   and hot-swaps through the registry's generation-guarded
+//!   [`qpp_serve::ModelRegistry::swap_if_current`] only when the
+//!   candidate wins by a margin. After a swap it watches live error
+//!   and fires the kill-switch
+//!   ([`qpp_serve::ModelRegistry::demote_if_current`]) if the canary
+//!   made things worse — serving falls back to the optimizer-cost
+//!   baseline rather than a bad model.
+//! - [`AdaptWorker`]: the background thread that runs retrain tasks
+//!   off the serving threads.
+//!
+//! Every decision point emits `qpp_obs` events (`drift`, `retrain`,
+//! `shadow_score`, `canary_swap`, `kill_switch`), so the whole
+//! adaptation episode is reconstructible from the trace ring.
+
+// The control plane must degrade into typed errors, never panics.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod controller;
+pub mod drift;
+pub mod tracker;
+pub mod worker;
+
+pub use controller::{
+    AdaptEvent, AdaptOptions, AdaptOutcome, AdaptStats, AdaptiveController, Phase, RetrainTask,
+};
+pub use drift::{stream_name, DriftConfig, DriftDetector, DriftSignal, OVERALL, STREAMS};
+pub use tracker::{log_ratio_errors, mean_error, ErrorTracker, TemplateErrors, TEMPLATE_SLOTS};
+pub use worker::AdaptWorker;

@@ -1,0 +1,448 @@
+//! Online prediction-error tracking, per query template and global.
+//!
+//! Every completed query whose answer came from the KCCA model yields a
+//! `(prediction, observed)` pair. The tracker folds each pair into
+//! streaming error distributions for all six paper metrics — globally
+//! (log₂ histograms + fixed-point mean accumulators) and per query
+//! template (a fixed-slot, lock-free table keyed by template name).
+//!
+//! The record path is lock-free and allocation-free: slots are claimed
+//! with a single `compare_exchange` on the template hash, and all
+//! accumulation goes through `qpp_obs` atomic counters/histograms. The
+//! only allocation ever performed is a one-time template-name copy at
+//! slot-claim time, kept out of the marked hot path in a `#[cold]`
+//! helper.
+
+use qpp_engine::PerfMetrics;
+use qpp_obs::{Counter, Histogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed number of per-template slots. Templates beyond this are
+/// counted in [`ErrorTracker::dropped`] rather than blocking or
+/// allocating; TPC-DS has far fewer distinct templates.
+pub const TEMPLATE_SLOTS: usize = 64;
+
+/// Fixed-point scale for error-sum accumulators: errors are summed as
+/// integer micro-units so concurrent accumulation is exact and
+/// order-independent (no float rounding races).
+const ERR_SCALE: f64 = 1e6;
+
+/// Errors are clamped to this before accumulation so one absurd pair
+/// cannot saturate a mean. ln-ratio 64 is astronomically wrong already.
+const ERR_CLAMP: f64 = 64.0;
+
+/// Additive shift inside the log-ratio so zero-valued metrics (common
+/// for disk I/O on cached runs) stay well-defined.
+const EPS: f64 = 1e-3;
+
+/// Per-metric absolute log-ratio errors of one `(predicted, observed)`
+/// pair: `|ln((pred + ε) / (obs + ε))|`, canonical metric order.
+///
+/// Scale-free (a 2× miss scores the same on 1 s as on 100 s) and
+/// symmetric (over- and under-prediction score alike), matching the
+/// paper's relative-accuracy framing.
+pub fn log_ratio_errors(
+    predicted: &PerfMetrics,
+    observed: &PerfMetrics,
+) -> [f64; PerfMetrics::DIM] {
+    [
+        one_error(predicted.elapsed_seconds, observed.elapsed_seconds),
+        one_error(predicted.disk_ios, observed.disk_ios),
+        one_error(predicted.message_count, observed.message_count),
+        one_error(predicted.message_bytes, observed.message_bytes),
+        one_error(predicted.records_accessed, observed.records_accessed),
+        one_error(predicted.records_used, observed.records_used),
+    ]
+}
+
+fn one_error(predicted: f64, observed: f64) -> f64 {
+    let p = if predicted.is_finite() && predicted > 0.0 {
+        predicted
+    } else {
+        0.0
+    };
+    let o = if observed.is_finite() && observed > 0.0 {
+        observed
+    } else {
+        0.0
+    };
+    ((p + EPS) / (o + EPS)).ln().abs().min(ERR_CLAMP)
+}
+
+/// Mean of the six per-metric errors (explicit loop: ordered, exact
+/// iteration order regardless of thread count).
+pub fn mean_error(errors: &[f64; PerfMetrics::DIM]) -> f64 {
+    let mut sum = 0.0;
+    for e in errors {
+        sum += e;
+    }
+    sum / PerfMetrics::DIM as f64
+}
+
+/// One per-template accumulator slot.
+#[derive(Debug)]
+struct Slot {
+    /// FNV-1a hash of the template name; 0 = unclaimed. Claimed once
+    /// with `compare_exchange` and never changed after.
+    hash: AtomicU64,
+    /// Set once the claimant has published the template name.
+    named: AtomicU64,
+    /// Pairs recorded into this slot.
+    count: Counter,
+    /// Fixed-point (micro-unit) per-metric error sums.
+    err_sum: [Counter; PerfMetrics::DIM],
+    /// Template name, written exactly once by the claiming thread.
+    name: parking_lot::RwLock<String>,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            hash: AtomicU64::new(0),
+            named: AtomicU64::new(0),
+            count: Counter::new(),
+            err_sum: [
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+            ],
+            name: parking_lot::RwLock::new(String::new()),
+        }
+    }
+}
+
+/// Streaming error distributions over completed queries.
+#[derive(Debug)]
+pub struct ErrorTracker {
+    slots: Box<[Slot]>,
+    /// Pairs recorded (all templates, including dropped ones).
+    total: Counter,
+    /// Pairs whose template found no free slot (table full).
+    dropped: Counter,
+    /// Global fixed-point per-metric error sums.
+    global_sum: [Counter; PerfMetrics::DIM],
+    /// Global per-metric error histograms over milli-units of
+    /// log-ratio error (log₂ buckets; e.g. error 0.7 → sample 700).
+    hist: [Histogram; PerfMetrics::DIM],
+}
+
+/// Per-template snapshot row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateErrors {
+    /// Template name as recorded.
+    pub template: String,
+    /// Pairs recorded for this template.
+    pub count: u64,
+    /// Mean per-metric absolute log-ratio errors.
+    pub mean: [f64; PerfMetrics::DIM],
+    /// Mean of the six per-metric means.
+    pub overall: f64,
+}
+
+impl Default for ErrorTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ErrorTracker {
+    /// Creates an empty tracker with [`TEMPLATE_SLOTS`] slots.
+    pub fn new() -> ErrorTracker {
+        ErrorTracker {
+            slots: (0..TEMPLATE_SLOTS).map(|_| Slot::empty()).collect(),
+            total: Counter::new(),
+            dropped: Counter::new(),
+            global_sum: [
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+            ],
+            hist: [
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+            ],
+        }
+    }
+
+    /// Folds one `(prediction, observed)` pair into the distributions
+    /// and returns the per-metric errors (so callers feed the same
+    /// numbers to the drift detector without recomputing).
+    ///
+    /// Lock-free and allocation-free: called from serving threads on
+    /// every completed query.
+    // qpp-lint: hot-path
+    pub fn record(
+        &self,
+        template: &str,
+        predicted: &PerfMetrics,
+        observed: &PerfMetrics,
+    ) -> [f64; PerfMetrics::DIM] {
+        let errors = log_ratio_errors(predicted, observed);
+        self.total.incr();
+        for (i, e) in errors.iter().enumerate() {
+            self.global_sum[i].add(to_fixed(*e));
+            self.hist[i].record((*e * 1e3) as u64);
+        }
+        match self.claim(template) {
+            Some(slot) => {
+                slot.count.incr();
+                for (i, e) in errors.iter().enumerate() {
+                    slot.err_sum[i].add(to_fixed(*e));
+                }
+            }
+            None => self.dropped.incr(),
+        }
+        errors
+    }
+
+    /// Finds or claims the slot for `template`. Open addressing with
+    /// linear probing; claim is one `compare_exchange` on the hash.
+    fn claim(&self, template: &str) -> Option<&Slot> {
+        let hash = fnv1a(template.as_bytes());
+        let start = (hash % TEMPLATE_SLOTS as u64) as usize;
+        for probe in 0..TEMPLATE_SLOTS {
+            let slot = &self.slots[(start + probe) % TEMPLATE_SLOTS];
+            let current = slot.hash.load(Ordering::Acquire);
+            if current == hash {
+                return Some(slot);
+            }
+            if current == 0 {
+                match slot
+                    .hash
+                    .compare_exchange(0, hash, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => {
+                        publish_name(slot, template);
+                        return Some(slot);
+                    }
+                    Err(existing) if existing == hash => return Some(slot),
+                    Err(_) => continue, // raced by another template; keep probing
+                }
+            }
+        }
+        None
+    }
+
+    /// Pairs recorded in total.
+    pub fn observations(&self) -> u64 {
+        self.total.get()
+    }
+
+    /// Pairs dropped because the template table was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Global mean absolute log-ratio error for one metric (canonical
+    /// index), 0.0 before any observation.
+    pub fn global_mean(&self, metric: usize) -> f64 {
+        let n = self.total.get();
+        if n == 0 {
+            return 0.0;
+        }
+        from_fixed(self.global_sum[metric].get()) / n as f64
+    }
+
+    /// Global mean errors for all six metrics.
+    pub fn global_means(&self) -> [f64; PerfMetrics::DIM] {
+        let mut out = [0.0; PerfMetrics::DIM];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.global_mean(i);
+        }
+        out
+    }
+
+    /// Upper bound of the bucket holding quantile `q` of one metric's
+    /// error distribution, in milli-units of log-ratio error.
+    pub fn error_quantile(&self, metric: usize, q: f64) -> u64 {
+        self.hist[metric].quantile(q).bound_us
+    }
+
+    /// Per-template rows, sorted by template name (deterministic
+    /// output regardless of claim order).
+    pub fn template_snapshot(&self) -> Vec<TemplateErrors> {
+        let mut rows: Vec<TemplateErrors> = self
+            .slots
+            .iter()
+            .filter(|s| s.hash.load(Ordering::Acquire) != 0 && s.named.load(Ordering::Acquire) != 0)
+            .map(|s| {
+                let count = s.count.get();
+                let mut mean = [0.0; PerfMetrics::DIM];
+                if count > 0 {
+                    for (i, m) in mean.iter_mut().enumerate() {
+                        *m = from_fixed(s.err_sum[i].get()) / count as f64;
+                    }
+                }
+                TemplateErrors {
+                    template: s.name.read().clone(),
+                    count,
+                    overall: mean_error(&mean),
+                    mean,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| a.template.cmp(&b.template));
+        rows
+    }
+}
+
+/// One-time name publication for a freshly claimed slot; deliberately
+/// outside the hot path (allocates the name copy, takes the slot's
+/// write lock — both happen at most once per template per process).
+#[cold]
+fn publish_name(slot: &Slot, template: &str) {
+    *slot.name.write() = template.to_string();
+    slot.named.store(1, Ordering::Release);
+}
+
+fn to_fixed(error: f64) -> u64 {
+    (error * ERR_SCALE) as u64
+}
+
+fn from_fixed(sum: u64) -> f64 {
+    sum as f64 / ERR_SCALE
+}
+
+/// FNV-1a, nudged away from 0 (0 marks an unclaimed slot).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if hash == 0 {
+        1
+    } else {
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(scale: f64) -> PerfMetrics {
+        PerfMetrics {
+            elapsed_seconds: 2.0 * scale,
+            disk_ios: 100.0 * scale,
+            message_count: 10.0 * scale,
+            message_bytes: 4096.0 * scale,
+            records_accessed: 1000.0 * scale,
+            records_used: 50.0 * scale,
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_have_zero_error() {
+        let t = ErrorTracker::new();
+        let errs = t.record("q1", &metrics(1.0), &metrics(1.0));
+        assert!(errs.iter().all(|e| e.abs() < 1e-3), "{errs:?}");
+        assert_eq!(t.observations(), 1);
+        assert!(t.global_mean(0) < 1e-3);
+    }
+
+    #[test]
+    fn log_ratio_error_is_symmetric_and_scale_free() {
+        let over = log_ratio_errors(&metrics(2.0), &metrics(1.0));
+        let under = log_ratio_errors(&metrics(1.0), &metrics(2.0));
+        for i in 0..PerfMetrics::DIM {
+            assert!(
+                (over[i] - under[i]).abs() < 1e-6,
+                "metric {i}: over {} under {}",
+                over[i],
+                under[i]
+            );
+        }
+        // A 2x miss scores ~ln 2 on every metric (± the ε shift).
+        assert!((over[0] - 2f64.ln()).abs() < 0.01, "{}", over[0]);
+    }
+
+    #[test]
+    fn zero_valued_metrics_are_well_defined() {
+        let errs = log_ratio_errors(&PerfMetrics::zero(), &PerfMetrics::zero());
+        assert!(errs.iter().all(|e| *e == 0.0));
+        let errs = log_ratio_errors(&metrics(1.0), &PerfMetrics::zero());
+        assert!(errs.iter().all(|e| e.is_finite()));
+    }
+
+    #[test]
+    fn per_template_means_are_tracked_separately() {
+        let t = ErrorTracker::new();
+        for _ in 0..4 {
+            t.record("good", &metrics(1.0), &metrics(1.0));
+            t.record("bad", &metrics(3.0), &metrics(1.0));
+        }
+        let rows = t.template_snapshot();
+        assert_eq!(rows.len(), 2);
+        // Sorted by name: "bad" first.
+        assert_eq!(rows[0].template, "bad");
+        assert_eq!(rows[0].count, 4);
+        assert!(rows[0].overall > 0.5, "{}", rows[0].overall);
+        assert_eq!(rows[1].template, "good");
+        assert!(rows[1].overall < 1e-3, "{}", rows[1].overall);
+    }
+
+    #[test]
+    fn table_overflow_drops_instead_of_blocking() {
+        let t = ErrorTracker::new();
+        for i in 0..(TEMPLATE_SLOTS + 10) {
+            let name = format!("template_{i}");
+            t.record(&name, &metrics(1.0), &metrics(1.0));
+        }
+        assert_eq!(t.dropped(), 10);
+        assert_eq!(t.observations() as usize, TEMPLATE_SLOTS + 10);
+        assert_eq!(t.template_snapshot().len(), TEMPLATE_SLOTS);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let t = std::sync::Arc::new(ErrorTracker::new());
+        let threads: Vec<_> = (0..4)
+            .map(|k| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        let name = format!("t{}", (k * 250 + i) % 8);
+                        t.record(&name, &metrics(2.0), &metrics(1.0));
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().expect("recorder thread");
+        }
+        assert_eq!(t.observations(), 1000);
+        assert_eq!(t.dropped(), 0);
+        let rows = t.template_snapshot();
+        assert_eq!(rows.len(), 8);
+        let mut n = 0;
+        for r in &rows {
+            n += r.count;
+        }
+        assert_eq!(n, 1000, "per-template counts must sum to the total");
+    }
+
+    #[test]
+    fn error_quantiles_reflect_the_distribution() {
+        let t = ErrorTracker::new();
+        for _ in 0..100 {
+            t.record("q", &metrics(1.0), &metrics(1.0)); // ~0 error
+        }
+        for _ in 0..10 {
+            t.record("q", &metrics(8.0), &metrics(1.0)); // ~ln 8 ≈ 2.08
+        }
+        // p50 near zero, p99 above 2000 milli-units.
+        assert!(t.error_quantile(0, 0.50) < 64);
+        assert!(t.error_quantile(0, 0.99) >= 2048);
+    }
+}

@@ -1,0 +1,83 @@
+//! Background retrain worker.
+//!
+//! One dedicated thread blocks on the controller's task queue and runs
+//! each [`crate::RetrainTask`] off the serving threads — KCCA training
+//! is cubic in the window size and must never stall a prediction.
+//! Dropping the worker shuts the queue down and joins the thread.
+
+use crate::controller::AdaptiveController;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Owns the background thread executing retrain tasks.
+#[derive(Debug)]
+pub struct AdaptWorker {
+    controller: Arc<AdaptiveController>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl AdaptWorker {
+    /// Spawns the worker loop over `controller`'s task queue.
+    pub fn spawn(controller: Arc<AdaptiveController>) -> AdaptWorker {
+        let looped = Arc::clone(&controller);
+        let handle = std::thread::spawn(move || {
+            while let Some(task) = looped.wait_task() {
+                // Outcomes are reflected in the controller's stats and
+                // phase; the worker itself has nothing to report.
+                let _ = looped.run_task(task);
+            }
+        });
+        AdaptWorker {
+            controller,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the worker after it finishes any in-flight task.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.controller.shutdown_tasks();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AdaptWorker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AdaptOptions;
+    use qpp_core::predictor::PredictorOptions;
+    use qpp_core::retrain::SlidingWindowPredictor;
+    use qpp_core::Dataset;
+    use qpp_core::FeatureKind;
+    use qpp_engine::SystemConfig;
+    use qpp_serve::{ModelKey, ModelRegistry};
+    use qpp_workload::{Schema, WorkloadGenerator};
+
+    #[test]
+    fn worker_drains_and_shuts_down_cleanly() {
+        let schema = Schema::tpcds(1.0);
+        let mut g = WorkloadGenerator::tpcds(1.0, 91);
+        let data = Dataset::collect(&schema, g.generate(12), &SystemConfig::neoview_4(), 2);
+        let window = SlidingWindowPredictor::new(data, 32, usize::MAX, PredictorOptions::default());
+        let controller = Arc::new(AdaptiveController::new(
+            Arc::new(ModelRegistry::new()),
+            ModelKey::new("neoview_4", FeatureKind::QueryPlan),
+            window,
+            AdaptOptions::default(),
+        ));
+        let worker = AdaptWorker::spawn(Arc::clone(&controller));
+        // No tasks queued: shutdown must not hang on the empty queue.
+        worker.shutdown();
+    }
+}

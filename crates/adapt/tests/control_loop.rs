@@ -1,0 +1,325 @@
+//! Deterministic single-threaded walks through the whole adaptation
+//! loop: drift → retrain → shadow-score → canary swap → post-swap
+//! watch, plus the kill-switch path when the canary regresses.
+//!
+//! Predictions flow from the *real* registry entry and candidates are
+//! *really* trained/swapped; only the serving transport (queue, worker
+//! pool) is bypassed so every step happens at a chosen moment.
+
+use qpp_adapt::{AdaptEvent, AdaptOptions, AdaptOutcome, AdaptiveController, DriftConfig, Phase};
+use qpp_core::baselines::OptimizerCostModel;
+use qpp_core::predictor::PredictorOptions;
+use qpp_core::retrain::SlidingWindowPredictor;
+use qpp_core::workload_mgmt::AdmissionDecision;
+use qpp_core::{Dataset, FeatureKind, KccaPredictor, Prediction, QueryRecord};
+use qpp_engine::{PerfMetrics, SystemConfig};
+use qpp_serve::{AnswerSource, ModelKey, ModelRegistry, ServeResponse};
+use qpp_workload::{Schema, WorkloadGenerator};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn collect(n: usize, seed: u64, config: &SystemConfig) -> Dataset {
+    let schema = Schema::tpcds(1.0);
+    let mut generator = WorkloadGenerator::tpcds(1.0, seed);
+    Dataset::collect(&schema, generator.generate(n), config, 2)
+}
+
+fn response(prediction: Prediction, version: u64) -> ServeResponse {
+    ServeResponse {
+        prediction,
+        decision: AdmissionDecision::Admit {
+            kill_timeout_seconds: 60.0,
+        },
+        source: AnswerSource::Kcca,
+        model_version: version,
+        latency: Duration::ZERO,
+        trace_id: 0,
+    }
+}
+
+/// Predicts `record` with the current registry entry and feeds the
+/// completed pair to the controller. Returns the event, if any.
+fn serve_and_observe(
+    registry: &ModelRegistry,
+    key: &ModelKey,
+    controller: &AdaptiveController,
+    record: &QueryRecord,
+) -> Option<AdaptEvent> {
+    let entry = registry.get(key).expect("model installed");
+    let prediction = entry
+        .predictor
+        .predict(&record.spec, &record.optimized.plan)
+        .expect("predict");
+    controller.observe(record, &response(prediction, entry.version))
+}
+
+struct Loop {
+    registry: Arc<ModelRegistry>,
+    key: ModelKey,
+    controller: AdaptiveController,
+}
+
+/// Test-sized drift config: short warmup, small recent window.
+fn test_options() -> AdaptOptions {
+    AdaptOptions {
+        drift: DriftConfig {
+            warmup: 24,
+            window: 8,
+            ..DriftConfig::default()
+        },
+        kill_window: 16,
+        ..AdaptOptions::default()
+    }
+}
+
+/// Trains an incumbent on stable traffic, installs it, and wires a
+/// controller with the given options.
+fn start_loop_with(train_n: usize, seed: u64, adapt: AdaptOptions) -> (Loop, Dataset) {
+    let stable = SystemConfig::neoview_4();
+    let train = collect(train_n, seed, &stable);
+    let options = PredictorOptions::default();
+    let predictor = KccaPredictor::train(&train, options).expect("train incumbent");
+    let fallback = OptimizerCostModel::train(&train).expect("train fallback");
+    let registry = Arc::new(ModelRegistry::new());
+    let key = ModelKey::new("neoview_4", FeatureKind::QueryPlan);
+    registry.install(key.clone(), predictor, fallback);
+    let window = SlidingWindowPredictor::new(train.clone(), train_n, usize::MAX, options);
+    let controller = AdaptiveController::new(Arc::clone(&registry), key.clone(), window, adapt);
+    (
+        Loop {
+            registry,
+            key,
+            controller,
+        },
+        train,
+    )
+}
+
+fn start_loop(train_n: usize, seed: u64) -> (Loop, Dataset) {
+    start_loop_with(train_n, seed, test_options())
+}
+
+#[test]
+fn drift_triggers_retrain_and_canary_swap_then_recovers() {
+    let (lp, _train) = start_loop(96, 301);
+    let stable = SystemConfig::neoview_4();
+    let drifted_cfg = stable.clone().with_drift(3.0);
+
+    // Phase 1: stable traffic calibrates the detector quietly.
+    let calm = collect(30, 302, &stable);
+    for record in &calm.records {
+        let event = serve_and_observe(&lp.registry, &lp.key, &lp.controller, record);
+        assert!(event.is_none(), "stable traffic fired {event:?}");
+    }
+    assert_eq!(lp.controller.phase(), Phase::Stable);
+    let calibration_err = lp.controller.stats().calibration_mean_err.get();
+    assert!(calibration_err > 0.0, "detector must be calibrated");
+
+    // Phase 2: the system drifts (elapsed 3x). Per-template error on
+    // elapsed time rises and drift must be declared.
+    let drifted = collect(160, 303, &drifted_cfg);
+    let mut drift_signal = None;
+    for record in &drifted.records {
+        if let Some(AdaptEvent::DriftDetected(sig)) =
+            serve_and_observe(&lp.registry, &lp.key, &lp.controller, record)
+        {
+            drift_signal = Some(sig);
+        }
+    }
+    let signal = drift_signal.expect("drift must be detected under 3x elapsed drift");
+    assert!(
+        signal.metric == 0 || signal.metric == qpp_adapt::OVERALL,
+        "drift attributed to elapsed_time or overall, got {}",
+        signal.metric_name
+    );
+    assert!(signal.recent_mean > signal.calibration_mean);
+    assert_eq!(lp.controller.phase(), Phase::RetrainQueued);
+    let version_before = lp.registry.current_version(&lp.key).expect("installed");
+
+    // The tracker's per-template view saw the error rise too.
+    let rows = lp.controller.tracker().template_snapshot();
+    assert!(!rows.is_empty());
+    let elapsed_mean = lp.controller.tracker().global_mean(0);
+    assert!(
+        elapsed_mean > calibration_err,
+        "global elapsed error {elapsed_mean} should exceed calibration {calibration_err}"
+    );
+
+    // Background step, run synchronously: retrain + shadow-score +
+    // guarded swap.
+    let outcomes = lp.controller.drain_pending();
+    assert_eq!(outcomes.len(), 1);
+    match &outcomes[0] {
+        AdaptOutcome::Swapped {
+            generation,
+            candidate_err,
+            incumbent_err,
+        } => {
+            assert!(*generation > version_before);
+            assert!(
+                candidate_err < incumbent_err,
+                "candidate {candidate_err} must beat incumbent {incumbent_err}"
+            );
+        }
+        other => panic!("expected a canary swap, got {other:?}"),
+    }
+    assert_eq!(lp.controller.stats().canary_swaps.get(), 1);
+    assert_eq!(
+        lp.registry.current_version(&lp.key),
+        Some(match outcomes[0] {
+            AdaptOutcome::Swapped { generation, .. } => generation,
+            _ => unreachable!(),
+        })
+    );
+
+    // Phase 3: the swapped-in model predicts drifted traffic well; the
+    // post-swap watch passes and nothing is demoted.
+    let recovery = collect(40, 304, &drifted_cfg);
+    let mut passed = None;
+    for record in &recovery.records {
+        if let Some(AdaptEvent::CanaryPassed { post_err, .. }) =
+            serve_and_observe(&lp.registry, &lp.key, &lp.controller, record)
+        {
+            passed = Some(post_err);
+        }
+    }
+    let post_err = passed.expect("post-swap watch must complete");
+    assert!(
+        post_err < signal.recent_mean,
+        "post-swap error {post_err} must be below the drifted error {}",
+        signal.recent_mean
+    );
+    assert_eq!(lp.controller.phase(), Phase::Stable);
+    assert_eq!(lp.registry.demote_count(), 0);
+    assert!(!lp.registry.get(&lp.key).expect("entry").degraded);
+}
+
+#[test]
+fn kill_switch_demotes_a_regressing_canary() {
+    let (lp, _train) = start_loop(96, 311);
+    let stable = SystemConfig::neoview_4();
+    let drifted_cfg = stable.clone().with_drift(3.0);
+
+    // Reach PostSwap exactly as production would: calibrate, drift,
+    // retrain, swap.
+    for record in &collect(30, 312, &stable).records {
+        serve_and_observe(&lp.registry, &lp.key, &lp.controller, record);
+    }
+    for record in &collect(160, 313, &drifted_cfg).records {
+        serve_and_observe(&lp.registry, &lp.key, &lp.controller, record);
+    }
+    let outcomes = lp.controller.drain_pending();
+    let generation = match outcomes.first() {
+        Some(AdaptOutcome::Swapped { generation, .. }) => *generation,
+        other => panic!("expected a swap, got {other:?}"),
+    };
+
+    // Post-swap traffic regresses badly: simulate a canary that looks
+    // great on the holdout but falls apart live, by feeding completed
+    // pairs whose predictions are an order of magnitude off.
+    let live = collect(20, 314, &drifted_cfg);
+    let mut fired = None;
+    for record in &live.records {
+        let garbage = Prediction {
+            metrics: PerfMetrics {
+                elapsed_seconds: record.metrics.elapsed_seconds * 30.0,
+                disk_ios: record.metrics.disk_ios * 30.0,
+                message_count: record.metrics.message_count * 30.0,
+                message_bytes: record.metrics.message_bytes * 30.0,
+                records_accessed: record.metrics.records_accessed * 30.0,
+                records_used: record.metrics.records_used * 30.0,
+            },
+            neighbor_indices: [0usize; 0].into_iter().collect(),
+            confidence_distance: 0.0,
+            max_kernel_similarity: 1.0,
+        };
+        if let Some(event) = lp
+            .controller
+            .observe(record, &response(garbage, generation))
+        {
+            fired = Some(event);
+            break;
+        }
+    }
+    match fired.expect("kill-switch must fire on a regressing canary") {
+        AdaptEvent::KillSwitch {
+            generation: demoted,
+            pre_err,
+            post_err,
+        } => {
+            assert_eq!(lp.controller.phase(), Phase::Demoted);
+            assert!(post_err > pre_err * 1.5, "post {post_err} pre {pre_err}");
+            assert!(demoted > generation, "demotion mints a fresh version");
+        }
+        other => panic!("expected KillSwitch, got {other:?}"),
+    }
+    // The registry entry is degraded: workers will answer from the
+    // optimizer-cost baseline until a healthy install.
+    let entry = lp.registry.get(&lp.key).expect("entry");
+    assert!(entry.degraded);
+    assert_eq!(lp.registry.demote_count(), 1);
+    assert_eq!(lp.controller.stats().demotions.get(), 1);
+
+    // A fresh healthy install clears the demotion and re-arms the loop.
+    let retrain = collect(32, 315, &drifted_cfg);
+    let predictor = KccaPredictor::train(&retrain, PredictorOptions::default()).expect("train");
+    let fallback = OptimizerCostModel::train(&retrain).expect("fallback");
+    lp.registry.install(lp.key.clone(), predictor, fallback);
+    assert!(!lp.registry.get(&lp.key).expect("entry").degraded);
+}
+
+#[test]
+fn candidate_that_cannot_clear_the_margin_is_rejected() {
+    // Same drift scenario as the happy path, but with an extreme swap
+    // margin (the candidate would have to cut the incumbent's error
+    // twentyfold): the shadow score must reject the candidate, the
+    // incumbent must stay installed, and the loop must re-arm rather
+    // than alarm forever.
+    let (lp, _train) = start_loop_with(
+        96,
+        321,
+        AdaptOptions {
+            shadow_margin: 0.95,
+            ..test_options()
+        },
+    );
+    let stable = SystemConfig::neoview_4();
+    let drifted_cfg = stable.clone().with_drift(3.0);
+    for record in &collect(30, 322, &stable).records {
+        serve_and_observe(&lp.registry, &lp.key, &lp.controller, record);
+    }
+    for record in &collect(160, 323, &drifted_cfg).records {
+        serve_and_observe(&lp.registry, &lp.key, &lp.controller, record);
+    }
+    assert_eq!(lp.controller.phase(), Phase::RetrainQueued);
+    let version_before = lp.registry.current_version(&lp.key).expect("installed");
+
+    let outcomes = lp.controller.drain_pending();
+    match outcomes.first() {
+        Some(AdaptOutcome::Rejected {
+            candidate_err,
+            incumbent_err,
+        }) => {
+            assert!(
+                candidate_err > &(incumbent_err * 0.05),
+                "candidate {candidate_err} vs incumbent {incumbent_err}"
+            );
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    assert_eq!(
+        lp.registry.current_version(&lp.key),
+        Some(version_before),
+        "a rejected candidate must never reach the registry"
+    );
+    assert_eq!(lp.controller.stats().canary_rejections.get(), 1);
+    assert_eq!(lp.controller.stats().canary_swaps.get(), 0);
+    assert_eq!(lp.controller.phase(), Phase::Stable);
+
+    // Re-armed, not silenced: continued drifted traffic recalibrates
+    // on the new normal and stays quiet (the detector was reset).
+    for record in &collect(30, 324, &drifted_cfg).records {
+        let event = serve_and_observe(&lp.registry, &lp.key, &lp.controller, record);
+        assert!(event.is_none(), "re-baselined loop fired {event:?}");
+    }
+}

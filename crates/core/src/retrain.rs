@@ -19,11 +19,16 @@ pub struct SlidingWindowPredictor {
     capacity: usize,
     refresh_every: usize,
     seen_since_refresh: usize,
+    min_train: usize,
     options: PredictorOptions,
     model: Option<KccaPredictor>,
     /// Dataset template (config + schema) for rebuilding.
     template: Dataset,
 }
+
+/// Fewest records KCCA can sensibly train on; retraining is deferred
+/// until the window holds at least this many.
+pub const MIN_TRAIN_WINDOW: usize = 8;
 
 impl SlidingWindowPredictor {
     /// Creates a window of at most `capacity` records that retrains
@@ -34,7 +39,10 @@ impl SlidingWindowPredictor {
         refresh_every: usize,
         options: PredictorOptions,
     ) -> Self {
-        assert!(capacity >= 8, "window too small to train KCCA");
+        assert!(
+            capacity >= MIN_TRAIN_WINDOW,
+            "window too small to train KCCA"
+        );
         assert!(refresh_every >= 1);
         // Keep only the newest `capacity` records of an oversized
         // template: the window invariant (len <= capacity, oldest
@@ -49,20 +57,33 @@ impl SlidingWindowPredictor {
             capacity,
             refresh_every,
             seen_since_refresh: 0,
+            min_train: MIN_TRAIN_WINDOW,
             options,
             model: None,
             template,
         }
     }
 
+    /// Overrides the minimum window size required before any retrain
+    /// (clamped to at least [`MIN_TRAIN_WINDOW`], at most `capacity`).
+    pub fn with_min_train(mut self, min_train: usize) -> Self {
+        self.min_train = min_train.clamp(MIN_TRAIN_WINDOW, self.capacity);
+        self
+    }
+
     /// Observes one newly executed query; retrains when due. Returns
     /// true when a retrain happened.
+    ///
+    /// Retraining is deferred until the window holds at least
+    /// `min_train` records: a fresh window seeded with too few records
+    /// (or none) used to retrain on the very first observation because
+    /// `model.is_none()`, handing KCCA a training set it cannot fit.
     pub fn observe(&mut self, record: QueryRecord) -> Result<bool, QppError> {
-        self.window.push_back(record);
-        while self.window.len() > self.capacity {
-            self.window.pop_front();
-        }
+        self.push(record);
         self.seen_since_refresh += 1;
+        if self.window.len() < self.min_train {
+            return Ok(false);
+        }
         if self.model.is_none() || self.seen_since_refresh >= self.refresh_every {
             self.retrain()?;
             return Ok(true);
@@ -70,16 +91,43 @@ impl SlidingWindowPredictor {
         Ok(false)
     }
 
+    /// Appends one record to the window (evicting the oldest beyond
+    /// capacity) without any retraining. The adaptive control plane
+    /// uses this to keep the window fresh while retrains run on a
+    /// background worker at moments *it* chooses.
+    pub fn push(&mut self, record: QueryRecord) {
+        self.window.push_back(record);
+        while self.window.len() > self.capacity {
+            self.window.pop_front();
+        }
+    }
+
     /// Forces a retrain on the current window.
     pub fn retrain(&mut self) -> Result<(), QppError> {
-        let ds = Dataset {
-            config: self.template.config.clone(),
-            schema: self.template.schema.clone(),
-            records: self.window.iter().cloned().collect(),
-        };
+        let ds = self.window_dataset();
         self.model = Some(KccaPredictor::train(&ds, self.options)?);
         self.seen_since_refresh = 0;
         Ok(())
+    }
+
+    /// Snapshot of the current window as a standalone dataset (the
+    /// exact records a retrain would train on).
+    pub fn window_dataset(&self) -> Dataset {
+        Dataset {
+            config: self.template.config.clone(),
+            schema: self.template.schema.clone(),
+            records: self.window.iter().cloned().collect(),
+        }
+    }
+
+    /// Minimum window size required before a retrain is attempted.
+    pub fn min_train(&self) -> usize {
+        self.min_train
+    }
+
+    /// The predictor options a retrain would train with.
+    pub fn options(&self) -> PredictorOptions {
+        self.options
     }
 
     /// The current model, if one has been trained.
@@ -143,6 +191,54 @@ mod tests {
             window_ids, newest_ids,
             "trimming must evict the oldest records, keeping the newest"
         );
+    }
+
+    /// Regression: `observe` used to retrain whenever `model.is_none()`,
+    /// including on the very first observation into an empty window —
+    /// KCCA then trained on a single record and failed. Retraining must
+    /// wait until the window reaches the minimum trainable size.
+    #[test]
+    fn observe_defers_retraining_until_window_is_trainable() {
+        let seed = dataset(0, 76); // empty template: config + schema only
+        let feed = dataset(MIN_TRAIN_WINDOW + 4, 77);
+        let mut sw = SlidingWindowPredictor::new(seed, 32, 1, PredictorOptions::default());
+        assert_eq!(sw.window_len(), 0);
+        for (i, r) in feed.records.into_iter().enumerate() {
+            let retrained = sw
+                .observe(r)
+                .unwrap_or_else(|e| panic!("observation {i} must not fail: {e}"));
+            if i + 1 < MIN_TRAIN_WINDOW {
+                assert!(
+                    !retrained,
+                    "retrained at window size {} (< minimum {})",
+                    i + 1,
+                    MIN_TRAIN_WINDOW
+                );
+                assert!(sw.model().is_none());
+            } else {
+                // refresh_every = 1: every observation past the minimum
+                // retrains, and the model trains on the full window.
+                assert!(retrained, "no retrain at trainable size {}", i + 1);
+                assert_eq!(sw.model().unwrap().training_size(), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn push_never_retrains_and_window_dataset_matches() {
+        let seed = dataset(10, 78);
+        let extra = dataset(5, 79);
+        let mut sw = SlidingWindowPredictor::new(seed, 12, 1, PredictorOptions::default());
+        for r in extra.records {
+            sw.push(r);
+        }
+        assert!(sw.model().is_none(), "push must not train");
+        assert_eq!(sw.window_len(), 12, "capacity still enforced");
+        let ds = sw.window_dataset();
+        assert_eq!(ds.len(), 12);
+        let window_ids: Vec<u64> = sw.window.iter().map(|r| r.spec.id).collect();
+        let ds_ids: Vec<u64> = ds.records.iter().map(|r| r.spec.id).collect();
+        assert_eq!(window_ids, ds_ids);
     }
 
     #[test]

@@ -148,8 +148,9 @@ seeding, time-dependent tolerances, embedded timestamps — breaks that\n\
 contract in a way no fixed-seed test can catch.\n\
 \n\
 Fires on: any use of `Instant` or `SystemTime` (including imports) in\n\
-non-test code of qpp-core, qpp-ml, or qpp-linalg. Serving and bench\n\
-crates measure latency legitimately and are out of scope.\n\
+non-test code of qpp-core, qpp-ml, qpp-linalg, or qpp-adapt (drift\n\
+detection is epoch-driven: the caller injects logical time). Serving\n\
+and bench crates measure latency legitimately and are out of scope.\n\
 \n\
 Fix: accept timestamps as parameters from the caller, or move the\n\
 timing to the serving/bench layer. There is deliberately no sanctioned\n\
@@ -525,7 +526,7 @@ fn no_unwrap_lib(m: &FileModel, out: &mut Vec<Diagnostic>) {
 /// `Instant` / `SystemTime` anywhere in deterministic model crates.
 fn no_wallclock_in_model(m: &FileModel, out: &mut Vec<Diagnostic>) {
     match m.crate_name.as_deref() {
-        Some("core") | Some("ml") | Some("linalg") => {}
+        Some("core") | Some("ml") | Some("linalg") | Some("adapt") => {}
         _ => return,
     }
     if m.is_test_file {

@@ -52,3 +52,39 @@ fn obs_crate_is_lint_clean_with_no_alloc_waivers() {
         );
     }
 }
+
+/// The continuous-learning crate records errors on the completion path
+/// and feeds the deterministic drift detector, so it gets the same
+/// treatment as qpp-obs: lint-clean with ZERO rule waivers of any kind.
+/// Epoch-driven determinism (`no-wallclock-in-model` now covers
+/// `adapt`) and the alloc/ordering rules must hold by construction.
+#[test]
+fn adapt_crate_is_lint_clean_with_no_waivers() {
+    let adapt_dir = format!("{}/../../crates/adapt", env!("CARGO_MANIFEST_DIR"));
+    let (diags, errors) = lint_paths(std::slice::from_ref(&adapt_dir));
+    assert!(errors.is_empty(), "walk errors: {errors:?}");
+    assert!(
+        diags.is_empty(),
+        "qpp-adapt must be lint-clean:\n{}",
+        qpp_lint::render_human(&diags)
+    );
+
+    let mut sources = Vec::new();
+    let src_dir = std::path::Path::new(&adapt_dir).join("src");
+    for entry in std::fs::read_dir(&src_dir).expect("read crates/adapt/src") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            sources.push(path);
+        }
+    }
+    assert!(!sources.is_empty(), "crates/adapt/src holds Rust sources");
+    for path in sources {
+        let text = std::fs::read_to_string(&path).expect("read adapt source");
+        assert!(
+            !text.contains("qpp-lint: allow("),
+            "{} carries a lint waiver; qpp-adapt must be clean without \
+             opt-outs",
+            path.display()
+        );
+    }
+}

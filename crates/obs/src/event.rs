@@ -47,11 +47,26 @@ pub enum Stage {
     TrainEigensolve,
     /// Building the nearest-neighbor index over the query projection.
     TrainKnnBuild,
+    /// The drift detector flagged a shifted error distribution
+    /// (mark; `value` = canonical index of the drifted metric).
+    Drift,
+    /// Background candidate retraining triggered by a drift signal
+    /// (span; `value` = training-window rows).
+    Retrain,
+    /// Replaying the held-out slice through candidate and incumbent
+    /// (span; `value` = holdout records scored).
+    ShadowScore,
+    /// A shadow-validated candidate was hot-swapped into the registry
+    /// (mark; `value` = the new registry generation).
+    CanarySwap,
+    /// Post-swap error regressed and the model was demoted to the
+    /// optimizer-cost baseline (mark; `value` = demoted generation).
+    KillSwitch,
 }
 
 impl Stage {
     /// Number of stages (sizes the per-stage accumulator arrays).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 21;
 
     /// Every stage, in declaration order (stable for reports).
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -71,6 +86,11 @@ impl Stage {
         Stage::TrainIcd,
         Stage::TrainEigensolve,
         Stage::TrainKnnBuild,
+        Stage::Drift,
+        Stage::Retrain,
+        Stage::ShadowScore,
+        Stage::CanarySwap,
+        Stage::KillSwitch,
     ];
 
     /// Dense index into per-stage accumulators.
@@ -103,6 +123,11 @@ impl Stage {
             Stage::TrainIcd => "train_icd",
             Stage::TrainEigensolve => "train_eigensolve",
             Stage::TrainKnnBuild => "train_knn_build",
+            Stage::Drift => "drift",
+            Stage::Retrain => "retrain",
+            Stage::ShadowScore => "shadow_score",
+            Stage::CanarySwap => "canary_swap",
+            Stage::KillSwitch => "kill_switch",
         }
     }
 }

@@ -41,8 +41,9 @@ pub mod stats;
 
 pub use qpp_core::{QppError, QppResult};
 pub use queue::{PushError, RequestQueue};
-pub use registry::{ModelEntry, ModelKey, ModelRegistry};
+pub use registry::{ModelEntry, ModelKey, ModelRegistry, SwapRace};
 pub use service::{
-    AnswerSource, PendingPrediction, PredictRequest, PredictionService, ServeOptions, ServeResponse,
+    AnswerSource, CompletionObserver, PendingPrediction, PredictRequest, PredictionService,
+    ServeOptions, ServeResponse,
 };
 pub use stats::{LatencyQuantile, ServiceStats, StatsSnapshot};

@@ -63,8 +63,41 @@ pub struct ModelEntry {
     pub predictor: KccaPredictor,
     /// O(1) optimizer-cost fallback for deadline misses.
     pub fallback: OptimizerCostModel,
-    /// Monotonically increasing install version (registry-wide).
+    /// Monotonically increasing install version (registry-wide). Every
+    /// install, guarded swap, and demotion mints a fresh one, so a
+    /// version uniquely identifies one entry for guarded operations.
     pub version: u64,
+    /// True when the kill-switch demoted this entry: workers skip the
+    /// KCCA predictor and answer every request from the optimizer-cost
+    /// fallback until a healthy model is installed over it.
+    pub degraded: bool,
+}
+
+/// A guarded registry operation lost its race: the entry it expected
+/// to replace is no longer (or was never) the current one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapRace {
+    /// The version the caller believed was current.
+    pub expected: u64,
+    /// The version actually installed (`None`: key absent).
+    pub found: Option<u64>,
+}
+
+impl std::fmt::Display for SwapRace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.found {
+            Some(found) => write!(
+                f,
+                "guarded swap raced: expected version {}, found {found}",
+                self.expected
+            ),
+            None => write!(
+                f,
+                "guarded swap raced: expected version {}, key not installed",
+                self.expected
+            ),
+        }
+    }
 }
 
 /// Concurrent registry of prediction models.
@@ -79,6 +112,7 @@ pub struct ModelRegistry {
     /// installs that *replaced* an existing entry.
     installs: AtomicU64,
     swaps: AtomicU64,
+    demotions: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -96,11 +130,12 @@ impl ModelRegistry {
         predictor: KccaPredictor,
         fallback: OptimizerCostModel,
     ) -> u64 {
-        let version = self.installs.fetch_add(1, Ordering::Relaxed) + 1;
+        let version = self.next_version();
         let entry = Arc::new(ModelEntry {
             predictor,
             fallback,
             version,
+            degraded: false,
         });
         let replaced = self.models.write().insert(key, entry).is_some();
         if replaced {
@@ -111,6 +146,86 @@ impl ModelRegistry {
         // reader correlate latency shifts with a mid-run hot-swap.
         qpp_obs::recorder().record_mark(0, qpp_obs::Stage::ModelSwap, version);
         version
+    }
+
+    /// Mints the next monotonic entry version.
+    fn next_version(&self) -> u64 {
+        self.installs.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Installs `predictor` under `key` **only if** the currently
+    /// installed entry is still `expected` — the generation token the
+    /// caller resolved when it started validating its candidate.
+    ///
+    /// This is the canary's compare-and-swap: between shadow-scoring a
+    /// candidate against version `expected` and deciding to promote it,
+    /// an operator (or another canary) may have installed a newer
+    /// model. An unconditional `install` would clobber that newer
+    /// model with a candidate that was never compared against it;
+    /// `swap_if_current` refuses instead and reports what it found.
+    pub fn swap_if_current(
+        &self,
+        key: ModelKey,
+        expected: u64,
+        predictor: KccaPredictor,
+        fallback: OptimizerCostModel,
+    ) -> Result<u64, SwapRace> {
+        let mut models = self.models.write();
+        let found = models.get(&key).map(|e| e.version);
+        if found != Some(expected) {
+            return Err(SwapRace { expected, found });
+        }
+        let version = self.next_version();
+        models.insert(
+            key,
+            Arc::new(ModelEntry {
+                predictor,
+                fallback,
+                version,
+                degraded: false,
+            }),
+        );
+        drop(models);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        qpp_obs::recorder().record_mark(0, qpp_obs::Stage::ModelSwap, version);
+        Ok(version)
+    }
+
+    /// Kill-switch: replaces the entry under `key` with a degraded copy
+    /// that answers every request from the optimizer-cost fallback —
+    /// but only if the current entry is still `expected`, so a rollback
+    /// decided against one model can never demote a newer one that was
+    /// installed while the decision was being made.
+    pub fn demote_if_current(&self, key: ModelKey, expected: u64) -> Result<u64, SwapRace> {
+        let mut models = self.models.write();
+        let current = match models.get(&key) {
+            Some(e) if e.version == expected && !e.degraded => Arc::clone(e),
+            other => {
+                return Err(SwapRace {
+                    expected,
+                    found: other.map(|e| e.version),
+                })
+            }
+        };
+        let version = self.next_version();
+        models.insert(
+            key,
+            Arc::new(ModelEntry {
+                predictor: current.predictor.clone(),
+                fallback: current.fallback.clone(),
+                version,
+                degraded: true,
+            }),
+        );
+        drop(models);
+        self.demotions.fetch_add(1, Ordering::Relaxed);
+        qpp_obs::recorder().record_mark(0, qpp_obs::Stage::KillSwitch, version);
+        Ok(version)
+    }
+
+    /// Version of the currently installed entry for `key`, if any.
+    pub fn current_version(&self, key: &ModelKey) -> Option<u64> {
+        self.models.read().get(key).map(|e| e.version)
     }
 
     /// Installs a model from its serialized JSON envelope (see
@@ -156,6 +271,11 @@ impl ModelRegistry {
     pub fn install_count(&self) -> u64 {
         self.installs.load(Ordering::Relaxed)
     }
+
+    /// Kill-switch demotions performed.
+    pub fn demote_count(&self) -> u64 {
+        self.demotions.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +314,85 @@ mod tests {
         assert_eq!(registry.swap_count(), 1);
         assert_eq!(registry.get(&key).unwrap().version, v2);
         assert_eq!(registry.install_count(), 2);
+    }
+
+    /// Regression: a canary rollout that resolved generation G, then
+    /// decided to promote its candidate, used to call unconditional
+    /// `install` — clobbering any newer model installed while the
+    /// candidate was being shadow-scored. `swap_if_current` must lose
+    /// that race instead of winning it.
+    #[test]
+    fn swap_if_current_refuses_to_clobber_a_newer_install() {
+        let registry = ModelRegistry::new();
+        let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+        let (m1, f1) = trained(21);
+        let v1 = registry.install(key.clone(), m1, f1);
+
+        // Canary resolves v1, starts validating a candidate …
+        let canary_base = registry.current_version(&key).unwrap();
+        assert_eq!(canary_base, v1);
+
+        // … meanwhile a concurrent install lands a newer model.
+        let (m2, f2) = trained(22);
+        let v2 = registry.install(key.clone(), m2, f2);
+        assert!(v2 > v1);
+
+        // The canary's guarded swap must now fail and leave v2 alone.
+        let (cand, cand_f) = trained(23);
+        let err = registry
+            .swap_if_current(key.clone(), canary_base, cand.clone(), cand_f.clone())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SwapRace {
+                expected: v1,
+                found: Some(v2)
+            }
+        );
+        assert_eq!(registry.current_version(&key), Some(v2));
+
+        // Guarded against the *actual* current version, it succeeds.
+        let v3 = registry
+            .swap_if_current(key.clone(), v2, cand, cand_f)
+            .unwrap();
+        assert!(v3 > v2);
+        assert_eq!(registry.current_version(&key), Some(v3));
+        assert!(!registry.get(&key).unwrap().degraded);
+    }
+
+    #[test]
+    fn demote_if_current_is_generation_guarded() {
+        let registry = ModelRegistry::new();
+        let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+        let (m1, f1) = trained(24);
+        let v1 = registry.install(key.clone(), m1, f1);
+
+        // A rollback decided against v1 after v2 landed must not fire.
+        let (m2, f2) = trained(25);
+        let v2 = registry.install(key.clone(), m2, f2);
+        let err = registry.demote_if_current(key.clone(), v1).unwrap_err();
+        assert_eq!(err.found, Some(v2));
+        assert!(!registry.get(&key).unwrap().degraded);
+        assert_eq!(registry.demote_count(), 0);
+
+        // Demoting the actual current version degrades the entry.
+        let v3 = registry.demote_if_current(key.clone(), v2).unwrap();
+        assert!(v3 > v2);
+        let entry = registry.get(&key).unwrap();
+        assert!(entry.degraded);
+        assert_eq!(entry.version, v3);
+        assert_eq!(registry.demote_count(), 1);
+
+        // Demoting an already-degraded entry is refused (idempotence
+        // guard: one regression, one demotion).
+        assert!(registry.demote_if_current(key.clone(), v3).is_err());
+        assert_eq!(registry.demote_count(), 1);
+
+        // A fresh install over the degraded entry restores service.
+        let (m3, f3) = trained(26);
+        let v4 = registry.install(key.clone(), m3, f3);
+        assert!(v4 > v3);
+        assert!(!registry.get(&key).unwrap().degraded);
     }
 
     #[test]

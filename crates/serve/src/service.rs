@@ -19,14 +19,32 @@
 use crate::queue::{PushError, RequestQueue};
 use crate::registry::{ModelEntry, ModelKey, ModelRegistry};
 use crate::stats::{ServiceStats, StatsSnapshot};
+use parking_lot::RwLock;
 use qpp_core::workload_mgmt::{decide, AdmissionDecision, AdmissionPolicy};
-use qpp_core::{NeighborIds, Prediction, QppError};
+use qpp_core::{NeighborIds, Prediction, QppError, QueryRecord};
 use qpp_engine::{PerfMetrics, Plan};
 use qpp_obs::Stage;
 use qpp_workload::QuerySpec;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Observer of completed query executions: the closed-loop feedback
+/// port of the service. Once a served query has actually run and its
+/// true [`PerfMetrics`] are known, the embedder reports the outcome via
+/// [`PredictionService::observe_completion`], and the installed
+/// observer — typically `qpp-adapt`'s controller — compares prediction
+/// against reality to drive drift detection and retraining.
+///
+/// Implementations are called from whatever thread reports the
+/// completion; they must be cheap and must never block on the serve
+/// predict path.
+pub trait CompletionObserver: Send + Sync {
+    /// One executed query: the record carries the query, its plan, and
+    /// the *measured* metrics; `response` carries what was predicted,
+    /// which model generation answered, and through which path.
+    fn on_completion(&self, record: &QueryRecord, response: &ServeResponse);
+}
 
 /// One prediction request.
 #[derive(Debug, Clone)]
@@ -233,6 +251,7 @@ pub struct PredictionService {
     stats: Arc<ServiceStats>,
     policy: AdmissionPolicy,
     workers: Vec<JoinHandle<()>>,
+    completion: RwLock<Option<Arc<dyn CompletionObserver>>>,
 }
 
 impl PredictionService {
@@ -258,12 +277,31 @@ impl PredictionService {
             stats,
             policy: options.policy,
             workers,
+            completion: RwLock::new(None),
         }
     }
 
     /// The registry this service answers from (hot-swap through it).
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.registry
+    }
+
+    /// Installs (or replaces) the completion observer that
+    /// [`PredictionService::observe_completion`] forwards to.
+    pub fn set_completion_observer(&self, observer: Arc<dyn CompletionObserver>) {
+        *self.completion.write() = Some(observer);
+    }
+
+    /// Reports one completed execution back into the loop: the query's
+    /// measured metrics next to the response that predicted them. Feeds
+    /// the installed [`CompletionObserver`] (if any) and the
+    /// `observed_completions` stat either way.
+    pub fn observe_completion(&self, record: &QueryRecord, response: &ServeResponse) {
+        self.stats.observed_completions.incr();
+        let observer = self.completion.read().clone();
+        if let Some(observer) = observer {
+            observer.on_completion(record, response);
+        }
     }
 
     /// Submits a request without waiting for its answer. Fails fast
@@ -322,9 +360,11 @@ impl PredictionService {
         self.submit_async(request)?.wait()
     }
 
-    /// Point-in-time statistics, including the registry's swap count.
+    /// Point-in-time statistics, including the registry's swap and
+    /// demotion counts.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.model_swaps.set(self.registry.swap_count());
+        self.stats.model_demotions.set(self.registry.demote_count());
         self.stats.snapshot(self.queue.len())
     }
 
@@ -407,6 +447,35 @@ fn answer_group(
         }
         return;
     };
+    // Kill-switched entry: the KCCA model regressed post-swap and was
+    // demoted; answer every request from the O(1) optimizer-cost
+    // baseline until a healthy model is installed over it.
+    if entry.degraded {
+        for queued in group {
+            let elapsed = entry.fallback.predict_elapsed(&queued.request.plan);
+            let prediction = Prediction {
+                metrics: PerfMetrics {
+                    elapsed_seconds: elapsed,
+                    ..PerfMetrics::zero()
+                },
+                neighbor_indices: NeighborIds::new(),
+                confidence_distance: 0.0,
+                max_kernel_similarity: 1.0,
+            };
+            stats.degraded_answers.incr();
+            qpp_obs::recorder().record_mark(queued.trace_id, Stage::Fallback, entry.version);
+            respond(
+                stats,
+                policy,
+                &entry,
+                queued,
+                prediction,
+                drained_ns,
+                AnswerSource::CostModelFallback,
+            );
+        }
+        return;
+    }
     let queries: Vec<(&QuerySpec, &Plan)> = group
         .iter()
         .map(|q| (&q.request.spec, &q.request.plan))
@@ -436,7 +505,15 @@ fn answer_group(
                     predict_dur,
                     group_len,
                 );
-                respond(stats, policy, &entry, queued, prediction, drained_ns);
+                respond(
+                    stats,
+                    policy,
+                    &entry,
+                    queued,
+                    prediction,
+                    drained_ns,
+                    AnswerSource::Kcca,
+                );
             }
         }
         Err(e) => {
@@ -456,13 +533,14 @@ fn respond(
     queued: Queued,
     prediction: Prediction,
     drained_ns: u64,
+    source: AnswerSource,
 ) {
     let decision = decide(policy, &prediction);
     let latency = queued.enqueued_at.elapsed();
     let response = ServeResponse {
         prediction,
         decision: decision.clone(),
-        source: AnswerSource::Kcca,
+        source,
         model_version: entry.version,
         latency,
         trace_id: queued.trace_id,
@@ -482,7 +560,10 @@ fn respond(
         stats.completed.incr();
         stats.record_latency(latency);
         record_decision(stats, &decision);
-        rec.kcca_answers.incr();
+        match source {
+            AnswerSource::Kcca => rec.kcca_answers.incr(),
+            AnswerSource::CostModelFallback => rec.fallback_answers.incr(),
+        }
     } else {
         // Client already fell back (deadline) or went away.
         stats.late_answers.incr();

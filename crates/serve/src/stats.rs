@@ -48,6 +48,15 @@ pub struct ServiceStats {
     pub max_queue_depth: Counter,
     /// Model hot-swaps observed via the registry.
     pub model_swaps: Counter,
+    /// Kill-switch demotions observed via the registry.
+    pub model_demotions: Counter,
+    /// Executed-query outcomes reported back through
+    /// `observe_completion` (the adaptation feedback loop's input).
+    pub observed_completions: Counter,
+    /// Requests answered by a worker from the optimizer-cost baseline
+    /// because the installed entry was kill-switch demoted (distinct
+    /// from `fallbacks`, which count client-side deadline misses).
+    pub degraded_answers: Counter,
     latency: Histogram,
 }
 
@@ -115,6 +124,9 @@ impl ServiceStats {
             p95_latency: self.latency.quantile(0.95),
             p99_latency: self.latency.quantile(0.99),
             model_swaps: self.model_swaps.get(),
+            model_demotions: self.model_demotions.get(),
+            observed_completions: self.observed_completions.get(),
+            degraded_answers: self.degraded_answers.get(),
         }
     }
 }
@@ -158,6 +170,12 @@ pub struct StatsSnapshot {
     pub p99_latency: LatencyQuantile,
     /// Model hot-swaps performed.
     pub model_swaps: u64,
+    /// Kill-switch demotions performed.
+    pub model_demotions: u64,
+    /// Executed-query outcomes fed back via `observe_completion`.
+    pub observed_completions: u64,
+    /// Worker answers served from the baseline due to a demoted entry.
+    pub degraded_answers: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -182,7 +200,7 @@ impl std::fmt::Display for StatsSnapshot {
             "gateway: admitted {} | rejected {} | review {}",
             self.admitted, self.policy_rejected, self.review_required,
         )?;
-        write!(
+        writeln!(
             f,
             "latency p50/p95/p99 {}/{}/{} µs | {:.0} req/s | model swaps {}",
             self.p50_latency,
@@ -190,6 +208,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.p99_latency,
             self.throughput_per_sec,
             self.model_swaps,
+        )?;
+        write!(
+            f,
+            "adapt: observed {} | degraded answers {} | demotions {}",
+            self.observed_completions, self.degraded_answers, self.model_demotions,
         )
     }
 }

@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the qpp workspace.
+pub use qpp_adapt as adapt;
 pub use qpp_core as core;
 pub use qpp_engine as engine;
 pub use qpp_linalg as linalg;

@@ -152,3 +152,80 @@ fn tracing_does_not_perturb_prediction_bits() {
         "tracing was supposed to be live during the traced leg"
     );
 }
+
+/// The continuous-learning bookkeeping must be observationally free on
+/// the predict path: folding every `(prediction, observed)` pair into
+/// the adaptation error tracker — while other threads hammer the same
+/// tracker — must not change a single prediction bit.
+#[test]
+fn adaptation_bookkeeping_does_not_perturb_prediction_bits() {
+    use std::sync::Arc;
+
+    let config = SystemConfig::neoview_4();
+    let train = collect_tpcds(120, 45, &config, 2);
+    let test = collect_tpcds(20, 46, &config, 2);
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+
+    // Leg A: plain predictions, no adaptation anywhere.
+    let plain: Vec<_> = test
+        .records
+        .iter()
+        .map(|r| model.predict(&r.spec, &r.optimized.plan).unwrap())
+        .collect();
+
+    // Leg B: identical predictions with the tracker folding each pair
+    // in between, while four background threads record into the same
+    // tracker concurrently.
+    let tracker = Arc::new(qpp::adapt::ErrorTracker::new());
+    let hammers: Vec<_> = (0..4)
+        .map(|k| {
+            let tracker = Arc::clone(&tracker);
+            let noise = train.records.clone();
+            std::thread::spawn(move || {
+                for (i, r) in noise.iter().enumerate() {
+                    let scaled = qpp::engine::PerfMetrics::from_vec(
+                        &r.metrics
+                            .to_vec()
+                            .iter()
+                            .map(|v| v * (1.0 + (k + i) as f64 * 0.01))
+                            .collect::<Vec<_>>(),
+                    );
+                    tracker.record(&r.spec.template, &scaled, &r.metrics);
+                }
+            })
+        })
+        .collect();
+    let tracked: Vec<_> = test
+        .records
+        .iter()
+        .map(|r| {
+            let p = model.predict(&r.spec, &r.optimized.plan).unwrap();
+            tracker.record(&r.spec.template, &p.metrics, &r.metrics);
+            p
+        })
+        .collect();
+    for h in hammers {
+        h.join().unwrap();
+    }
+
+    assert_eq!(plain.len(), tracked.len());
+    for (a, b) in plain.iter().zip(tracked.iter()) {
+        for (x, y) in a.metrics.to_vec().iter().zip(b.metrics.to_vec().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.neighbor_indices, b.neighbor_indices);
+        assert_eq!(
+            a.confidence_distance.to_bits(),
+            b.confidence_distance.to_bits()
+        );
+        assert_eq!(
+            a.max_kernel_similarity.to_bits(),
+            b.max_kernel_similarity.to_bits()
+        );
+    }
+    // And the bookkeeping itself lost nothing.
+    assert_eq!(
+        tracker.observations() as usize,
+        4 * train.records.len() + test.records.len()
+    );
+}
