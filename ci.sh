@@ -65,4 +65,26 @@ fi
 echo "adapt smoke OK: drift -> retrain -> shadow_score -> canary_swap chain traced, $SWAPS swap(s)"
 rm -f "$ADAPT_OUT"
 
+echo "==> eigensolve gate: train-rows sweep, solver must stay sub-dominant"
+# The reduced-SVD eigensolver (DESIGN.md §14) must keep train_eigensolve
+# under 50% of train_total at the largest sweep size; the sweep is also
+# what refreshes the train_sweep block of BENCH_predict.json. A smaller
+# request count keeps the predict half of the bench quick — the gate
+# only reads the sweep.
+cargo build -q --release -p qpp-bench --bin predict_bench
+./target/release/predict_bench --requests 1000 --sweep 400,5000,20000 \
+    --gate-share 0.5 >/dev/null
+
+echo "==> equivalence gate: reduced vs dense CCA paths must actually run"
+# The svd_equivalence suite is the proof that the fast path matches the
+# dense reference; a filtered-out or silently skipped run must fail CI.
+EQUIV_OUT=$(cargo test -q -p qpp-ml --test svd_equivalence 2>&1) || {
+    echo "$EQUIV_OUT"; exit 1; }
+EQUIV_PASSED=$(echo "$EQUIV_OUT" | sed -n 's/.*test result: ok\. \([0-9]*\) passed.*/\1/p' | head -1)
+if [ -z "$EQUIV_PASSED" ] || [ "$EQUIV_PASSED" -lt 6 ]; then
+    echo "equivalence gate: expected >= 6 svd_equivalence tests to run, got '${EQUIV_PASSED:-none}'"
+    exit 1
+fi
+echo "equivalence gate OK: $EQUIV_PASSED reduced-vs-dense tests ran"
+
 echo "CI OK"

@@ -24,6 +24,11 @@ struct Args {
     train: usize,
     requests: usize,
     batch: usize,
+    /// Training-row counts for the scaling sweep (`--sweep 400,5000,20000`).
+    sweep: Vec<usize>,
+    /// When set, exit non-zero if `train_eigensolve` exceeds this share
+    /// of `train_total` at the largest sweep size (the CI gate).
+    gate_share: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +36,8 @@ fn parse_args() -> Args {
         train: 400,
         requests: 10_000,
         batch: 64,
+        sweep: vec![400, 5_000, 20_000],
+        gate_share: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -44,10 +51,32 @@ fn parse_args() -> Args {
             "--train" => args.train = value(i).max(50),
             "--requests" => args.requests = value(i).max(100),
             "--batch" => args.batch = value(i).max(1),
+            "--sweep" => {
+                args.sweep = argv
+                    .get(i + 1)
+                    .map(|v| {
+                        v.split(',')
+                            .map(|n| {
+                                n.parse::<usize>()
+                                    .unwrap_or_else(|_| panic!("bad --sweep entry {n}"))
+                                    .max(50)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            }
+            "--gate-share" => {
+                args.gate_share = Some(
+                    argv.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--gate-share needs a fraction")),
+                );
+            }
             other => panic!("unknown flag {other}"),
         }
         i += 2;
     }
+    args.sweep.sort_unstable();
     args
 }
 
@@ -89,6 +118,71 @@ fn stages_json(stages: &[(qpp_obs::Stage, u64, u64)], indent: &str) -> String {
         })
         .collect();
     format!("{{\n{}\n{indent}}}", entries.join(",\n"))
+}
+
+/// One row of the train-scaling sweep: wall-clock totals per stage for
+/// a fresh model trained on `rows` queries.
+struct SweepPoint {
+    rows: usize,
+    train_total_us: f64,
+    eigensolve_us: f64,
+    reduce_us: f64,
+    subspace_us: f64,
+    backtransform_us: f64,
+}
+
+impl SweepPoint {
+    fn eigensolve_share(&self) -> f64 {
+        self.eigensolve_us / self.train_total_us.max(1e-9)
+    }
+}
+
+/// Trains a throwaway model per sweep size and captures the qpp-obs
+/// stage deltas, isolating `train_eigensolve` and its sub-stages.
+fn run_train_sweep(sweep: &[usize], config: &SystemConfig) -> Vec<SweepPoint> {
+    let mut points = Vec::with_capacity(sweep.len());
+    for &rows in sweep {
+        eprintln!("sweep: training on {rows} queries …");
+        let data = collect_tpcds(rows, 29, config, 4);
+        let before = qpp_obs::recorder().stage_summary();
+        let model = KccaPredictor::train(&data, PredictorOptions::default()).expect("sweep train");
+        let stages = diff_stages(&before, &qpp_obs::recorder().stage_summary());
+        std::hint::black_box(model);
+        let us = |name: &str| -> f64 {
+            stages
+                .iter()
+                .find(|(s, _, _)| s.name() == name)
+                .map_or(0.0, |(_, _, ns)| *ns as f64 / 1e3)
+        };
+        points.push(SweepPoint {
+            rows,
+            train_total_us: us("train_total"),
+            eigensolve_us: us("train_eigensolve"),
+            reduce_us: us("train_eigen_reduce"),
+            subspace_us: us("train_eigen_subspace"),
+            backtransform_us: us("train_eigen_backtransform"),
+        });
+    }
+    points
+}
+
+fn sweep_json(points: &[SweepPoint]) -> String {
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"rows\": {}, \"train_total_us\": {:.3}, \"train_eigensolve_us\": {:.3}, \"eigensolve_share\": {:.4}, \"eigen_reduce_us\": {:.3}, \"eigen_subspace_us\": {:.3}, \"eigen_backtransform_us\": {:.3}}}",
+                p.rows,
+                p.train_total_us,
+                p.eigensolve_us,
+                p.eigensolve_share(),
+                p.reduce_us,
+                p.subspace_us,
+                p.backtransform_us,
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", entries.join(",\n"))
 }
 
 fn main() {
@@ -151,8 +245,21 @@ fn main() {
     let batch_wall = t1.elapsed().as_secs_f64();
     let batch_throughput = (rounds * specs.len()) as f64 / batch_wall;
 
+    // Train-scaling sweep: fresh model per row count, eigensolve share
+    // tracked so CI can gate on it staying sub-dominant.
+    let sweep = run_train_sweep(&args.sweep, &config);
+    for p in &sweep {
+        eprintln!(
+            "sweep {} rows: train_total {:.1} ms, eigensolve {:.1} ms ({:.1}%)",
+            p.rows,
+            p.train_total_us / 1e3,
+            p.eigensolve_us / 1e3,
+            p.eigensolve_share() * 100.0,
+        );
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"predict\",\n  \"train_rows\": {},\n  \"requests\": {},\n  \"single_query\": {{\n    \"p50_us\": {:.3},\n    \"p99_us\": {:.3},\n    \"throughput_per_sec\": {:.1},\n    \"allocs_per_request\": {:.4}\n  }},\n  \"batch\": {{\n    \"batch_size\": {},\n    \"throughput_per_sec\": {:.1}\n  }},\n  \"train_stages\": {},\n  \"predict_stages\": {}\n}}\n",
+        "{{\n  \"bench\": \"predict\",\n  \"train_rows\": {},\n  \"requests\": {},\n  \"single_query\": {{\n    \"p50_us\": {:.3},\n    \"p99_us\": {:.3},\n    \"throughput_per_sec\": {:.1},\n    \"allocs_per_request\": {:.4}\n  }},\n  \"batch\": {{\n    \"batch_size\": {},\n    \"throughput_per_sec\": {:.1}\n  }},\n  \"train_sweep\": {},\n  \"train_stages\": {},\n  \"predict_stages\": {}\n}}\n",
         args.train,
         args.requests,
         p50,
@@ -161,10 +268,31 @@ fn main() {
         allocs_per_request,
         specs.len(),
         batch_throughput,
+        sweep_json(&sweep),
         stages_json(&train_stages, "  "),
         stages_json(&predict_stages, "  "),
     );
     std::fs::write("BENCH_predict.json", &json).expect("write BENCH_predict.json");
     println!("{json}");
     eprintln!("wrote BENCH_predict.json");
+
+    if let Some(max_share) = args.gate_share {
+        let largest = sweep.last().expect("non-empty sweep for --gate-share");
+        let share = largest.eigensolve_share();
+        if share > max_share {
+            eprintln!(
+                "GATE FAIL: train_eigensolve is {:.1}% of train_total at {} rows (limit {:.1}%)",
+                share * 100.0,
+                largest.rows,
+                max_share * 100.0,
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "gate ok: eigensolve share {:.1}% <= {:.1}% at {} rows",
+            share * 100.0,
+            max_share * 100.0,
+            largest.rows,
+        );
+    }
 }

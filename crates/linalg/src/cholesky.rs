@@ -156,6 +156,51 @@ impl Cholesky {
         Ok(x)
     }
 
+    /// Solves `L Y = B` column-wise (forward substitution on a matrix).
+    ///
+    /// This is the workhorse of the reduced KCCA eigensolve: forming
+    /// `Lx⁻¹ Cxy` and `(Ly⁻¹ (Lx⁻¹ Cxy)ᵀ)ᵀ` without ever inverting.
+    pub fn forward_substitute_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "forward_substitute_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let y = self.forward_substitute(&col)?;
+            for i in 0..n {
+                out[(i, j)] = y[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `Lᵀ X = Y` column-wise (back substitution on a matrix).
+    pub fn back_substitute_matrix(&self, y: &Matrix) -> Result<Matrix> {
+        let n = self.l.rows();
+        if y.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "back_substitute_matrix",
+                lhs: (n, n),
+                rhs: y.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, y.cols());
+        for j in 0..y.cols() {
+            let col = y.col(j);
+            let x = self.back_substitute(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
     /// Log-determinant of `A` (`= 2 Σ ln L[i,i]`).
     pub fn log_det(&self) -> f64 {
         crate::vector::sum_iter((0..self.l.rows()).map(|i| self.l[(i, i)].ln())) * 2.0
@@ -226,6 +271,27 @@ mod tests {
         let inv = c.solve_matrix(&Matrix::identity(3)).unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!(prod.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_substitution_matches_vector_solves() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![1., 4., 2., 5., 3., 6.]).unwrap();
+        let fwd = c.forward_substitute_matrix(&b).unwrap();
+        let back = c.back_substitute_matrix(&fwd).unwrap();
+        for j in 0..2 {
+            let col = b.col(j);
+            let y = c.forward_substitute(&col).unwrap();
+            let x = c.back_substitute(&y).unwrap();
+            for i in 0..3 {
+                assert_eq!(fwd[(i, j)].to_bits(), y[i].to_bits());
+                assert_eq!(back[(i, j)].to_bits(), x[i].to_bits());
+            }
+        }
+        // L Y = B and Lᵀ X = Y compose to A X = B.
+        let ax = a.matmul(&back).unwrap();
+        assert!(ax.sub(&b).unwrap().max_abs() < 1e-10);
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub struct SymmetricEigen {
     pub values: Vec<f64>,
     /// Eigenvectors as columns, aligned with `values`.
     pub vectors: Matrix,
+    /// Mean off-diagonal magnitude of the rotated matrix at acceptance —
+    /// the residual actually achieved, for callers that want to audit
+    /// solution quality instead of trusting a boolean.
+    pub off_diagonal_residual: f64,
 }
 
 impl SymmetricEigen {
@@ -26,6 +30,16 @@ impl SymmetricEigen {
     /// internally. Fails with [`LinalgError::NoConvergence`] if the
     /// off-diagonal mass does not vanish within the sweep budget.
     pub fn new(a: &Matrix) -> Result<Self> {
+        SymmetricEigen::with_sweep_budget(a, 64)
+    }
+
+    /// Like [`SymmetricEigen::new`] with an explicit sweep budget.
+    ///
+    /// A result is returned only when the rotated matrix's off-diagonal
+    /// mass actually reached the tolerance; otherwise the error reports
+    /// the residual that was achieved. (An earlier revision silently
+    /// accepted anything within 100x the tolerance.)
+    pub fn with_sweep_budget(a: &Matrix, max_sweeps: usize) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 rows: a.rows(),
@@ -40,7 +54,6 @@ impl SymmetricEigen {
         m.symmetrize();
         let mut v = Matrix::identity(n);
 
-        let max_sweeps = 64;
         let scale = m.max_abs().max(1.0);
         let tol = 1e-14 * scale;
         let mut converged = false;
@@ -91,21 +104,34 @@ impl SymmetricEigen {
                 }
             }
         }
-        if !converged && off_diagonal_norm(&m) > tol * (n as f64) * 100.0 {
+        // The loop above only re-checks the residual at the top of each
+        // sweep; a final sweep may have finished the job. Accept at 1x
+        // the tolerance — anything above it is a failed solve, reported
+        // with the residual actually achieved so callers can diagnose
+        // how far off the result was.
+        let achieved = off_diagonal_norm(&m);
+        let required = tol * n as f64;
+        if !converged && achieved > required {
             return Err(LinalgError::NoConvergence {
                 algorithm: "jacobi eigendecomposition",
                 iterations: max_sweeps,
+                residual: achieved,
+                tolerance: required,
             });
         }
 
-        // Extract and sort descending.
-        let mut order: Vec<usize> = (0..n).collect();
+        // Extract and sort descending. A NaN eigenvalue means the input
+        // (or the rotations) produced garbage; under `partial_cmp(..)
+        // .unwrap_or(Equal)` it would land in an arbitrary position and
+        // silently flow into `top_k`, so reject it outright.
         let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-        order.sort_by(|&a, &b| {
-            diag[b]
-                .partial_cmp(&diag[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        if diag.iter().any(|v| v.is_nan()) {
+            return Err(LinalgError::NonFinite {
+                op: "jacobi eigenvalues",
+            });
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| descending_nans_last(diag[a], diag[b]));
         let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
         let mut vectors = Matrix::zeros(n, n);
         for (dst, &src) in order.iter().enumerate() {
@@ -113,7 +139,11 @@ impl SymmetricEigen {
                 vectors[(k, dst)] = v[(k, src)];
             }
         }
-        Ok(SymmetricEigen { values, vectors })
+        Ok(SymmetricEigen {
+            values,
+            vectors,
+            off_diagonal_residual: achieved,
+        })
     }
 
     /// Returns the top-`k` eigenpairs as `(values, vectors)` where the
@@ -121,6 +151,18 @@ impl SymmetricEigen {
     pub fn top_k(&self, k: usize) -> (Vec<f64>, Matrix) {
         let k = k.min(self.values.len());
         (self.values[..k].to_vec(), self.vectors.take_cols(k))
+    }
+}
+
+/// Total descending order with NaNs sorted last: a defensive backstop
+/// for the (rejected-above) NaN case, and a total order either way so
+/// the sort can never give scheduler- or input-order-dependent results.
+fn descending_nans_last(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater, // NaN sinks to the end
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
     }
 }
 
@@ -208,5 +250,53 @@ mod tests {
     fn rejects_non_square_and_empty() {
         assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
         assert!(SymmetricEigen::new(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn stalled_solve_is_rejected_not_silently_accepted() {
+        // Off-diagonal mass ~1e-12 sits between 1x and 100x the internal
+        // tolerance (1e-14 * n for unit-scale input). With a zero sweep
+        // budget the solver cannot reduce it; the old `> tol * n * 100`
+        // check accepted this stalled state as converged.
+        let eps = 1e-12;
+        let a = Matrix::from_vec(3, 3, vec![3., eps, eps, eps, 2., eps, eps, eps, 1.]).unwrap();
+        match SymmetricEigen::with_sweep_budget(&a, 0) {
+            Err(LinalgError::NoConvergence {
+                residual,
+                tolerance,
+                ..
+            }) => {
+                assert!(
+                    residual > tolerance,
+                    "diagnostic must carry the achieved residual ({residual:e} vs {tolerance:e})"
+                );
+            }
+            other => panic!("stalled solve must error with a diagnostic, got {other:?}"),
+        }
+        // A real budget converges and reports the achieved residual.
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!(e.off_diagonal_residual <= 1e-14 * 3.0 * 3.0);
+    }
+
+    #[test]
+    fn nan_input_surfaces_as_error_not_arbitrary_sort_position() {
+        // A NaN on the diagonal propagates into the eigenvalues; the old
+        // `partial_cmp(..).unwrap_or(Equal)` sort placed it wherever the
+        // sort happened to leave it, and `top_k` then returned it.
+        let a = Matrix::from_vec(3, 3, vec![f64::NAN, 0., 0., 0., 2., 0., 0., 0., 1.]).unwrap();
+        assert!(matches!(
+            SymmetricEigen::new(&a),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn descending_sort_order_is_total() {
+        use std::cmp::Ordering;
+        assert_eq!(descending_nans_last(2.0, 1.0), Ordering::Less);
+        assert_eq!(descending_nans_last(1.0, 2.0), Ordering::Greater);
+        assert_eq!(descending_nans_last(f64::NAN, -1e300), Ordering::Greater);
+        assert_eq!(descending_nans_last(-1e300, f64::NAN), Ordering::Less);
+        assert_eq!(descending_nans_last(f64::NAN, f64::NAN), Ordering::Equal);
     }
 }

@@ -35,6 +35,25 @@ pub enum LinalgError {
         algorithm: &'static str,
         /// Iterations performed before giving up.
         iterations: usize,
+        /// Residual achieved when the budget ran out.
+        residual: f64,
+        /// Residual the algorithm was required to reach.
+        tolerance: f64,
+    },
+    /// A NaN or infinity surfaced where a finite value is required.
+    NonFinite {
+        /// Operation that observed the non-finite value.
+        op: &'static str,
+    },
+    /// A computed quantity violated a mathematical bound by more than
+    /// numerical slack (e.g. a canonical correlation far above 1).
+    OutOfRange {
+        /// Quantity that went out of range.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Bound (on the absolute value) that was violated.
+        bound: f64,
     },
     /// The input was empty where data is required.
     Empty(&'static str),
@@ -58,9 +77,19 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 algorithm,
                 iterations,
+                residual,
+                tolerance,
             } => write!(
                 f,
-                "{algorithm} failed to converge after {iterations} iterations"
+                "{algorithm} failed to converge after {iterations} iterations \
+                 (residual {residual:e} > tolerance {tolerance:e})"
+            ),
+            LinalgError::NonFinite { op } => {
+                write!(f, "non-finite value encountered in {op}")
+            }
+            LinalgError::OutOfRange { what, value, bound } => write!(
+                f,
+                "{what} out of range: |{value:e}| exceeds bound {bound:e}"
             ),
             LinalgError::Empty(what) => write!(f, "empty input: {what}"),
         }

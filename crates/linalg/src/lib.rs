@@ -20,6 +20,8 @@
 //! * [`eigen`] — cyclic-Jacobi symmetric eigendecomposition.
 //! * [`geneig`] — generalized symmetric-definite eigenproblem
 //!   `A v = λ B v` via Cholesky reduction (the KCCA core, §VI-A).
+//! * [`svd`] — truncated SVD via deterministic blocked subspace
+//!   iteration; the top-p eigensolver behind the scalable CCA path.
 //! * [`stats`] — means, variances, standardization helpers.
 //! * [`view`] — borrowed zero-copy [`MatrixView`] / [`MatrixViewMut`]
 //!   over contiguous row-major storage, the currency of the predict
@@ -36,6 +38,7 @@ pub mod icd;
 pub mod matrix;
 pub mod qr;
 pub mod stats;
+pub mod svd;
 pub mod vector;
 pub mod view;
 
@@ -46,4 +49,5 @@ pub use geneig::GeneralizedEigen;
 pub use icd::{IcdOptions, IncompleteCholesky};
 pub use matrix::Matrix;
 pub use qr::{LeastSquares, QrDecomposition};
+pub use svd::{truncated_svd, SvdOptions, TruncatedSvd};
 pub use view::{MatrixView, MatrixViewMut};

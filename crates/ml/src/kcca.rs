@@ -125,6 +125,7 @@ impl Kcca {
                 CcaOptions {
                     components: opts.components,
                     regularization: opts.regularization,
+                    ..CcaOptions::default()
                 },
             )?
         };

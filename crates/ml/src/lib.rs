@@ -31,7 +31,7 @@ pub mod metrics;
 pub mod pca;
 pub mod regression;
 
-pub use cca::{Cca, CcaOptions};
+pub use cca::{Cca, CcaMethod, CcaOptions};
 pub use decision_tree::{DecisionTree, TreeOptions};
 pub use kcca::{Kcca, KccaOptions, ProjectionScratch};
 pub use kernel::GaussianKernel;

@@ -1,0 +1,206 @@
+//! Equivalence of the two CCA eigensolvers, and determinism of the new
+//! subspace-iteration path.
+//!
+//! The reduced path (`CcaMethod::ReducedSvd`: block-Cholesky reduction
+//! plus truncated SVD by subspace iteration) must agree with the dense
+//! reference (`CcaMethod::DenseGeneralized`: full Jacobi on the
+//! `(p+q) x (p+q)` generalized problem) on random problems — the same
+//! canonical correlations, and the same canonical directions up to the
+//! per-path sign and normalization conventions. The reduced path must
+//! additionally be bitwise identical at 1 and 8 threads.
+
+use qpp_linalg::{svd, vector, Matrix, SvdOptions};
+use qpp_ml::{Cca, CcaMethod, CcaOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Paired datasets with two latent variables so several canonical
+/// directions are well-determined; `p != q` by construction.
+fn latent_pair(n: usize, p: usize, q: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, p);
+    let mut y = Matrix::zeros(n, q);
+    for i in 0..n {
+        let s: f64 = rng.random_range(-1.0..1.0);
+        let t: f64 = rng.random_range(-1.0..1.0);
+        for j in 0..p {
+            let noise = 0.05 * rng.random_range(-1.0..1.0);
+            x[(i, j)] = match j % 3 {
+                0 => s + noise,
+                1 => t - 0.5 * s + noise,
+                _ => rng.random_range(-1.0..1.0),
+            };
+        }
+        for j in 0..q {
+            let noise = 0.05 * rng.random_range(-1.0..1.0);
+            y[(i, j)] = match j % 3 {
+                0 => 2.0 * s + noise,
+                1 => -t + noise,
+                _ => rng.random_range(-1.0..1.0),
+            };
+        }
+    }
+    (x, y)
+}
+
+fn fit(x: &Matrix, y: &Matrix, components: usize, method: CcaMethod) -> Cca {
+    Cca::fit(
+        x,
+        y,
+        CcaOptions {
+            components,
+            regularization: 1e-3,
+            method,
+        },
+    )
+    .expect("cca fit")
+}
+
+/// |cos| of the angle between two vectors (1 = same direction up to
+/// sign).
+fn abs_cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = vector::norm(a).max(1e-300);
+    let nb = vector::norm(b).max(1e-300);
+    (vector::dot(a, b) / (na * nb)).abs()
+}
+
+/// Asserts both paths produce matching correlations, and matching
+/// projection directions for every well-separated component with
+/// non-trivial correlation (degenerate / near-zero components have
+/// ill-determined directions in exact arithmetic too).
+fn assert_paths_equivalent(x: &Matrix, y: &Matrix, components: usize) {
+    let reduced = fit(x, y, components, CcaMethod::ReducedSvd);
+    let dense = fit(x, y, components, CcaMethod::DenseGeneralized);
+    assert_eq!(reduced.components(), dense.components());
+    for (k, (r, d)) in reduced
+        .correlations
+        .iter()
+        .zip(dense.correlations.iter())
+        .enumerate()
+    {
+        assert!(
+            (r - d).abs() < 1e-6,
+            "correlation {k}: reduced {r} vs dense {d}"
+        );
+    }
+    // Compare canonical directions through the projections they induce
+    // (projection columns are invariant to the weight parameterization
+    // up to per-component sign and scale).
+    let pr_x = reduced.project_x_matrix(x);
+    let pd_x = dense.project_x_matrix(x);
+    let pr_y = reduced.project_y_matrix(y);
+    let pd_y = dense.project_y_matrix(y);
+    for k in 0..reduced.components() {
+        let rho = reduced.correlations[k];
+        let gap_ok =
+            k + 1 >= reduced.correlations.len() || (rho - reduced.correlations[k + 1]).abs() > 5e-2;
+        let prev_gap_ok = k == 0 || (reduced.correlations[k - 1] - rho).abs() > 5e-2;
+        if rho < 0.2 || !gap_ok || !prev_gap_ok {
+            continue; // direction not identifiable; correlation already checked
+        }
+        let cx = abs_cosine(&pr_x.col(k), &pd_x.col(k));
+        let cy = abs_cosine(&pr_y.col(k), &pd_y.col(k));
+        assert!(cx > 1.0 - 1e-5, "x projection {k} diverges: |cos| = {cx}");
+        assert!(cy > 1.0 - 1e-5, "y projection {k} diverges: |cos| = {cy}");
+    }
+}
+
+#[test]
+fn reduced_matches_dense_on_random_problems() {
+    for seed in [3, 11, 29] {
+        let (x, y) = latent_pair(250, 6, 4, seed);
+        assert_paths_equivalent(&x, &y, 4);
+    }
+}
+
+#[test]
+fn reduced_matches_dense_when_p_less_than_q() {
+    // Wide y side exercises the transpose branch of the truncated SVD.
+    let (x, y) = latent_pair(220, 3, 7, 41);
+    assert_paths_equivalent(&x, &y, 3);
+}
+
+#[test]
+fn reduced_matches_dense_on_rank_deficient_input() {
+    // Duplicate x columns: Cxx is singular before regularization, the
+    // jittered Cholesky and the ridge must keep both paths in
+    // agreement.
+    let (x0, y) = latent_pair(200, 3, 4, 17);
+    let mut x = Matrix::zeros(x0.rows(), 5);
+    for i in 0..x0.rows() {
+        for j in 0..3 {
+            x[(i, j)] = x0[(i, j)];
+        }
+        x[(i, 3)] = x0[(i, 0)]; // exact duplicates
+        x[(i, 4)] = x0[(i, 1)];
+    }
+    assert_paths_equivalent(&x, &y, 3);
+}
+
+#[test]
+fn reduced_fit_is_bitwise_identical_across_thread_counts() {
+    let (x, y) = latent_pair(300, 8, 5, 71);
+    let opts = CcaOptions {
+        components: 4,
+        regularization: 1e-3,
+        method: CcaMethod::ReducedSvd,
+    };
+    let serial = qpp_par::with_threads(1, || Cca::fit(&x, &y, opts).unwrap());
+    let parallel = qpp_par::with_threads(8, || Cca::fit(&x, &y, opts).unwrap());
+    assert_eq!(serial.correlations, parallel.correlations);
+    let ps = qpp_par::with_threads(1, || serial.project_x_matrix(&x));
+    let pp = qpp_par::with_threads(8, || parallel.project_x_matrix(&x));
+    for i in 0..ps.rows() {
+        for (a, b) in ps.row(i).iter().zip(pp.row(i).iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "projection bits differ at row {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn subspace_iteration_is_bitwise_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let m = Matrix::from_fn(120, 80, |_, _| rng.random_range(-1.0..1.0));
+    let serial = qpp_par::with_threads(1, || {
+        svd::truncated_svd(&m, 12, SvdOptions::default()).unwrap()
+    });
+    let parallel = qpp_par::with_threads(8, || {
+        svd::truncated_svd(&m, 12, SvdOptions::default()).unwrap()
+    });
+    assert_eq!(serial.iterations, parallel.iterations);
+    for (a, b) in serial
+        .singular_values
+        .iter()
+        .zip(parallel.singular_values.iter())
+    {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(serial.u, parallel.u);
+    assert_eq!(serial.v, parallel.v);
+}
+
+#[test]
+fn truncated_svd_matches_dense_gram_spectrum_on_random_matrices() {
+    for seed in [1, 9] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::from_fn(60, 40, |_, _| rng.random_range(-1.0..1.0));
+        let svd = svd::truncated_svd(&m, 6, SvdOptions::default()).unwrap();
+        let eig = qpp_linalg::SymmetricEigen::new(&m.transpose().matmul(&m).unwrap()).unwrap();
+        for (k, (s, l)) in svd
+            .singular_values
+            .iter()
+            .zip(eig.values.iter())
+            .enumerate()
+        {
+            let want = l.max(0.0).sqrt();
+            assert!(
+                (s - want).abs() < 1e-8 * want.max(1.0),
+                "σ[{k}] = {s} vs dense {want}"
+            );
+        }
+    }
+}

@@ -45,6 +45,15 @@ pub enum Stage {
     /// Regularized CCA on the ICD embeddings (the generalized
     /// eigensolve of the paper's Eq. 2).
     TrainEigensolve,
+    /// Eigensolve sub-stage: Cholesky reduction to the correlation
+    /// matrix `M = Lx⁻¹ Cxy Ly⁻ᵀ`.
+    TrainEigenReduce,
+    /// Eigensolve sub-stage: blocked subspace iteration extracting the
+    /// top singular triplets of `M` (`value` = power iterations).
+    TrainEigenSubspace,
+    /// Eigensolve sub-stage: back-transforming singular vectors into
+    /// canonical weights (`wx = Lx⁻ᵀ u`, `wy = Ly⁻ᵀ v`).
+    TrainEigenBacktransform,
     /// Building the nearest-neighbor index over the query projection.
     TrainKnnBuild,
     /// The drift detector flagged a shifted error distribution
@@ -66,7 +75,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages (sizes the per-stage accumulator arrays).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 24;
 
     /// Every stage, in declaration order (stable for reports).
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -85,6 +94,9 @@ impl Stage {
         Stage::TrainKernel,
         Stage::TrainIcd,
         Stage::TrainEigensolve,
+        Stage::TrainEigenReduce,
+        Stage::TrainEigenSubspace,
+        Stage::TrainEigenBacktransform,
         Stage::TrainKnnBuild,
         Stage::Drift,
         Stage::Retrain,
@@ -122,6 +134,9 @@ impl Stage {
             Stage::TrainKernel => "train_kernel",
             Stage::TrainIcd => "train_icd",
             Stage::TrainEigensolve => "train_eigensolve",
+            Stage::TrainEigenReduce => "train_eigen_reduce",
+            Stage::TrainEigenSubspace => "train_eigen_subspace",
+            Stage::TrainEigenBacktransform => "train_eigen_backtransform",
             Stage::TrainKnnBuild => "train_knn_build",
             Stage::Drift => "drift",
             Stage::Retrain => "retrain",
