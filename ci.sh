@@ -75,6 +75,29 @@ cargo build -q --release -p qpp-bench --bin predict_bench
 ./target/release/predict_bench --requests 1000 --sweep 400,5000,20000 \
     --gate-share 0.5 >/dev/null
 
+echo "==> serve soak gate: multi-tenant fairness, latency, and throughput"
+# The sharded serve pipeline must (a) ration completions by tenant
+# weight within 10% under sustained burst overload, (b) hold the
+# uncontended client-side p99 under 20 ms, and (c) clear a throughput
+# floor. The floor is set well under the ~21k req/s measured on the
+# 1-CPU reference box (ROADMAP's ~31k figure is from a larger machine)
+# so the gate catches a pipeline regression, not machine noise.
+cargo build -q --release -p qpp-bench --bin serve_bench
+./target/release/serve_bench --requests 10000 \
+    --gate-fairness 0.10 --gate-p99-us 20000 --gate-throughput 12000 \
+    >/dev/null
+[ -s BENCH_serve.json ] || { echo "serve soak: BENCH_serve.json missing"; exit 1; }
+SERVE_MARKS=$(grep -rc "qpp-lint: hot-path" crates/serve/src | awk -F: '{n+=$2} END {print n}')
+if [ "${SERVE_MARKS:-0}" -lt 10 ]; then
+    echo "serve soak: expected >= 10 hot-path markers in crates/serve/src, found ${SERVE_MARKS:-0}"
+    exit 1
+fi
+if grep -rq "qpp-lint: allow(" crates/serve/src; then
+    echo "serve soak: crates/serve/src carries a lint waiver; it must be clean without opt-outs"
+    exit 1
+fi
+echo "serve soak OK: fairness/p99/throughput gates passed, $SERVE_MARKS hot-path markers pinned"
+
 echo "==> equivalence gate: reduced vs dense CCA paths must actually run"
 # The svd_equivalence suite is the proof that the fast path matches the
 # dense reference; a filtered-out or silently skipped run must fail CI.

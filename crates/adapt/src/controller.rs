@@ -332,8 +332,12 @@ impl AdaptiveController {
             Self::stash(&mut st, record, &self.options);
             return None;
         }
-        let errors = self.tracker.record(
+        // Tenant-attributed: the serve layer resolved the request's
+        // tenant, so drift can be localized to the workload owner that
+        // produced it.
+        let errors = self.tracker.record_attributed(
             &record.spec.template,
+            response.tenant.0,
             &response.prediction.metrics,
             &record.metrics,
         );

@@ -22,6 +22,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// allocating; TPC-DS has far fewer distinct templates.
 pub const TEMPLATE_SLOTS: usize = 64;
 
+/// Fixed number of per-tenant attribution slots. Tenants beyond this
+/// still count globally and per template; only their per-tenant
+/// breakdown is dropped (tracked in [`ErrorTracker::tenant_dropped`]).
+pub const TENANT_SLOTS: usize = 32;
+
 /// Fixed-point scale for error-sum accumulators: errors are summed as
 /// integer micro-units so concurrent accumulation is exact and
 /// order-independent (no float rounding races).
@@ -114,14 +119,47 @@ impl Slot {
     }
 }
 
+/// One per-tenant accumulator slot: like a template [`Slot`] but keyed
+/// by the numeric tenant ID (no name to publish, so claiming is a
+/// single `compare_exchange` and nothing allocates, ever).
+#[derive(Debug)]
+struct TenantSlot {
+    /// `tenant_id + 1`; 0 = unclaimed.
+    id: AtomicU64,
+    /// Pairs recorded for this tenant.
+    count: Counter,
+    /// Fixed-point (micro-unit) per-metric error sums.
+    err_sum: [Counter; PerfMetrics::DIM],
+}
+
+impl TenantSlot {
+    fn empty() -> TenantSlot {
+        TenantSlot {
+            id: AtomicU64::new(0),
+            count: Counter::new(),
+            err_sum: [
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+            ],
+        }
+    }
+}
+
 /// Streaming error distributions over completed queries.
 #[derive(Debug)]
 pub struct ErrorTracker {
     slots: Box<[Slot]>,
+    tenant_slots: Box<[TenantSlot]>,
     /// Pairs recorded (all templates, including dropped ones).
     total: Counter,
     /// Pairs whose template found no free slot (table full).
     dropped: Counter,
+    /// Pairs whose tenant found no free attribution slot.
+    tenant_dropped: Counter,
     /// Global fixed-point per-metric error sums.
     global_sum: [Counter; PerfMetrics::DIM],
     /// Global per-metric error histograms over milli-units of
@@ -153,8 +191,10 @@ impl ErrorTracker {
     pub fn new() -> ErrorTracker {
         ErrorTracker {
             slots: (0..TEMPLATE_SLOTS).map(|_| Slot::empty()).collect(),
+            tenant_slots: (0..TENANT_SLOTS).map(|_| TenantSlot::empty()).collect(),
             total: Counter::new(),
             dropped: Counter::new(),
+            tenant_dropped: Counter::new(),
             global_sum: [
                 Counter::new(),
                 Counter::new(),
@@ -205,6 +245,59 @@ impl ErrorTracker {
         errors
     }
 
+    /// Like [`ErrorTracker::record`], additionally attributing the pair
+    /// to `tenant` (the numeric tenant ID the serve layer resolved the
+    /// request to). The serve pipeline is multi-tenant; attributing
+    /// prediction error per tenant lets operators see *whose* workload
+    /// the model drifted on, not just that it drifted.
+    ///
+    /// Lock-free and allocation-free like `record`.
+    // qpp-lint: hot-path
+    pub fn record_attributed(
+        &self,
+        template: &str,
+        tenant: u32,
+        predicted: &PerfMetrics,
+        observed: &PerfMetrics,
+    ) -> [f64; PerfMetrics::DIM] {
+        let errors = self.record(template, predicted, observed);
+        match self.claim_tenant(tenant) {
+            Some(slot) => {
+                slot.count.incr();
+                for (i, e) in errors.iter().enumerate() {
+                    slot.err_sum[i].add(to_fixed(*e));
+                }
+            }
+            None => self.tenant_dropped.incr(),
+        }
+        errors
+    }
+
+    /// Finds or claims the attribution slot for `tenant`. Open
+    /// addressing with linear probing, keyed by `tenant_id + 1`.
+    fn claim_tenant(&self, tenant: u32) -> Option<&TenantSlot> {
+        let key = tenant as u64 + 1;
+        let start = (key % TENANT_SLOTS as u64) as usize;
+        for probe in 0..TENANT_SLOTS {
+            let slot = &self.tenant_slots[(start + probe) % TENANT_SLOTS];
+            let current = slot.id.load(Ordering::Acquire);
+            if current == key {
+                return Some(slot);
+            }
+            if current == 0 {
+                match slot
+                    .id
+                    .compare_exchange(0, key, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => return Some(slot),
+                    Err(existing) if existing == key => return Some(slot),
+                    Err(_) => continue, // raced by another tenant; keep probing
+                }
+            }
+        }
+        None
+    }
+
     /// Finds or claims the slot for `template`. Open addressing with
     /// linear probing; claim is one `compare_exchange` on the hash.
     fn claim(&self, template: &str) -> Option<&Slot> {
@@ -241,6 +334,69 @@ impl ErrorTracker {
     /// Pairs dropped because the template table was full.
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
+    }
+
+    /// Pairs whose per-tenant attribution was dropped (tenant table
+    /// full). The pair itself still counted globally and per template.
+    pub fn tenant_dropped(&self) -> u64 {
+        self.tenant_dropped.get()
+    }
+
+    /// Pairs attributed to `tenant`, 0 for an unseen tenant.
+    pub fn tenant_observations(&self, tenant: u32) -> u64 {
+        self.tenant_slot(tenant).map(|s| s.count.get()).unwrap_or(0)
+    }
+
+    /// Mean absolute log-ratio error of one metric for `tenant`'s
+    /// completed queries, 0.0 before any observation.
+    pub fn tenant_mean(&self, tenant: u32, metric: usize) -> f64 {
+        match self.tenant_slot(tenant) {
+            Some(slot) => {
+                let n = slot.count.get();
+                if n == 0 {
+                    0.0
+                } else {
+                    from_fixed(slot.err_sum[metric].get()) / n as f64
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Tenant IDs with at least one attributed pair, ascending
+    /// (deterministic output regardless of claim order).
+    pub fn tenant_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .tenant_slots
+            .iter()
+            .filter_map(|s| {
+                let key = s.id.load(Ordering::Acquire);
+                if key == 0 {
+                    None
+                } else {
+                    Some((key - 1) as u32)
+                }
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Read-only lookup of a claimed tenant slot (no claiming).
+    fn tenant_slot(&self, tenant: u32) -> Option<&TenantSlot> {
+        let key = tenant as u64 + 1;
+        let start = (key % TENANT_SLOTS as u64) as usize;
+        for probe in 0..TENANT_SLOTS {
+            let slot = &self.tenant_slots[(start + probe) % TENANT_SLOTS];
+            let current = slot.id.load(Ordering::Acquire);
+            if current == key {
+                return Some(slot);
+            }
+            if current == 0 {
+                return None;
+            }
+        }
+        None
     }
 
     /// Global mean absolute log-ratio error for one metric (canonical
@@ -430,6 +586,40 @@ mod tests {
             n += r.count;
         }
         assert_eq!(n, 1000, "per-template counts must sum to the total");
+    }
+
+    #[test]
+    fn tenant_attribution_tracks_separately_from_templates() {
+        let t = ErrorTracker::new();
+        // Tenant 7 runs a well-predicted workload; tenant 3's drifted.
+        for _ in 0..4 {
+            t.record_attributed("q1", 7, &metrics(1.0), &metrics(1.0));
+            t.record_attributed("q1", 3, &metrics(3.0), &metrics(1.0));
+        }
+        assert_eq!(t.observations(), 8);
+        assert_eq!(t.tenant_observations(7), 4);
+        assert_eq!(t.tenant_observations(3), 4);
+        assert_eq!(t.tenant_observations(99), 0, "unseen tenant is zero");
+        assert!(t.tenant_mean(7, 0) < 1e-3, "{}", t.tenant_mean(7, 0));
+        assert!(t.tenant_mean(3, 0) > 0.5, "{}", t.tenant_mean(3, 0));
+        assert_eq!(t.tenant_ids(), vec![3, 7], "ascending, deterministic");
+        // The shared template still pooled both tenants' pairs.
+        let rows = t.template_snapshot();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, 8);
+        assert_eq!(t.tenant_dropped(), 0);
+    }
+
+    #[test]
+    fn tenant_table_overflow_drops_attribution_only() {
+        let t = ErrorTracker::new();
+        for id in 0..(TENANT_SLOTS as u32 + 5) {
+            t.record_attributed("q", id, &metrics(2.0), &metrics(1.0));
+        }
+        assert_eq!(t.tenant_dropped(), 5);
+        // The pairs themselves were never lost.
+        assert_eq!(t.observations(), TENANT_SLOTS as u64 + 5);
+        assert_eq!(t.tenant_ids().len(), TENANT_SLOTS);
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! Serve-path soak benchmark for the sharded multi-tenant pipeline.
+//! Phase 1 drives an uncontended single-tenant load and reports raw
+//! throughput and client-side latency quantiles; phase 2 overloads a
+//! small worker pool with 60+ closed-loop clients spread over three
+//! weighted tenants and reports each tenant's completion share against
+//! its deficit-round-robin fair share. Writes `BENCH_serve.json` in the
+//! working directory.
+//!
+//! ```text
+//! cargo run --release -p qpp-bench --bin serve_bench
+//! cargo run --release -p qpp-bench --bin serve_bench -- \
+//!     --requests 20000 --workers 4 --burst-ms 2000 \
+//!     --gate-fairness 0.10 --gate-p99-us 20000 --gate-throughput 12000
+//! ```
+
+use qpp_core::baselines::OptimizerCostModel;
+use qpp_core::pipeline::collect_tpcds;
+use qpp_core::{Dataset, FeatureKind, KccaPredictor, PredictorOptions};
+use qpp_engine::SystemConfig;
+use qpp_serve::{
+    ModelKey, ModelRegistry, PredictRequest, PredictionService, QppError, ServeOptions, TenantId,
+    TenantSpec,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    batch: usize,
+    queue: usize,
+    burst_clients: usize,
+    burst: Duration,
+    gate_fairness: Option<f64>,
+    gate_p99_us: Option<f64>,
+    gate_throughput: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 20_000,
+        clients: 8,
+        workers: 4,
+        batch: 16,
+        queue: 512,
+        burst_clients: 22,
+        burst: Duration::from_millis(2_000),
+        gate_fairness: None,
+        gate_p99_us: None,
+        gate_throughput: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> f64 {
+            argv.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{} needs a numeric value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--requests" => args.requests = value(i) as usize,
+            "--clients" => args.clients = (value(i) as usize).max(1),
+            "--workers" => args.workers = (value(i) as usize).max(1),
+            "--batch" => args.batch = (value(i) as usize).max(1),
+            "--queue" => args.queue = (value(i) as usize).max(1),
+            "--burst-clients" => args.burst_clients = (value(i) as usize).max(1),
+            "--burst-ms" => args.burst = Duration::from_millis(value(i) as u64),
+            "--gate-fairness" => args.gate_fairness = Some(value(i)),
+            "--gate-p99-us" => args.gate_p99_us = Some(value(i)),
+            "--gate-throughput" => args.gate_throughput = Some(value(i)),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    v
+}
+
+fn start_service(
+    registry: &Arc<ModelRegistry>,
+    args: &Args,
+    workers: usize,
+    shards: usize,
+    tenants: Vec<TenantSpec>,
+) -> Arc<PredictionService> {
+    Arc::new(PredictionService::start(
+        Arc::clone(registry),
+        ServeOptions {
+            workers,
+            shards,
+            queue_capacity: args.queue,
+            max_batch: args.batch,
+            tenants,
+            ..ServeOptions::default()
+        },
+    ))
+}
+
+fn request(live: &Dataset, i: usize, key: &ModelKey, tenant: TenantId) -> PredictRequest {
+    let r = &live.records[i % live.records.len()];
+    PredictRequest {
+        key: key.clone(),
+        tenant,
+        spec: r.spec.clone(),
+        plan: r.optimized.plan.clone(),
+        deadline: Duration::from_secs(30),
+    }
+}
+
+/// Phase 1: closed-loop clients against a full worker complement, no
+/// contention for shard slots — the raw pipeline throughput.
+fn run_uncontended(
+    registry: &Arc<ModelRegistry>,
+    key: &ModelKey,
+    live: &Dataset,
+    args: &Args,
+) -> (f64, f64, f64) {
+    let service = start_service(registry, args, args.workers, 0, Vec::new());
+    let per_client = args.requests.div_ceil(args.clients);
+    eprintln!(
+        "phase 1 (uncontended): {} requests via {} clients -> {} workers",
+        per_client * args.clients,
+        args.clients,
+        args.workers,
+    );
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            let live = live.clone();
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let mut lat_us = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let t = Instant::now();
+                    service
+                        .submit(request(&live, c * per_client + i, &key, TenantId(0)))
+                        .expect("uncontended load is never shed");
+                    lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                }
+                lat_us
+            })
+        })
+        .collect();
+    let lat: Vec<f64> = clients
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    let lat = sorted(lat);
+    (
+        lat.len() as f64 / wall,
+        quantile(&lat, 0.50),
+        quantile(&lat, 0.99),
+    )
+}
+
+/// One tenant's outcome under the burst phase.
+struct TenantOutcome {
+    id: u32,
+    name: &'static str,
+    weight: u32,
+    clients: usize,
+    completed: u64,
+    shed: u64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Phase 2: three weighted tenants, each with its own closed-loop
+/// client herd, against a deliberately small worker pool so every shard
+/// stays backlogged and the deficit-round-robin gate decides who runs.
+fn run_burst(
+    registry: &Arc<ModelRegistry>,
+    key: &ModelKey,
+    live: &Dataset,
+    args: &Args,
+) -> (Vec<TenantOutcome>, f64) {
+    let tenants: [(u32, &'static str, u32); 3] =
+        [(1, "interactive", 3), (2, "reporting", 2), (3, "batch", 1)];
+    let specs = tenants
+        .iter()
+        .map(|&(id, name, w)| TenantSpec::new(TenantId(id), name).weight(w))
+        .collect();
+    // Two workers against 3 * burst_clients closed loops: sustained
+    // overload, so completions are rationed by weight, not by arrival.
+    // One shard: weighted fair share is a per-admission-domain property
+    // (each shard's deficit round-robin arbitrates the tenants hashed to
+    // it), so the fairness measurement pins all three tenants into a
+    // single domain instead of letting the tenant->shard hash split
+    // them across independently-arbitrated queues.
+    let service = start_service(registry, args, 2, 1, specs);
+    eprintln!(
+        "phase 2 (burst): {} clients per tenant x {:?} for {:?}",
+        args.burst_clients,
+        tenants.map(|t| t.1),
+        args.burst,
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let herds: Vec<_> = tenants
+        .iter()
+        .flat_map(|&(id, _, _)| (0..args.burst_clients).map(move |c| (id, c)))
+        .map(|(id, c)| {
+            let service = Arc::clone(&service);
+            let live = live.clone();
+            let key = key.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut completed = 0u64;
+                let mut shed = 0u64;
+                let mut lat_us = Vec::new();
+                let mut i = c * 1009;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    match service.submit(request(&live, i, &key, TenantId(id))) {
+                        Ok(_) => {
+                            completed += 1;
+                            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                        }
+                        Err(QppError::QueueFull { .. })
+                        | Err(QppError::TenantQuotaExceeded { .. }) => {
+                            shed += 1;
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(e) => panic!("burst client hit {e}"),
+                    }
+                    i += 1;
+                }
+                (id, completed, shed, lat_us)
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    std::thread::sleep(args.burst);
+    stop.store(true, Ordering::Relaxed);
+    let mut per_tenant: Vec<(u64, u64, Vec<f64>)> = vec![(0, 0, Vec::new()); 3];
+    for h in herds {
+        let (id, completed, shed, lat) = h.join().unwrap();
+        let slot = &mut per_tenant[id as usize - 1];
+        slot.0 += completed;
+        slot.1 += shed;
+        slot.2.extend(lat);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let outcomes = tenants
+        .iter()
+        .zip(per_tenant)
+        .map(|(&(id, name, weight), (completed, shed, lat))| {
+            let lat = sorted(lat);
+            TenantOutcome {
+                id,
+                name,
+                weight,
+                clients: args.burst_clients,
+                completed,
+                shed,
+                p50_us: quantile(&lat, 0.50),
+                p99_us: quantile(&lat, 0.99),
+            }
+        })
+        .collect::<Vec<_>>();
+    let total: u64 = outcomes.iter().map(|t| t.completed).sum();
+    (outcomes, total as f64 / wall)
+}
+
+fn main() {
+    let args = parse_args();
+    let config = SystemConfig::neoview_4();
+    eprintln!("training serving model …");
+    let train = collect_tpcds(400, 31, &config, 4);
+    let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+    let fallback = OptimizerCostModel::train(&train).unwrap();
+    let key = ModelKey::new(config.name.clone(), FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(key.clone(), model, fallback);
+    let live = collect_tpcds(200, 93, &config, 4);
+
+    let (throughput, p50, p99) = run_uncontended(&registry, &key, &live, &args);
+    eprintln!(
+        "uncontended: {:.0} req/s, p50 {:.0} us, p99 {:.0} us",
+        throughput, p50, p99,
+    );
+
+    let (burst, burst_throughput) = run_burst(&registry, &key, &live, &args);
+    let total: u64 = burst.iter().map(|t| t.completed).sum();
+    let total_weight: u32 = burst.iter().map(|t| t.weight).sum();
+    let mut worst_fairness_err = 0.0f64;
+    let tenant_rows: Vec<String> = burst
+        .iter()
+        .map(|t| {
+            let share = t.completed as f64 / total.max(1) as f64;
+            let fair = t.weight as f64 / total_weight as f64;
+            let err = (share - fair).abs() / fair;
+            worst_fairness_err = worst_fairness_err.max(err);
+            eprintln!(
+                "burst tenant {} ({}): weight {} -> share {:.3} (fair {:.3}, err {:.1}%), \
+                 completed {}, shed {}, p50 {:.0} us, p99 {:.0} us",
+                t.id,
+                t.name,
+                t.weight,
+                share,
+                fair,
+                err * 100.0,
+                t.completed,
+                t.shed,
+                t.p50_us,
+                t.p99_us,
+            );
+            format!(
+                "    {{\"id\": {}, \"name\": \"{}\", \"weight\": {}, \"clients\": {}, \"completed\": {}, \"shed\": {}, \"share\": {:.4}, \"fair_share\": {:.4}, \"share_err\": {:.4}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+                t.id, t.name, t.weight, t.clients, t.completed, t.shed, share, fair, err, t.p50_us, t.p99_us,
+            )
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"workers\": {},\n  \"queue_capacity\": {},\n  \"max_batch\": {},\n  \"uncontended\": {{\n    \"requests\": {},\n    \"clients\": {},\n    \"throughput_per_sec\": {:.1},\n    \"p50_us\": {:.1},\n    \"p99_us\": {:.1}\n  }},\n  \"burst\": {{\n    \"duration_ms\": {},\n    \"throughput_per_sec\": {:.1},\n    \"worst_fairness_err\": {:.4},\n    \"tenants\": [\n{}\n    ]\n  }}\n}}\n",
+        args.workers,
+        args.queue,
+        args.batch,
+        args.requests,
+        args.clients,
+        throughput,
+        p50,
+        p99,
+        args.burst.as_millis(),
+        burst_throughput,
+        worst_fairness_err,
+        tenant_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_serve.json");
+
+    let mut failed = false;
+    if let Some(limit) = args.gate_fairness {
+        if worst_fairness_err > limit {
+            eprintln!(
+                "GATE FAIL: worst per-tenant fairness error {:.1}% exceeds {:.1}%",
+                worst_fairness_err * 100.0,
+                limit * 100.0,
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "gate ok: fairness err {:.1}% <= {:.1}%",
+                worst_fairness_err * 100.0,
+                limit * 100.0,
+            );
+        }
+    }
+    if let Some(limit) = args.gate_p99_us {
+        if p99 > limit {
+            eprintln!("GATE FAIL: uncontended p99 {p99:.0} us exceeds {limit:.0} us");
+            failed = true;
+        } else {
+            eprintln!("gate ok: uncontended p99 {p99:.0} us <= {limit:.0} us");
+        }
+    }
+    if let Some(limit) = args.gate_throughput {
+        if throughput < limit {
+            eprintln!("GATE FAIL: uncontended throughput {throughput:.0} req/s below {limit:.0}");
+            failed = true;
+        } else {
+            eprintln!("gate ok: uncontended throughput {throughput:.0} >= {limit:.0} req/s");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

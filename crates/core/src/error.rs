@@ -63,6 +63,15 @@ pub enum QppError {
         /// Configured queue capacity.
         capacity: usize,
     },
+    /// A tenant exceeded its admission quota: the request was shed
+    /// before touching any queue shard, so one tenant flooding the
+    /// gateway cannot displace another tenant's traffic.
+    TenantQuotaExceeded {
+        /// Numeric tenant ID whose quota was exhausted.
+        tenant: u32,
+        /// The tenant's configured quota (max queued requests).
+        quota: usize,
+    },
     /// The serving queue is draining for shutdown; no new requests.
     ShuttingDown,
     /// No model is registered under the requested key.
@@ -83,8 +92,10 @@ impl QppError {
             QppError::Linalg { context: c, .. }
             | QppError::Knn { context: c, .. }
             | QppError::ModelIo { context: c, .. } => *c = context,
-            QppError::QueueFull { .. } | QppError::ShuttingDown | QppError::UnknownModel { .. } => {
-            }
+            QppError::QueueFull { .. }
+            | QppError::TenantQuotaExceeded { .. }
+            | QppError::ShuttingDown
+            | QppError::UnknownModel { .. } => {}
         }
         self
     }
@@ -111,6 +122,12 @@ impl fmt::Display for QppError {
             QppError::QueueFull { capacity } => {
                 write!(f, "serving queue is full (capacity {capacity})")
             }
+            QppError::TenantQuotaExceeded { tenant, quota } => {
+                write!(
+                    f,
+                    "tenant {tenant} exceeded its admission quota ({quota} queued)"
+                )
+            }
             QppError::ShuttingDown => write!(f, "service is shutting down"),
             QppError::UnknownModel { key } => write!(f, "no model registered under key {key:?}"),
         }
@@ -123,9 +140,10 @@ impl std::error::Error for QppError {
             QppError::Linalg { source, .. } => Some(source),
             QppError::Knn { source, .. } => Some(source),
             QppError::ModelIo { source, .. } => Some(source.as_ref()),
-            QppError::QueueFull { .. } | QppError::ShuttingDown | QppError::UnknownModel { .. } => {
-                None
-            }
+            QppError::QueueFull { .. }
+            | QppError::TenantQuotaExceeded { .. }
+            | QppError::ShuttingDown
+            | QppError::UnknownModel { .. } => None,
         }
     }
 }

@@ -53,6 +53,57 @@ fn obs_crate_is_lint_clean_with_no_alloc_waivers() {
     }
 }
 
+/// The sharded serve data plane (queue push/drain, stats cells, tenant
+/// resolution, registry routing) is covered by `no-alloc-hot-path`
+/// markers rather than exempted from them: the admission gate and the
+/// deficit-round-robin drain run on every request, so they must stay
+/// allocation-free by construction. This pins both directions — the
+/// markers exist (a refactor can't silently drop the coverage) and no
+/// waiver weakens them.
+#[test]
+fn serve_hot_paths_stay_marked_and_waiver_free() {
+    let serve_dir = format!("{}/../../crates/serve", env!("CARGO_MANIFEST_DIR"));
+    let (diags, errors) = lint_paths(std::slice::from_ref(&serve_dir));
+    assert!(errors.is_empty(), "walk errors: {errors:?}");
+    assert!(
+        diags.is_empty(),
+        "qpp-serve must be lint-clean:\n{}",
+        qpp_lint::render_human(&diags)
+    );
+
+    let src_dir = std::path::Path::new(&serve_dir).join("src");
+    let mut markers = 0usize;
+    let mut sources = 0usize;
+    for entry in std::fs::read_dir(&src_dir).expect("read crates/serve/src") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        sources += 1;
+        let text = std::fs::read_to_string(&path).expect("read serve source");
+        markers += text.matches("qpp-lint: hot-path").count();
+        assert!(
+            !text.contains("allow(no-alloc-hot-path)"),
+            "{} opts out of no-alloc-hot-path; serve data-plane code must \
+             be allocation-free without waivers",
+            path.display()
+        );
+        assert!(
+            !text.contains("qpp-lint: allow("),
+            "{} carries a lint waiver; qpp-serve must be clean without \
+             opt-outs",
+            path.display()
+        );
+    }
+    assert!(sources >= 5, "crates/serve/src holds the pipeline modules");
+    assert!(
+        markers >= 10,
+        "expected >= 10 hot-path markers across crates/serve/src, found \
+         {markers}; the admission/drain/stats fast paths must stay under \
+         the no-alloc rule"
+    );
+}
+
 /// The continuous-learning crate records errors on the completion path
 /// and feeds the deterministic drift detector, so it gets the same
 /// treatment as qpp-obs: lint-clean with ZERO rule waivers of any kind.

@@ -71,11 +71,19 @@ pub enum Stage {
     /// Post-swap error regressed and the model was demoted to the
     /// optimizer-cost baseline (mark; `value` = demoted generation).
     KillSwitch,
+    /// The admission gateway shed a request (mark; `value` packs the
+    /// tenant/shard tags — see [`crate::pack_tags`] — around a reason
+    /// code: 0 = every candidate queue shard was full, 1 = the tenant's
+    /// own quota was exhausted).
+    AdmissionReject,
+    /// One deficit-round-robin drain cycle on a queue shard (mark;
+    /// `value` packs the shard tag around the drained batch size).
+    FairShare,
 }
 
 impl Stage {
     /// Number of stages (sizes the per-stage accumulator arrays).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 26;
 
     /// Every stage, in declaration order (stable for reports).
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -103,6 +111,8 @@ impl Stage {
         Stage::ShadowScore,
         Stage::CanarySwap,
         Stage::KillSwitch,
+        Stage::AdmissionReject,
+        Stage::FairShare,
     ];
 
     /// Dense index into per-stage accumulators.
@@ -143,6 +153,8 @@ impl Stage {
             Stage::ShadowScore => "shadow_score",
             Stage::CanarySwap => "canary_swap",
             Stage::KillSwitch => "kill_switch",
+            Stage::AdmissionReject => "admission_reject",
+            Stage::FairShare => "fair_share",
         }
     }
 }

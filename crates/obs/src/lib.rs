@@ -243,6 +243,32 @@ pub fn with_trace<R>(trace_id: u64, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Payload bits available next to the shard/tenant tags in a packed
+/// event value (see [`pack_tags`]).
+pub const TAG_PAYLOAD_BITS: u32 = 40;
+
+/// Packs multi-tenant serve tags into an event's free-form `value`
+/// word: `[tenant:16][shard:8][payload:40]`. The serve layer stamps
+/// admission / queue-wait / worker spans (and `admission_reject` /
+/// `fair_share` marks) with the tenant and queue shard that handled
+/// the request, so a trace reader can attribute every span without a
+/// side table. Payloads wider than 40 bits are truncated; tenant IDs
+/// above `u16::MAX` and shard indices above `u8::MAX` wrap (tags are
+/// diagnostics, never control flow).
+// qpp-lint: hot-path
+pub fn pack_tags(tenant: u16, shard: u8, payload: u64) -> u64 {
+    ((tenant as u64) << 48) | ((shard as u64) << 40) | (payload & ((1u64 << TAG_PAYLOAD_BITS) - 1))
+}
+
+/// Inverse of [`pack_tags`]: `(tenant, shard, payload)`.
+pub fn unpack_tags(value: u64) -> (u16, u8, u64) {
+    (
+        (value >> 48) as u16,
+        ((value >> 40) & 0xff) as u8,
+        value & ((1u64 << TAG_PAYLOAD_BITS) - 1),
+    )
+}
+
 /// An in-flight span. Records itself (under the thread's current trace
 /// at drop time) when dropped; timing uses the global recorder's
 /// monotonic epoch.
@@ -458,6 +484,23 @@ mod tests {
         for t in 1..=4 {
             assert_eq!(r.export_trace(t).len(), 500);
         }
+    }
+
+    #[test]
+    fn tag_packing_round_trips() {
+        for (tenant, shard, payload) in [
+            (0u16, 0u8, 0u64),
+            (7, 3, 12345),
+            (u16::MAX, u8::MAX, (1u64 << TAG_PAYLOAD_BITS) - 1),
+        ] {
+            let packed = pack_tags(tenant, shard, payload);
+            assert_eq!(unpack_tags(packed), (tenant, shard, payload));
+        }
+        // Oversized payloads truncate instead of corrupting the tags.
+        let packed = pack_tags(9, 2, u64::MAX);
+        let (tenant, shard, payload) = unpack_tags(packed);
+        assert_eq!((tenant, shard), (9, 2));
+        assert_eq!(payload, (1u64 << TAG_PAYLOAD_BITS) - 1);
     }
 
     #[test]

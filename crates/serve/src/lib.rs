@@ -1,32 +1,42 @@
-//! qpp-serve: a concurrent online prediction service.
+//! qpp-serve: a concurrent, multi-tenant online prediction service.
 //!
 //! The paper trains KCCA models offline and ships them to customer
 //! sites; this crate is the *serving side* of that story — the piece
 //! that answers "should we run this query?" while the database is live:
 //!
 //! - [`ModelRegistry`]: versioned models keyed by system configuration
-//!   and feature kind, hot-swappable (atomic `Arc` replacement) without
+//!   and feature kind, sharded by key hash so lookups on different keys
+//!   never contend, hot-swappable (atomic `Arc` replacement) without
 //!   stopping the service, loaded through `qpp_core::model_io`'s
 //!   versioned, checksummed envelopes.
-//! - [`RequestQueue`]: a bounded queue with reject-on-full backpressure
-//!   and micro-batch draining.
-//! - [`PredictionService`]: a worker pool answering each micro-batch
-//!   with a single batched KCCA projection + kNN pass, composing the
-//!   prediction with `qpp_core::workload_mgmt` admission policies
-//!   (admit with kill-timeout / reject / review).
+//! - [`TenantId`] / [`TenantSpec`] / [`TenantTable`]: the multi-tenant
+//!   identity layer — per-tenant fair-share weights and admission
+//!   quotas, with a catch-all default tenant.
+//! - [`ShardedQueue`]: N queue shards (hash-by-tenant placement with
+//!   power-of-two-choices on overflow), each holding one FIFO lane per
+//!   tenant and draining them by weighted deficit round-robin;
+//!   reject-on-full and reject-over-quota backpressure.
+//! - [`PredictionService`]: a worker pool where each worker drains a
+//!   slice of the shards, orders each fair-share micro-batch by
+//!   predicted cost class (feather / golf ball / bowling ball), and
+//!   answers each (model, class) group with a single batched KCCA
+//!   projection + kNN pass, composing the prediction with
+//!   `qpp_core::workload_mgmt` admission policies (admit with
+//!   kill-timeout / reject / review).
 //! - Deadline fallback: when a request's deadline expires before the
 //!   KCCA answer lands, the caller is answered from the O(1)
 //!   optimizer-cost baseline instead — bounded latency, graceful
 //!   degradation.
-//! - [`ServiceStats`]: lock-free counters and latency quantiles exposed
-//!   through a [`StatsSnapshot`] API, built on `qpp_obs` metric
-//!   primitives.
-//! - Tracing: every accepted request gets a `qpp_obs` trace ID at
-//!   admission, carried through the queue, the worker, and the
-//!   prediction; `qpp_obs::recorder().export_trace(id)` reconstructs a
-//!   request's timeline (admission → queue wait → worker → predict,
-//!   plus a `fallback` marker when the deadline answer was used). The
-//!   ID is returned on [`ServeResponse::trace_id`].
+//! - [`ServiceStats`]: lock-free counters and latency histograms
+//!   sharded per (queue shard, tenant), merged in fixed order into a
+//!   [`StatsSnapshot`] with a per-tenant breakdown — deterministic
+//!   totals and quantiles regardless of worker timing.
+//! - Tracing: every request gets a `qpp_obs` trace ID at admission,
+//!   carried through the queue, the worker, and the prediction — and
+//!   through *rejections*, which record tagged `admission_reject` marks;
+//!   spans pack their shard/tenant into the value word
+//!   (`qpp_obs::pack_tags`). The ID is returned on
+//!   [`ServeResponse::trace_id`].
 //!
 //! Every fallible API returns [`QppError`], the workspace-level error
 //! of the predict path (re-exported for embedders).
@@ -38,12 +48,14 @@ pub mod queue;
 pub mod registry;
 pub mod service;
 pub mod stats;
+pub mod tenant;
 
 pub use qpp_core::{QppError, QppResult};
-pub use queue::{PushError, RequestQueue};
+pub use queue::{PushError, PushReceipt, QueueShard, ShardedQueue};
 pub use registry::{ModelEntry, ModelKey, ModelRegistry, SwapRace};
 pub use service::{
     AnswerSource, CompletionObserver, PendingPrediction, PredictRequest, PredictionService,
-    ServeOptions, ServeResponse,
+    ServeOptions, ServeResponse, REJECT_OVER_QUOTA, REJECT_QUEUE_FULL,
 };
-pub use stats::{LatencyQuantile, ServiceStats, StatsSnapshot};
+pub use stats::{LatencyQuantile, ServiceStats, StatsCell, StatsSnapshot, TenantSnapshot};
+pub use tenant::{TenantId, TenantSpec, TenantTable, DEFAULT_TENANT};

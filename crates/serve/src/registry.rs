@@ -100,14 +100,28 @@ impl std::fmt::Display for SwapRace {
     }
 }
 
-/// Concurrent registry of prediction models.
+/// Default lock-shard count for the registry.
+const DEFAULT_REGISTRY_SHARDS: usize = 8;
+
+/// Concurrent registry of prediction models, sharded by key hash.
 ///
-/// Backed by a `BTreeMap` so every listing (`keys()`) is sorted by
-/// `(config, feature tag)` — hash-map iteration order is randomized per
-/// process and must never reach service output.
-#[derive(Debug, Default)]
+/// Each shard is a `BTreeMap` behind its own `RwLock`: a key lives in
+/// exactly one shard (a stable FNV-1a hash of the key), so workers
+/// resolving models for different keys never contend on one lock, and
+/// every guarded operation on a key is linearized by that key's shard
+/// lock. Versions are minted from one registry-wide atomic counter, so
+/// the generation guards (`swap_if_current`, `demote_if_current`) stay
+/// correct across shards: a version uniquely identifies one entry no
+/// matter which shard holds it.
+///
+/// BTreeMaps (not hash maps) keep each shard's iteration sorted by
+/// `(config, feature tag)`; [`ModelRegistry::keys`] merges the shards'
+/// sorted runs in order, so listings are deterministic regardless of
+/// install order *and* shard count — hash-map iteration order is
+/// randomized per process and must never reach service output.
+#[derive(Debug)]
 pub struct ModelRegistry {
-    models: RwLock<BTreeMap<ModelKey, Arc<ModelEntry>>>,
+    shards: Vec<RwLock<BTreeMap<ModelKey, Arc<ModelEntry>>>>,
     /// Total installs (first install counts); `swap_count()` reports
     /// installs that *replaced* an existing entry.
     installs: AtomicU64,
@@ -115,10 +129,49 @@ pub struct ModelRegistry {
     demotions: AtomicU64,
 }
 
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_REGISTRY_SHARDS)
+    }
+}
+
 impl ModelRegistry {
-    /// An empty registry.
+    /// An empty registry with the default shard count.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty registry with an explicit shard count (tests exercise
+    /// listing determinism across counts; embedders can right-size).
+    pub fn with_shards(shards: usize) -> Self {
+        ModelRegistry {
+            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+            installs: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `key`: a stable FNV-1a hash over the key's
+    /// config name and feature tag, so placement never depends on
+    /// process-randomized hashing.
+    // qpp-lint: hot-path
+    fn shard_of(&self, key: &ModelKey) -> &RwLock<BTreeMap<ModelKey, Arc<ModelEntry>>> {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in key.config.bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        for b in key.tag.bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
     /// Installs (or hot-swaps) a model under `key`, returning the new
@@ -137,7 +190,7 @@ impl ModelRegistry {
             version,
             degraded: false,
         });
-        let replaced = self.models.write().insert(key, entry).is_some();
+        let replaced = self.shard_of(&key).write().insert(key, entry).is_some();
         if replaced {
             self.swaps.fetch_add(1, Ordering::Relaxed);
         }
@@ -170,7 +223,11 @@ impl ModelRegistry {
         predictor: KccaPredictor,
         fallback: OptimizerCostModel,
     ) -> Result<u64, SwapRace> {
-        let mut models = self.models.write();
+        // The guard and the insert happen under one shard write lock:
+        // concurrent guarded operations on the same key serialize on
+        // that shard, which is all the generation guard needs — entries
+        // for other keys (other shards) proceed untouched.
+        let mut models = self.shard_of(&key).write();
         let found = models.get(&key).map(|e| e.version);
         if found != Some(expected) {
             return Err(SwapRace { expected, found });
@@ -197,7 +254,7 @@ impl ModelRegistry {
     /// decided against one model can never demote a newer one that was
     /// installed while the decision was being made.
     pub fn demote_if_current(&self, key: ModelKey, expected: u64) -> Result<u64, SwapRace> {
-        let mut models = self.models.write();
+        let mut models = self.shard_of(&key).write();
         let current = match models.get(&key) {
             Some(e) if e.version == expected && !e.degraded => Arc::clone(e),
             other => {
@@ -225,7 +282,7 @@ impl ModelRegistry {
 
     /// Version of the currently installed entry for `key`, if any.
     pub fn current_version(&self, key: &ModelKey) -> Option<u64> {
-        self.models.read().get(key).map(|e| e.version)
+        self.shard_of(key).read().get(key).map(|e| e.version)
     }
 
     /// Installs a model from its serialized JSON envelope (see
@@ -253,13 +310,46 @@ impl ModelRegistry {
 
     /// Resolves the current entry for `key`. The returned `Arc` stays
     /// valid (and internally consistent) across concurrent swaps.
+    // qpp-lint: hot-path
     pub fn get(&self, key: &ModelKey) -> Option<Arc<ModelEntry>> {
-        self.models.read().get(key).cloned()
+        self.shard_of(key).read().get(key).cloned()
     }
 
     /// Installed keys, sorted by `(config, feature tag)`.
+    ///
+    /// Ordered k-way merge of the shards' already-sorted runs: each key
+    /// lives in exactly one shard, so repeatedly taking the smallest
+    /// head yields the global sorted listing — identical for any shard
+    /// count.
     pub fn keys(&self) -> Vec<ModelKey> {
-        self.models.read().keys().cloned().collect()
+        let mut runs: Vec<Vec<ModelKey>> = self
+            .shards
+            .iter()
+            .map(|s| s.read().keys().cloned().collect())
+            .collect();
+        let mut heads = vec![0usize; runs.len()];
+        let total: usize = runs.iter().map(Vec::len).sum();
+        let mut merged = Vec::with_capacity(total);
+        for _ in 0..total {
+            let mut best: Option<usize> = None;
+            for (i, run) in runs.iter().enumerate() {
+                if heads[i] < run.len() && best.is_none_or(|b| run[heads[i]] < runs[b][heads[b]]) {
+                    best = Some(i);
+                }
+            }
+            // `total` counted a remaining key, so a head always exists;
+            // breaking (not panicking) keeps this library-safe anyway.
+            let Some(b) = best else { break };
+            merged.push(std::mem::replace(
+                &mut runs[b][heads[b]],
+                ModelKey {
+                    config: String::new(),
+                    tag: "",
+                },
+            ));
+            heads[b] += 1;
+        }
+        merged
     }
 
     /// Number of installs that replaced an existing model.
@@ -430,6 +520,62 @@ mod tests {
         assert_eq!(listed, sorted, "registry listing must be sorted");
         assert_eq!(listed[0], "alpha-1/query-plan");
         assert_eq!(listed[5], "zeta-9/sql-text");
+    }
+
+    /// The sharded registry must list keys identically for *any* shard
+    /// count: keys scatter across shards by hash, and the ordered merge
+    /// has to reassemble the same sorted listing a single BTreeMap
+    /// would produce.
+    #[test]
+    fn keys_listing_is_deterministic_across_shard_counts() {
+        let (m, f) = trained(16);
+        let configs = [
+            "zeta-9",
+            "alpha-1",
+            "neoview-4",
+            "mu-5",
+            "beta-2",
+            "omega-7",
+            "kappa-3",
+        ];
+        let mut listings: Vec<Vec<String>> = Vec::new();
+        for shards in [1, 2, 3, 8, 16] {
+            let registry = ModelRegistry::with_shards(shards);
+            assert_eq!(registry.shard_count(), shards);
+            for config in configs {
+                registry.install(
+                    ModelKey::new(config, FeatureKind::SqlText),
+                    m.clone(),
+                    f.clone(),
+                );
+                registry.install(
+                    ModelKey::new(config, FeatureKind::QueryPlan),
+                    m.clone(),
+                    f.clone(),
+                );
+            }
+            let listed: Vec<String> = registry.keys().iter().map(|k| k.to_string()).collect();
+            let mut sorted = listed.clone();
+            sorted.sort();
+            assert_eq!(listed, sorted, "listing must be sorted at {shards} shards");
+            assert_eq!(listed.len(), configs.len() * 2);
+            listings.push(listed);
+        }
+        for other in &listings[1..] {
+            assert_eq!(
+                &listings[0], other,
+                "listing must not depend on shard count"
+            );
+        }
+        // And guarded operations stay correct on a sharded registry.
+        let registry = ModelRegistry::with_shards(3);
+        let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+        let v1 = registry.install(key.clone(), m.clone(), f.clone());
+        let v2 = registry
+            .swap_if_current(key.clone(), v1, m.clone(), f.clone())
+            .unwrap();
+        assert!(v2 > v1);
+        assert!(registry.swap_if_current(key, v1, m, f).is_err());
     }
 
     #[test]

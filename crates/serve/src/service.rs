@@ -1,33 +1,55 @@
-//! The online prediction service: a worker pool over the bounded
-//! request queue, answering each request with a batched KCCA
-//! prediction, an admission decision, and a deadline-bounded fallback.
+//! The online prediction service: a worker pool over the sharded
+//! multi-tenant request queue, answering each request with a batched
+//! KCCA prediction, an admission decision, and a deadline-bounded
+//! fallback.
 //!
 //! Flow per request:
 //!
-//! 1. `submit` (or `submit_async`) enqueues the request; a full queue
-//!    rejects immediately with [`QppError::QueueFull`].
-//! 2. A worker drains up to `max_batch` requests, groups them by model
-//!    key, and answers each group with *one* batched KCCA projection +
-//!    kNN pass (`KccaPredictor::predict_batch`).
+//! 1. `submit` (or `submit_async`) resolves the request's [`TenantId`],
+//!    classifies it by predicted cost (feather / golf ball / bowling
+//!    ball from the O(1) optimizer-cost estimate), and pushes onto the
+//!    tenant's queue shard. Admission is a real gate: an over-quota
+//!    tenant is rejected with [`QppError::TenantQuotaExceeded`], two
+//!    full shards reject with [`QppError::QueueFull`] — both recorded
+//!    as tagged `admission_reject` marks carrying the request's trace
+//!    ID.
+//! 2. A worker drains a weighted fair-share micro-batch from its owned
+//!    shards (deficit round-robin over tenant lanes), sorts it by cost
+//!    class so cheap feathers are not stuck behind bowling balls in
+//!    the same batch, groups by (model key, class), and answers each
+//!    group with *one* batched KCCA projection + kNN pass
+//!    (`KccaPredictor::predict_batch`).
 //! 3. The admission gateway turns the prediction into an
 //!    [`AdmissionDecision`] under the service's [`AdmissionPolicy`].
 //! 4. If the worker misses the request's deadline, the client answers
 //!    itself from the registry's `OptimizerCostModel` fallback — an
 //!    O(1) estimate from the plan's optimizer cost — so callers always
 //!    get a bounded-latency answer.
+//!
+//! Every span and mark a request produces (admission, queue wait,
+//! worker, rejection) carries its shard and tenant packed into the
+//! value word via [`qpp_obs::pack_tags`].
 
-use crate::queue::{PushError, RequestQueue};
+use crate::queue::{PushError, ShardedQueue};
 use crate::registry::{ModelEntry, ModelKey, ModelRegistry};
 use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::tenant::{TenantId, TenantSpec, TenantTable};
 use parking_lot::RwLock;
 use qpp_core::workload_mgmt::{decide, AdmissionDecision, AdmissionPolicy};
-use qpp_core::{NeighborIds, Prediction, QppError, QueryRecord};
+use qpp_core::{NeighborIds, Prediction, QppError, QueryCategory, QueryRecord};
 use qpp_engine::{PerfMetrics, Plan};
-use qpp_obs::Stage;
+use qpp_obs::{pack_tags, Stage};
 use qpp_workload::QuerySpec;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Reason code packed into `admission_reject` marks: every candidate
+/// shard was full.
+pub const REJECT_QUEUE_FULL: u64 = 0;
+/// Reason code packed into `admission_reject` marks: the tenant's own
+/// quota was exhausted.
+pub const REJECT_OVER_QUOTA: u64 = 1;
 
 /// Observer of completed query executions: the closed-loop feedback
 /// port of the service. Once a served query has actually run and its
@@ -42,7 +64,8 @@ use std::time::{Duration, Instant};
 pub trait CompletionObserver: Send + Sync {
     /// One executed query: the record carries the query, its plan, and
     /// the *measured* metrics; `response` carries what was predicted,
-    /// which model generation answered, and through which path.
+    /// which model generation answered, through which path, and for
+    /// which tenant.
     fn on_completion(&self, record: &QueryRecord, response: &ServeResponse);
 }
 
@@ -51,6 +74,9 @@ pub trait CompletionObserver: Send + Sync {
 pub struct PredictRequest {
     /// Which installed model should answer.
     pub key: ModelKey,
+    /// The tenant (workload owner) submitting; unregistered IDs fold
+    /// into the catch-all default tenant.
+    pub tenant: TenantId,
     /// The query to predict for.
     pub spec: QuerySpec,
     /// Its optimized plan.
@@ -84,6 +110,9 @@ pub struct ServeResponse {
     pub model_version: u64,
     /// End-to-end latency from submission to answer.
     pub latency: Duration,
+    /// The tenant the request was accounted under (post-resolution:
+    /// unregistered IDs appear here as the default tenant).
+    pub tenant: TenantId,
     /// The request's trace ID: every span this request produced
     /// (admission, queue wait, worker, predict, fallback) carries it,
     /// so `qpp_obs::recorder().export_trace(trace_id)` reconstructs the
@@ -92,12 +121,16 @@ pub struct ServeResponse {
 }
 
 /// Queue-level backpressure maps onto the workspace error: a full
-/// queue becomes [`QppError::QueueFull`], a draining queue becomes
+/// queue becomes [`QppError::QueueFull`], an exhausted tenant quota
+/// becomes [`QppError::TenantQuotaExceeded`], a draining queue becomes
 /// [`QppError::ShuttingDown`].
 impl From<PushError> for QppError {
     fn from(e: PushError) -> Self {
         match e {
             PushError::Full { capacity } => QppError::QueueFull { capacity },
+            PushError::QuotaExceeded { tenant, quota } => {
+                QppError::TenantQuotaExceeded { tenant, quota }
+            }
             PushError::ShuttingDown => QppError::ShuttingDown,
         }
     }
@@ -110,33 +143,64 @@ pub struct ServeOptions {
     /// request is answered by the deadline fallback) and is used by the
     /// backpressure tests.
     pub workers: usize,
-    /// Bounded queue capacity; submissions beyond it are rejected.
+    /// Queue shards. 0 (the default) sizes the shard count to the
+    /// worker pool (`workers.max(1)`); set it explicitly when shard
+    /// layout must be identical across different worker counts (the
+    /// thread-invariance tests do).
+    pub shards: usize,
+    /// Bounded total queue capacity, split evenly across shards;
+    /// submissions beyond it are rejected.
     pub queue_capacity: usize,
     /// Max requests a worker answers with one batched KCCA pass.
     pub max_batch: usize,
     /// Admission policy applied to every answered request.
     pub policy: AdmissionPolicy,
+    /// Tenant directory: fair-share weights and admission quotas. A
+    /// catch-all default tenant is always present; an empty list means
+    /// single-tenant behavior (everything accounted to the default).
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
             workers: 4,
+            shards: 0,
             queue_capacity: 256,
             max_batch: 16,
             policy: AdmissionPolicy::default(),
+            tenants: Vec::new(),
         }
     }
 }
 
 struct Queued {
     request: PredictRequest,
+    /// Dense tenant index (resolved once at admission).
+    tenant_idx: usize,
+    /// Resolved tenant ID (the default tenant for unregistered IDs).
+    tenant: TenantId,
+    /// Predicted cost class from the O(1) optimizer-cost estimate,
+    /// computed at admission so workers can group batches by it.
+    class: QueryCategory,
     enqueued_at: Instant,
     /// Enqueue time on the obs clock, so the queue-wait span shares an
     /// epoch with every other span in the trace.
     enqueued_ns: u64,
     trace_id: u64,
     responder: mpsc::Sender<Result<ServeResponse, QppError>>,
+}
+
+/// Batch ordering: cheap predicted work answers first within a drained
+/// micro-batch so a feather is never stuck behind a bowling ball that
+/// happened to be drained ahead of it.
+fn class_rank(class: QueryCategory) -> u8 {
+    match class {
+        QueryCategory::Feather => 0,
+        QueryCategory::GolfBall => 1,
+        QueryCategory::BowlingBall => 2,
+        QueryCategory::WreckingBall => 3,
+    }
 }
 
 /// A submitted request the caller has not yet waited on.
@@ -146,6 +210,10 @@ pub struct PendingPrediction {
     request: PredictRequest,
     submitted_at: Instant,
     trace_id: u64,
+    /// Shard the request was queued on (for fallback stats attribution).
+    shard: usize,
+    tenant_idx: usize,
+    tenant: TenantId,
     registry: Arc<ModelRegistry>,
     stats: Arc<ServiceStats>,
     policy: AdmissionPolicy,
@@ -155,6 +223,11 @@ impl PendingPrediction {
     /// The trace ID assigned to this request at submission.
     pub fn trace_id(&self) -> u64 {
         self.trace_id
+    }
+
+    /// The shard the request was queued on.
+    pub fn shard(&self) -> usize {
+        self.shard
     }
 
     /// Blocks until the worker answers or the request's deadline
@@ -213,18 +286,20 @@ impl PendingPrediction {
         };
         let decision = decide(&self.policy, &prediction);
         record_decision(&self.stats, &decision);
-        self.stats.fallbacks.incr();
+        let cell = self.stats.cell(self.shard, self.tenant_idx);
+        cell.fallbacks.incr();
         let rec = qpp_obs::recorder();
         rec.record_mark(self.trace_id, Stage::Fallback, entry.version);
         rec.fallback_answers.incr();
         let latency = self.submitted_at.elapsed();
-        self.stats.record_latency(latency);
+        cell.record_latency(latency);
         Ok(ServeResponse {
             prediction,
             decision,
             source: AnswerSource::CostModelFallback,
             model_version: entry.version,
             latency,
+            tenant: self.tenant,
             trace_id: self.trace_id,
         })
     }
@@ -244,30 +319,50 @@ fn record_decision(stats: &ServiceStats, decision: &AdmissionDecision) {
     }
 }
 
-/// The running service: registry + queue + worker pool + stats.
+/// The running service: registry + sharded queue + worker pool + stats.
 pub struct PredictionService {
     registry: Arc<ModelRegistry>,
-    queue: Arc<RequestQueue<Queued>>,
+    queue: Arc<ShardedQueue<Queued>>,
     stats: Arc<ServiceStats>,
+    tenants: Arc<TenantTable>,
     policy: AdmissionPolicy,
     workers: Vec<JoinHandle<()>>,
     completion: RwLock<Option<Arc<dyn CompletionObserver>>>,
 }
 
+/// The shard slice worker `worker_idx` drains. With fewer workers than
+/// shards a worker covers every shard congruent to it mod `workers`
+/// (all shards stay drained); with at least one worker per shard,
+/// workers spread round-robin so every shard gets a dedicated slice.
+fn owned_shards(worker_idx: usize, workers: usize, shards: usize) -> Vec<usize> {
+    if workers >= shards {
+        vec![worker_idx % shards]
+    } else {
+        (0..shards).filter(|s| s % workers == worker_idx).collect()
+    }
+}
+
 impl PredictionService {
     /// Starts the worker pool against `registry`.
     pub fn start(registry: Arc<ModelRegistry>, options: ServeOptions) -> Self {
-        let queue = Arc::new(RequestQueue::new(options.queue_capacity));
-        let stats = Arc::new(ServiceStats::new());
+        let shards = if options.shards == 0 {
+            options.workers.max(1)
+        } else {
+            options.shards
+        };
+        let tenants = Arc::new(TenantTable::new(options.tenants.clone()));
+        let queue = Arc::new(ShardedQueue::new(shards, options.queue_capacity, &tenants));
+        let stats = Arc::new(ServiceStats::for_tenants(shards, &tenants));
         let workers = (0..options.workers)
-            .map(|_| {
+            .map(|worker_idx| {
                 let queue = Arc::clone(&queue);
                 let registry = Arc::clone(&registry);
                 let stats = Arc::clone(&stats);
                 let policy = options.policy;
                 let max_batch = options.max_batch;
+                let owned = owned_shards(worker_idx, options.workers, shards);
                 std::thread::spawn(move || {
-                    worker_loop(&queue, &registry, &stats, &policy, max_batch)
+                    worker_loop(&queue, &registry, &stats, &policy, max_batch, &owned)
                 })
             })
             .collect();
@@ -275,6 +370,7 @@ impl PredictionService {
             registry,
             queue,
             stats,
+            tenants,
             policy: options.policy,
             workers,
             completion: RwLock::new(None),
@@ -284,6 +380,11 @@ impl PredictionService {
     /// The registry this service answers from (hot-swap through it).
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.registry
+    }
+
+    /// The tenant directory the service admits against.
+    pub fn tenants(&self) -> &TenantTable {
+        &self.tenants
     }
 
     /// Installs (or replaces) the completion observer that
@@ -305,50 +406,86 @@ impl PredictionService {
     }
 
     /// Submits a request without waiting for its answer. Fails fast
-    /// with backpressure or an unknown-model error.
+    /// with backpressure (queue full, tenant over quota) or an
+    /// unknown-model error; every rejection is recorded as a tagged
+    /// `admission_reject` mark carrying this request's trace ID.
     pub fn submit_async(&self, request: PredictRequest) -> Result<PendingPrediction, QppError> {
         let rec = qpp_obs::recorder();
         let trace_id = rec.next_trace_id();
         let admit_start = rec.now_ns();
-        if self.registry.get(&request.key).is_none() {
+        let Some(entry) = self.registry.get(&request.key) else {
             return Err(QppError::UnknownModel {
                 key: request.key.to_string(),
             });
-        }
+        };
+        let tenant_idx = self.tenants.resolve(request.tenant);
+        let tenant = self.tenants.spec(tenant_idx).id;
+        // Classify by the O(1) optimizer-cost estimate so the worker
+        // can group the micro-batch by predicted cost class. This is
+        // the same estimate the fallback path would serve.
+        let class = QueryCategory::of(entry.fallback.predict_elapsed(&request.plan));
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         let queued = Queued {
             request: request.clone(),
+            tenant_idx,
+            tenant,
+            class,
             enqueued_at: now,
             enqueued_ns: rec.now_ns(),
             trace_id,
             responder: tx,
         };
-        match self.queue.try_push(queued) {
-            Ok(depth) => {
-                self.stats.submitted.incr();
-                self.stats.observe_queue_depth(depth);
+        match self.queue.try_push(tenant_idx, queued) {
+            Ok(receipt) => {
+                self.stats.cell(receipt.shard, tenant_idx).submitted.incr();
+                self.stats.observe_queue_depth(receipt.shard_depth);
                 rec.record_span(
                     trace_id,
                     Stage::Admission,
                     admit_start,
                     rec.now_ns().saturating_sub(admit_start),
-                    depth as u64,
+                    pack_tags(
+                        tenant.0 as u16,
+                        receipt.shard as u8,
+                        receipt.shard_depth as u64,
+                    ),
                 );
                 Ok(PendingPrediction {
                     rx,
                     request,
                     submitted_at: now,
                     trace_id,
+                    shard: receipt.shard,
+                    tenant_idx,
+                    tenant,
                     registry: Arc::clone(&self.registry),
                     stats: Arc::clone(&self.stats),
                     policy: self.policy,
                 })
             }
             Err(e) => {
-                if matches!(e, PushError::Full { .. }) {
-                    self.stats.rejected_queue_full.incr();
-                }
+                // The rejection mark carries the admission trace ID and
+                // the tenant/shard tags: a shed request is still a
+                // traceable event, not a silent drop. (The pre-shard
+                // service lost the trace ID here — the mark landed on
+                // trace 0 and per-tenant attribution was impossible.)
+                let (primary, _) = self.queue.shard_pair(tenant_idx);
+                let reason = match &e {
+                    PushError::QuotaExceeded { .. } => {
+                        self.stats.record_rejected_quota(tenant_idx);
+                        REJECT_OVER_QUOTA
+                    }
+                    _ => {
+                        self.stats.record_rejected_full(tenant_idx);
+                        REJECT_QUEUE_FULL
+                    }
+                };
+                rec.record_mark(
+                    trace_id,
+                    Stage::AdmissionReject,
+                    pack_tags(tenant.0 as u16, primary as u8, reason),
+                );
                 Err(e.into())
             }
         }
@@ -361,7 +498,7 @@ impl PredictionService {
     }
 
     /// Point-in-time statistics, including the registry's swap and
-    /// demotion counts.
+    /// demotion counts, merged across shards and broken out per tenant.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.model_swaps.set(self.registry.swap_count());
         self.stats.model_demotions.set(self.registry.demote_count());
@@ -387,43 +524,59 @@ impl Drop for PredictionService {
     }
 }
 
-/// Worker body: drain a micro-batch, group by model key, answer each
-/// group with one batched prediction pass.
+/// Worker body: drain a fair-share micro-batch from the worker's owned
+/// shards, order it by predicted cost class, group by (model key,
+/// class), answer each group with one batched prediction pass.
 fn worker_loop(
-    queue: &RequestQueue<Queued>,
+    queue: &ShardedQueue<Queued>,
     registry: &ModelRegistry,
     stats: &ServiceStats,
     policy: &AdmissionPolicy,
     max_batch: usize,
+    owned: &[usize],
 ) {
-    while let Some(batch) = queue.drain_batch(max_batch) {
+    let mut rotation = 0usize;
+    let mut batch: Vec<Queued> = Vec::with_capacity(max_batch.max(1));
+    while let Some(shard) = queue.drain_owned(owned, &mut rotation, max_batch, &mut batch) {
         stats.record_batch(batch.len());
         let rec = qpp_obs::recorder();
         let drained_ns = rec.now_ns();
+        // One fair_share mark per drain cycle: which shard served and
+        // how large the DRR micro-batch was.
+        rec.record_mark(
+            0,
+            Stage::FairShare,
+            pack_tags(0, shard as u8, batch.len() as u64),
+        );
         for queued in &batch {
             rec.record_span(
                 queued.trace_id,
                 Stage::QueueWait,
                 queued.enqueued_ns,
                 drained_ns.saturating_sub(queued.enqueued_ns),
-                batch.len() as u64,
+                pack_tags(queued.tenant.0 as u16, shard as u8, batch.len() as u64),
             );
         }
-        // Group while preserving arrival order within each group. The
-        // number of distinct keys per batch is tiny (usually 1), so a
-        // linear scan beats a map here.
-        let mut groups: Vec<(ModelKey, Vec<Queued>)> = Vec::new();
-        for queued in batch {
+        // Cost-class-aware micro-batching: answer predicted-cheap work
+        // first. The sort is stable, so arrival order (and with it the
+        // fair-share order the DRR drain produced) is preserved within
+        // each class.
+        batch.sort_by_key(|q| class_rank(q.class));
+        // Group while preserving the sorted order within each group.
+        // The number of distinct (key, class) pairs per batch is tiny
+        // (usually 1), so a linear scan beats a map here.
+        let mut groups: Vec<(ModelKey, QueryCategory, Vec<Queued>)> = Vec::new();
+        for queued in batch.drain(..) {
             match groups
                 .iter_mut()
-                .find(|(key, _)| *key == queued.request.key)
+                .find(|(key, class, _)| *key == queued.request.key && *class == queued.class)
             {
-                Some((_, group)) => group.push(queued),
-                None => groups.push((queued.request.key.clone(), vec![queued])),
+                Some((_, _, group)) => group.push(queued),
+                None => groups.push((queued.request.key.clone(), queued.class, vec![queued])),
             }
         }
-        for (key, group) in groups {
-            answer_group(registry, stats, policy, &key, group, drained_ns);
+        for (key, _, group) in groups {
+            answer_group(registry, stats, policy, &key, group, shard, drained_ns);
         }
     }
 }
@@ -434,6 +587,7 @@ fn answer_group(
     policy: &AdmissionPolicy,
     key: &ModelKey,
     group: Vec<Queued>,
+    shard: usize,
     drained_ns: u64,
 ) {
     // Resolve the model once per group: every request in the group is
@@ -470,6 +624,7 @@ fn answer_group(
                 &entry,
                 queued,
                 prediction,
+                shard,
                 drained_ns,
                 AnswerSource::CostModelFallback,
             );
@@ -511,6 +666,7 @@ fn answer_group(
                     &entry,
                     queued,
                     prediction,
+                    shard,
                     drained_ns,
                     AnswerSource::Kcca,
                 );
@@ -526,12 +682,14 @@ fn answer_group(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn respond(
     stats: &ServiceStats,
     policy: &AdmissionPolicy,
     entry: &ModelEntry,
     queued: Queued,
     prediction: Prediction,
+    shard: usize,
     drained_ns: u64,
     source: AnswerSource,
 ) {
@@ -543,22 +701,25 @@ fn respond(
         source,
         model_version: entry.version,
         latency,
+        tenant: queued.tenant,
         trace_id: queued.trace_id,
     };
     let rec = qpp_obs::recorder();
     // Record the worker span *before* handing the answer over: once the
     // client holds the response it may export the trace, and the span
-    // must already be in the ring.
+    // must already be in the ring. The value word packs tenant/shard
+    // around the model version that answered.
     rec.record_span(
         queued.trace_id,
         Stage::Worker,
         drained_ns,
         rec.now_ns().saturating_sub(drained_ns),
-        entry.version,
+        pack_tags(queued.tenant.0 as u16, shard as u8, entry.version),
     );
     if queued.responder.send(Ok(response)).is_ok() {
-        stats.completed.incr();
-        stats.record_latency(latency);
+        let cell = stats.cell(shard, queued.tenant_idx);
+        cell.completed.incr();
+        cell.record_latency(latency);
         record_decision(stats, &decision);
         match source {
             AnswerSource::Kcca => rec.kcca_answers.incr(),

@@ -1,16 +1,56 @@
-//! Service statistics: lock-free counters and a log-spaced latency
-//! histogram, exposed through an immutable snapshot API.
+//! Service statistics, sharded per queue shard and tenant.
 //!
 //! The primitives live in `qpp-obs` ([`qpp_obs::Counter`],
 //! [`qpp_obs::Histogram`], [`LatencyQuantile`]) so the serving stats,
 //! the trace recorder, and the bench harness share one implementation
 //! and one set of quantile conventions; this module is the serving
 //! view over them.
+//!
+//! Layout: one [`StatsCell`] per (shard, tenant) pair holds the
+//! counters workers bump on the hot path — submissions, completions,
+//! fallbacks, and a log-spaced latency histogram — so workers on
+//! different shards never contend on a cache line, and per-tenant
+//! latency distributions come for free. Rejections are per-tenant only
+//! (a shed request never reached a shard). [`ServiceStats::snapshot`]
+//! performs an *ordered merge*: cells are folded in fixed
+//! shard-major/tenant-minor index order, histograms by summing bucket
+//! counts, so the reported totals and quantiles are deterministic for a
+//! given set of recorded events regardless of worker count or timing.
 
-use qpp_obs::{Counter, Histogram};
+use crate::tenant::TenantTable;
+use qpp_obs::{quantile_of, Counter, Histogram, BUCKETS};
 use std::time::{Duration, Instant};
 
 pub use qpp_obs::LatencyQuantile;
+
+/// Hot-path counters for one (shard, tenant) pair.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    /// Requests accepted into this shard for this tenant.
+    pub submitted: Counter,
+    /// Requests answered by a worker through the KCCA model.
+    pub completed: Counter,
+    /// Requests answered client-side by the cost-model fallback after
+    /// the per-request deadline expired.
+    pub fallbacks: Counter,
+    latency: Histogram,
+}
+
+impl StatsCell {
+    /// Records one end-to-end request latency.
+    // qpp-lint: hot-path
+    pub fn record_latency(&self, latency: Duration) {
+        self.latency.record(latency.as_micros() as u64);
+    }
+}
+
+/// Static tenant labels carried into snapshots.
+#[derive(Debug, Clone)]
+struct TenantLabel {
+    id: u32,
+    name: String,
+    weight: u32,
+}
 
 /// Live counters for a running prediction service.
 ///
@@ -18,21 +58,22 @@ pub use qpp_obs::LatencyQuantile;
 /// any shared lock, and [`ServiceStats::snapshot`] reads a
 /// consistent-enough view for monitoring (individual counters are
 /// exact; cross-counter skew is bounded by in-flight requests).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServiceStats {
     started: Option<Instant>,
-    /// Requests accepted into the queue.
-    pub submitted: Counter,
-    /// Requests answered by a worker through the KCCA model.
-    pub completed: Counter,
-    /// Requests answered client-side by the cost-model fallback after
-    /// the per-request deadline expired.
-    pub fallbacks: Counter,
+    shards: usize,
+    labels: Vec<TenantLabel>,
+    /// Row-major `[shard][tenant]` cells.
+    cells: Vec<StatsCell>,
+    /// Per-tenant: submissions rejected because every candidate shard
+    /// was full.
+    rejected_full: Vec<Counter>,
+    /// Per-tenant: submissions rejected because the tenant was over its
+    /// admission quota.
+    rejected_quota: Vec<Counter>,
     /// Worker answers that arrived after the client had already fallen
     /// back (wasted work; the client saw exactly one answer).
     pub late_answers: Counter,
-    /// Requests rejected at submission because the queue was full.
-    pub rejected_queue_full: Counter,
     /// Admission-gateway outcomes across all answered requests.
     pub admitted: Counter,
     /// Requests the policy rejected (predicted over a resource limit).
@@ -44,7 +85,7 @@ pub struct ServiceStats {
     /// Requests carried by those batches (mean batch size = this /
     /// `batches`).
     pub batched_requests: Counter,
-    /// Largest queue depth observed at submission time.
+    /// Largest shard depth observed at submission time.
     pub max_queue_depth: Counter,
     /// Model hot-swaps observed via the registry.
     pub model_swaps: Counter,
@@ -57,49 +98,182 @@ pub struct ServiceStats {
     /// because the installed entry was kill-switch demoted (distinct
     /// from `fallbacks`, which count client-side deadline misses).
     pub degraded_answers: Counter,
-    latency: Histogram,
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        ServiceStats::with_shape(1, 1)
+    }
 }
 
 impl ServiceStats {
-    /// Creates zeroed stats with the uptime clock starting now.
+    /// Single-shard, single-tenant stats (unit tests, simple embeds).
     pub fn new() -> Self {
+        ServiceStats::with_shape(1, 1)
+    }
+
+    /// Stats sized `shards x tenants` with synthetic tenant labels
+    /// (dense index as ID, weight 1).
+    pub fn with_shape(shards: usize, tenants: usize) -> Self {
+        let labels = (0..tenants.max(1))
+            .map(|idx| TenantLabel {
+                id: idx as u32,
+                name: format!("tenant-{idx}"),
+                weight: 1,
+            })
+            .collect();
+        ServiceStats::with_labels(shards, labels)
+    }
+
+    /// Stats sized for `shards` shards and the tenants of `table`,
+    /// carrying the table's names/weights into snapshots.
+    pub fn for_tenants(shards: usize, table: &TenantTable) -> Self {
+        let labels = table
+            .specs()
+            .iter()
+            .map(|s| TenantLabel {
+                id: s.id.0,
+                name: s.name.clone(),
+                weight: s.weight,
+            })
+            .collect();
+        ServiceStats::with_labels(shards, labels)
+    }
+
+    fn with_labels(shards: usize, labels: Vec<TenantLabel>) -> Self {
+        let shards = shards.max(1);
+        let tenants = labels.len();
         ServiceStats {
             started: Some(Instant::now()),
-            ..ServiceStats::default()
+            shards,
+            labels,
+            cells: (0..shards * tenants)
+                .map(|_| StatsCell::default())
+                .collect(),
+            rejected_full: (0..tenants).map(|_| Counter::default()).collect(),
+            rejected_quota: (0..tenants).map(|_| Counter::default()).collect(),
+            late_answers: Counter::default(),
+            admitted: Counter::default(),
+            policy_rejected: Counter::default(),
+            review_required: Counter::default(),
+            batches: Counter::default(),
+            batched_requests: Counter::default(),
+            max_queue_depth: Counter::default(),
+            model_swaps: Counter::default(),
+            model_demotions: Counter::default(),
+            observed_completions: Counter::default(),
+            degraded_answers: Counter::default(),
         }
     }
 
-    /// Records one end-to-end request latency.
+    /// Number of stats shards (matches the queue's shard count).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The hot-path cell for a (shard, tenant) pair.
+    // qpp-lint: hot-path
+    pub fn cell(&self, shard: usize, tenant: usize) -> &StatsCell {
+        &self.cells[shard * self.labels.len() + tenant]
+    }
+
+    /// Counts a queue-full rejection for `tenant`.
+    // qpp-lint: hot-path
+    pub fn record_rejected_full(&self, tenant: usize) {
+        self.rejected_full[tenant].incr();
+    }
+
+    /// Counts an over-quota rejection for `tenant`.
+    // qpp-lint: hot-path
+    pub fn record_rejected_quota(&self, tenant: usize) {
+        self.rejected_quota[tenant].incr();
+    }
+
+    /// Records one end-to-end request latency into cell (0, 0); kept
+    /// for single-tenant embeds and tests. Workers use
+    /// [`ServiceStats::cell`] directly.
     pub fn record_latency(&self, latency: Duration) {
-        self.latency.record(latency.as_micros() as u64);
+        self.cells[0].record_latency(latency);
     }
 
     /// Records a drained micro-batch of `len` requests.
+    // qpp-lint: hot-path
     pub fn record_batch(&self, len: usize) {
         self.batches.incr();
         self.batched_requests.add(len as u64);
     }
 
-    /// Raises the max-queue-depth watermark to at least `depth`.
+    /// Raises the max-depth watermark to at least `depth`.
+    // qpp-lint: hot-path
     pub fn observe_queue_depth(&self, depth: usize) {
         self.max_queue_depth.observe_max(depth as u64);
     }
 
     /// An immutable view of the counters plus derived rates/quantiles.
+    ///
+    /// The merge is *ordered*: cells fold in shard-major, tenant-minor
+    /// index order and histograms merge by summing per-bucket counts,
+    /// so two snapshots of identical recorded events are identical
+    /// regardless of which workers recorded them.
     pub fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
-        let completed = self.completed.get();
-        let fallbacks = self.fallbacks.get();
+        let tenants = self.labels.len();
+        let mut submitted = 0u64;
+        let mut completed = 0u64;
+        let mut fallbacks = 0u64;
+        let mut merged = [0u64; BUCKETS];
+        let mut per_tenant = Vec::with_capacity(tenants);
+        for (t, label) in self.labels.iter().enumerate() {
+            let mut cell_submitted = 0u64;
+            let mut cell_completed = 0u64;
+            let mut cell_fallbacks = 0u64;
+            let mut cell_hist = [0u64; BUCKETS];
+            for shard in 0..self.shards {
+                let cell = self.cell(shard, t);
+                cell_submitted += cell.submitted.get();
+                cell_completed += cell.completed.get();
+                cell_fallbacks += cell.fallbacks.get();
+                for (acc, n) in cell_hist.iter_mut().zip(cell.latency.counts()) {
+                    *acc += n;
+                }
+            }
+            submitted += cell_submitted;
+            completed += cell_completed;
+            fallbacks += cell_fallbacks;
+            for (acc, n) in merged.iter_mut().zip(cell_hist.iter()) {
+                *acc += *n;
+            }
+            per_tenant.push(TenantSnapshot {
+                tenant: label.id,
+                name: label.name.clone(),
+                weight: label.weight,
+                submitted: cell_submitted,
+                completed: cell_completed,
+                fallbacks: cell_fallbacks,
+                rejected_queue_full: self.rejected_full[t].get(),
+                rejected_quota: self.rejected_quota[t].get(),
+                p50_latency: quantile_of(&cell_hist, 0.50),
+                p99_latency: quantile_of(&cell_hist, 0.99),
+            });
+        }
+        let rejected_queue_full: u64 = per_tenant.iter().map(|t| t.rejected_queue_full).sum();
+        let rejected_quota: u64 = per_tenant.iter().map(|t| t.rejected_quota).sum();
         let batches = self.batches.get();
         let batched = self.batched_requests.get();
         let answered = completed + fallbacks;
         let uptime = self.started.map(|s| s.elapsed()).unwrap_or_default();
         StatsSnapshot {
             uptime,
-            submitted: self.submitted.get(),
+            submitted,
             completed,
             fallbacks,
             late_answers: self.late_answers.get(),
-            rejected_queue_full: self.rejected_queue_full.get(),
+            rejected_queue_full,
+            rejected_quota,
             admitted: self.admitted.get(),
             policy_rejected: self.policy_rejected.get(),
             review_required: self.review_required.get(),
@@ -120,15 +294,42 @@ impl ServiceStats {
             } else {
                 fallbacks as f64 / answered as f64
             },
-            p50_latency: self.latency.quantile(0.50),
-            p95_latency: self.latency.quantile(0.95),
-            p99_latency: self.latency.quantile(0.99),
+            p50_latency: quantile_of(&merged, 0.50),
+            p95_latency: quantile_of(&merged, 0.95),
+            p99_latency: quantile_of(&merged, 0.99),
             model_swaps: self.model_swaps.get(),
             model_demotions: self.model_demotions.get(),
             observed_completions: self.observed_completions.get(),
             degraded_answers: self.degraded_answers.get(),
+            per_tenant,
         }
     }
+}
+
+/// Per-tenant slice of a [`StatsSnapshot`] (merged across shards in
+/// fixed shard order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Numeric tenant ID.
+    pub tenant: u32,
+    /// Configured tenant name.
+    pub name: String,
+    /// Configured fair-share weight.
+    pub weight: u32,
+    /// Requests accepted for this tenant.
+    pub submitted: u64,
+    /// Requests answered through the KCCA model.
+    pub completed: u64,
+    /// Requests answered by the deadline fallback.
+    pub fallbacks: u64,
+    /// Submissions shed because every candidate shard was full.
+    pub rejected_queue_full: u64,
+    /// Submissions shed because the tenant was over quota.
+    pub rejected_quota: u64,
+    /// Median end-to-end latency for this tenant.
+    pub p50_latency: LatencyQuantile,
+    /// 99th-percentile latency for this tenant.
+    pub p99_latency: LatencyQuantile,
 }
 
 /// Point-in-time statistics view.
@@ -136,7 +337,7 @@ impl ServiceStats {
 pub struct StatsSnapshot {
     /// Time since service start.
     pub uptime: Duration,
-    /// Requests accepted into the queue.
+    /// Requests accepted into the queue (all tenants).
     pub submitted: u64,
     /// Requests answered through the KCCA model.
     pub completed: u64,
@@ -144,8 +345,10 @@ pub struct StatsSnapshot {
     pub fallbacks: u64,
     /// Worker answers that arrived after a client fallback.
     pub late_answers: u64,
-    /// Submissions rejected because the queue was full.
+    /// Submissions rejected because every candidate shard was full.
     pub rejected_queue_full: u64,
+    /// Submissions rejected because a tenant was over quota.
+    pub rejected_quota: u64,
     /// Gateway outcome counts.
     pub admitted: u64,
     /// Requests the admission policy rejected.
@@ -154,7 +357,7 @@ pub struct StatsSnapshot {
     pub review_required: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
-    /// Highest queue depth observed.
+    /// Highest shard depth observed.
     pub max_queue_depth: u64,
     /// Mean micro-batch size drained by workers.
     pub mean_batch_size: f64,
@@ -176,6 +379,8 @@ pub struct StatsSnapshot {
     pub observed_completions: u64,
     /// Worker answers served from the baseline due to a demoted entry.
     pub degraded_answers: u64,
+    /// Per-tenant breakdown in ascending tenant-ID order.
+    pub per_tenant: Vec<TenantSnapshot>,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -192,8 +397,12 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "queue: depth {} (max {}) | rejected-full {} | mean batch {:.2}",
-            self.queue_depth, self.max_queue_depth, self.rejected_queue_full, self.mean_batch_size,
+            "queue: depth {} (max {}) | rejected-full {} | rejected-quota {} | mean batch {:.2}",
+            self.queue_depth,
+            self.max_queue_depth,
+            self.rejected_queue_full,
+            self.rejected_quota,
+            self.mean_batch_size,
         )?;
         writeln!(
             f,
@@ -213,13 +422,32 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "adapt: observed {} | degraded answers {} | demotions {}",
             self.observed_completions, self.degraded_answers, self.model_demotions,
-        )
+        )?;
+        for t in &self.per_tenant {
+            write!(
+                f,
+                "\n  {} (id {}, weight {}): submitted {} | completed {} | fallbacks {} | \
+                 rejected full/quota {}/{} | p50/p99 {}/{} µs",
+                t.name,
+                t.tenant,
+                t.weight,
+                t.submitted,
+                t.completed,
+                t.fallbacks,
+                t.rejected_queue_full,
+                t.rejected_quota,
+                t.p50_latency,
+                t.p99_latency,
+            )?;
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tenant::{TenantId, TenantSpec};
 
     #[test]
     fn latency_quantiles_track_buckets() {
@@ -322,5 +550,51 @@ mod tests {
         let text = format!("{}", stats.snapshot(2));
         assert!(text.contains("p50"));
         assert!(text.contains("model swaps"));
+    }
+
+    #[test]
+    fn sharded_cells_merge_in_fixed_order() {
+        let table = TenantTable::new(vec![
+            TenantSpec::new(TenantId(3), "etl").weight(2),
+            TenantSpec::new(TenantId(9), "adhoc"),
+        ]);
+        let stats = ServiceStats::for_tenants(4, &table);
+        // Scatter the same logical events across different shards; the
+        // merged view must not depend on which shard recorded them.
+        for shard in 0..4 {
+            for tenant in 0..3 {
+                let cell = stats.cell(shard, tenant);
+                cell.submitted.add(2);
+                cell.completed.incr();
+                cell.record_latency(Duration::from_micros(64 << tenant));
+            }
+        }
+        stats.record_rejected_quota(1);
+        stats.record_rejected_full(2);
+        let snap = stats.snapshot(0);
+        assert_eq!(snap.submitted, 24);
+        assert_eq!(snap.completed, 12);
+        assert_eq!(snap.rejected_quota, 1);
+        assert_eq!(snap.rejected_queue_full, 1);
+        assert_eq!(snap.per_tenant.len(), 3);
+        // Dense order is ascending tenant ID with the default first.
+        assert_eq!(snap.per_tenant[0].tenant, 0);
+        assert_eq!(snap.per_tenant[1].tenant, 3);
+        assert_eq!(snap.per_tenant[1].name, "etl");
+        assert_eq!(snap.per_tenant[1].weight, 2);
+        assert_eq!(snap.per_tenant[2].tenant, 9);
+        assert_eq!(snap.per_tenant[1].rejected_quota, 1);
+        assert_eq!(snap.per_tenant[2].rejected_queue_full, 1);
+        for t in &snap.per_tenant {
+            assert_eq!(t.submitted, 8);
+            assert_eq!(t.completed, 4);
+        }
+        // Per-tenant quantiles reflect only that tenant's samples.
+        assert!(snap.per_tenant[0].p50_latency.bound_us <= 127);
+        assert!(snap.per_tenant[2].p50_latency.bound_us >= 256);
+        // Ordered merge is reproducible.
+        let again = stats.snapshot(0);
+        assert_eq!(snap.per_tenant, again.per_tenant);
+        assert_eq!(snap.p99_latency, again.p99_latency);
     }
 }

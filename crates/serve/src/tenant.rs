@@ -1,0 +1,199 @@
+//! Multi-tenant identity and admission configuration.
+//!
+//! The paper's workload-management story only works if predictions can
+//! *enforce* decisions per workload owner: the ETL pipeline, the
+//! dashboard fleet, and the ad-hoc analysts are different tenants with
+//! different priorities, and one of them flooding the gateway must not
+//! starve the others. This module gives the serve layer that identity:
+//!
+//! - [`TenantId`]: a small copyable ID carried on every request.
+//! - [`TenantSpec`]: per-tenant fair-share weight and admission quota.
+//! - [`TenantTable`]: the immutable directory the service builds at
+//!   start — dense indices for per-tenant accounting, binary-search
+//!   resolution on the admission hot path, and a catch-all default
+//!   tenant for traffic that carries no registration.
+
+/// Identifies one tenant (workload owner) of the prediction service.
+///
+/// `TenantId(0)` is the catch-all default: requests from unregistered
+/// tenants are accounted under it. IDs are plain numbers, not secrets —
+/// the embedder maps its own principal names onto them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+/// The catch-all tenant every service always has.
+pub const DEFAULT_TENANT: TenantId = TenantId(0);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Per-tenant admission configuration.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// The tenant this spec configures.
+    pub id: TenantId,
+    /// Human-readable name for reports and benches.
+    pub name: String,
+    /// Fair-share weight: the deficit-round-robin scheduler serves
+    /// tenants in proportion to their weights when their queues are
+    /// backlogged. Clamped to at least 1.
+    pub weight: u32,
+    /// Admission quota: maximum requests this tenant may have queued at
+    /// once, across all shards. Submissions beyond it are rejected with
+    /// `QppError::TenantQuotaExceeded` *before* touching any shard, so
+    /// a flooding tenant sheds its own overload instead of everyone's.
+    pub quota: usize,
+}
+
+impl TenantSpec {
+    /// A spec with weight 1 and an effectively unlimited quota.
+    pub fn new(id: TenantId, name: impl Into<String>) -> Self {
+        TenantSpec {
+            id,
+            name: name.into(),
+            weight: 1,
+            quota: usize::MAX,
+        }
+    }
+
+    /// Sets the fair-share weight (builder form).
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Sets the admission quota (builder form).
+    pub fn quota(mut self, quota: usize) -> Self {
+        self.quota = quota.max(1);
+        self
+    }
+}
+
+/// Immutable tenant directory, fixed at service start.
+///
+/// Tenants get dense indices in ascending-ID order; index 0 is always
+/// the catch-all [`DEFAULT_TENANT`] (either the embedder's own spec for
+/// ID 0 or an implicit weight-1 unlimited-quota one). Everything
+/// per-tenant in the serve layer — queue shards, quota counters, stats
+/// blocks — is an array indexed by these dense indices, so the hot path
+/// never hashes.
+#[derive(Debug)]
+pub struct TenantTable {
+    specs: Vec<TenantSpec>,
+}
+
+impl TenantTable {
+    /// Builds the directory from the configured specs. Duplicate IDs
+    /// keep the last spec; a default-tenant spec is synthesized when
+    /// none was supplied.
+    pub fn new(mut specs: Vec<TenantSpec>) -> Self {
+        specs.sort_by_key(|s| s.id);
+        specs.dedup_by(|later, earlier| {
+            // `dedup_by` keeps the *first* of a run; overwrite it with
+            // the later spec so "last one wins" holds.
+            if later.id == earlier.id {
+                std::mem::swap(later, earlier);
+                true
+            } else {
+                false
+            }
+        });
+        if specs.first().map(|s| s.id) != Some(DEFAULT_TENANT) {
+            specs.insert(0, TenantSpec::new(DEFAULT_TENANT, "default"));
+        }
+        for spec in &mut specs {
+            spec.weight = spec.weight.max(1);
+        }
+        TenantTable { specs }
+    }
+
+    /// Number of tenants (including the catch-all default).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Always false: the default tenant is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Dense index for `id`; unregistered tenants fold into the
+    /// catch-all default at index 0.
+    // qpp-lint: hot-path
+    pub fn resolve(&self, id: TenantId) -> usize {
+        self.specs
+            .binary_search_by_key(&id, |s| s.id)
+            .unwrap_or_default()
+    }
+
+    /// The spec at a dense index.
+    pub fn spec(&self, idx: usize) -> &TenantSpec {
+        &self.specs[idx]
+    }
+
+    /// All specs in dense-index (ascending tenant-ID) order.
+    pub fn specs(&self) -> &[TenantSpec] {
+        &self.specs
+    }
+
+    /// Fair-share weights by dense index.
+    pub fn weights(&self) -> Vec<u64> {
+        self.specs.iter().map(|s| s.weight as u64).collect()
+    }
+
+    /// Admission quotas by dense index.
+    pub fn quotas(&self) -> Vec<usize> {
+        self.specs.iter().map(|s| s.quota).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tenant_is_synthesized_at_index_zero() {
+        let table = TenantTable::new(vec![
+            TenantSpec::new(TenantId(7), "etl").weight(3),
+            TenantSpec::new(TenantId(2), "dash"),
+        ]);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.spec(0).id, DEFAULT_TENANT);
+        assert_eq!(table.spec(1).id, TenantId(2));
+        assert_eq!(table.spec(2).id, TenantId(7));
+        assert_eq!(table.resolve(TenantId(7)), 2);
+        // Unregistered tenants fold into the default slot.
+        assert_eq!(table.resolve(TenantId(999)), 0);
+    }
+
+    #[test]
+    fn explicit_default_spec_is_kept() {
+        let table = TenantTable::new(vec![TenantSpec::new(DEFAULT_TENANT, "everyone")
+            .weight(2)
+            .quota(5)]);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.spec(0).name, "everyone");
+        assert_eq!(table.spec(0).weight, 2);
+        assert_eq!(table.spec(0).quota, 5);
+    }
+
+    #[test]
+    fn duplicate_ids_keep_the_last_spec_and_weights_clamp() {
+        let table = TenantTable::new(vec![
+            TenantSpec::new(TenantId(3), "first").weight(9),
+            TenantSpec {
+                id: TenantId(3),
+                name: "second".to_string(),
+                weight: 0,
+                quota: 4,
+            },
+        ]);
+        let idx = table.resolve(TenantId(3));
+        assert_eq!(table.spec(idx).name, "second");
+        assert_eq!(table.spec(idx).weight, 1, "weight 0 clamps to 1");
+        assert_eq!(table.quotas()[idx], 4);
+    }
+}

@@ -8,7 +8,7 @@ use qpp_core::{Dataset, FeatureKind, KccaPredictor};
 use qpp_engine::SystemConfig;
 use qpp_serve::{
     AnswerSource, ModelKey, ModelRegistry, PredictRequest, PredictionService, QppError,
-    ServeOptions,
+    ServeOptions, TenantId, TenantSpec, DEFAULT_TENANT,
 };
 use qpp_workload::{Schema, WorkloadGenerator};
 use std::sync::Arc;
@@ -28,9 +28,20 @@ fn trained(d: &Dataset) -> (KccaPredictor, OptimizerCostModel) {
 }
 
 fn request(d: &Dataset, i: usize, key: &ModelKey, deadline: Duration) -> PredictRequest {
+    request_for(d, i, key, deadline, DEFAULT_TENANT)
+}
+
+fn request_for(
+    d: &Dataset,
+    i: usize,
+    key: &ModelKey,
+    deadline: Duration,
+    tenant: TenantId,
+) -> PredictRequest {
     let r = &d.records[i % d.records.len()];
     PredictRequest {
         key: key.clone(),
+        tenant,
         spec: r.spec.clone(),
         plan: r.optimized.plan.clone(),
         deadline,
@@ -381,4 +392,246 @@ fn unknown_model_fails_fast() {
         Err(QppError::UnknownModel { key }) => assert!(key.contains("nowhere")),
         other => panic!("expected UnknownModel, got {other:?}"),
     }
+}
+
+/// Satellite regression: a queue-full rejection must record a tagged
+/// `admission_reject` mark carrying the request's admission trace ID
+/// and tenant. (The pre-shard service lost the trace ID on this path —
+/// the rejection was only a global counter bump, invisible to traces.)
+#[test]
+fn queue_full_rejection_records_tagged_mark_with_trace_id() {
+    use qpp_obs::{unpack_tags, EventKind, Stage};
+
+    let train = dataset(60, 107);
+    let (model, fallback) = trained(&train);
+    let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(key.clone(), model, fallback);
+
+    // Tenant 777 is unique to this test: the obs recorder is global
+    // and other tests run concurrently, so marks are filtered by the
+    // unpacked tenant tag.
+    let service = PredictionService::start(
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 0, // nothing drains: the queue fills deterministically
+            queue_capacity: 2,
+            tenants: vec![TenantSpec::new(TenantId(777), "flooder")],
+            ..ServeOptions::default()
+        },
+    );
+
+    let mut pending = Vec::new();
+    for i in 0..2 {
+        pending.push(
+            service
+                .submit_async(request_for(
+                    &train,
+                    i,
+                    &key,
+                    Duration::from_millis(50),
+                    TenantId(777),
+                ))
+                .expect("under capacity"),
+        );
+    }
+    match service.submit_async(request_for(
+        &train,
+        9,
+        &key,
+        Duration::from_millis(50),
+        TenantId(777),
+    )) {
+        Err(QppError::QueueFull { capacity }) => assert_eq!(capacity, 2),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+
+    let rejects: Vec<_> = qpp_obs::recorder()
+        .export()
+        .into_iter()
+        .filter(|e| e.stage == Stage::AdmissionReject && unpack_tags(e.value).0 == 777)
+        .collect();
+    assert!(!rejects.is_empty(), "rejection must record a tagged mark");
+    for mark in &rejects {
+        assert_eq!(mark.kind, EventKind::Mark);
+        assert_ne!(
+            mark.trace_id, 0,
+            "the rejection mark must carry the admission trace ID"
+        );
+        let (tenant, _shard, reason) = unpack_tags(mark.value);
+        assert_eq!(tenant, 777);
+        assert_eq!(reason, qpp_serve::REJECT_QUEUE_FULL);
+    }
+
+    // And the per-tenant reject counter tracked it.
+    let snap = service.stats();
+    let row = snap
+        .per_tenant
+        .iter()
+        .find(|t| t.tenant == 777)
+        .expect("tenant 777 in snapshot");
+    assert_eq!(row.rejected_queue_full, 1);
+    assert_eq!(row.rejected_quota, 0);
+}
+
+/// An over-quota tenant is rejected with a typed error before touching
+/// any shard, records a tagged mark with its trace ID, and cannot
+/// displace other tenants' capacity.
+#[test]
+fn over_quota_tenant_is_rejected_with_typed_error_and_tagged_mark() {
+    use qpp_obs::{unpack_tags, EventKind, Stage};
+
+    let train = dataset(60, 108);
+    let (model, fallback) = trained(&train);
+    let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(key.clone(), model, fallback);
+
+    let service = PredictionService::start(
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 0, // nothing drains: quota state is deterministic
+            queue_capacity: 64,
+            tenants: vec![
+                TenantSpec::new(TenantId(778), "capped").quota(2),
+                TenantSpec::new(TenantId(779), "bystander"),
+            ],
+            ..ServeOptions::default()
+        },
+    );
+
+    let mut pending = Vec::new();
+    for i in 0..2 {
+        pending.push(
+            service
+                .submit_async(request_for(
+                    &train,
+                    i,
+                    &key,
+                    Duration::from_millis(50),
+                    TenantId(778),
+                ))
+                .expect("under quota"),
+        );
+    }
+    match service.submit_async(request_for(
+        &train,
+        5,
+        &key,
+        Duration::from_millis(50),
+        TenantId(778),
+    )) {
+        Err(QppError::TenantQuotaExceeded { tenant, quota }) => {
+            assert_eq!(tenant, 778);
+            assert_eq!(quota, 2);
+        }
+        other => panic!("expected TenantQuotaExceeded, got {other:?}"),
+    }
+    // The bystander tenant is unaffected by 778's quota exhaustion.
+    pending.push(
+        service
+            .submit_async(request_for(
+                &train,
+                6,
+                &key,
+                Duration::from_millis(50),
+                TenantId(779),
+            ))
+            .expect("bystander admits freely"),
+    );
+
+    let rejects: Vec<_> = qpp_obs::recorder()
+        .export()
+        .into_iter()
+        .filter(|e| e.stage == Stage::AdmissionReject && unpack_tags(e.value).0 == 778)
+        .collect();
+    assert_eq!(rejects.len(), 1, "exactly one quota rejection recorded");
+    assert_eq!(rejects[0].kind, EventKind::Mark);
+    assert_ne!(rejects[0].trace_id, 0);
+    assert_eq!(
+        unpack_tags(rejects[0].value).2,
+        qpp_serve::REJECT_OVER_QUOTA
+    );
+
+    let snap = service.stats();
+    assert_eq!(snap.rejected_quota, 1);
+    let row = snap
+        .per_tenant
+        .iter()
+        .find(|t| t.tenant == 778)
+        .expect("tenant 778 in snapshot");
+    assert_eq!(row.rejected_quota, 1);
+    assert_eq!(row.submitted, 2);
+}
+
+/// Responses carry the resolved tenant, per-tenant stats split
+/// completions, and unregistered tenants fold into the default.
+#[test]
+fn responses_and_stats_are_tenant_attributed() {
+    let train = dataset(60, 109);
+    let (model, fallback) = trained(&train);
+    let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(key.clone(), model, fallback);
+
+    let service = PredictionService::start(
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 2,
+            tenants: vec![
+                TenantSpec::new(TenantId(5), "etl").weight(3),
+                TenantSpec::new(TenantId(6), "adhoc"),
+            ],
+            ..ServeOptions::default()
+        },
+    );
+
+    for i in 0..6 {
+        let tenant = if i % 2 == 0 { TenantId(5) } else { TenantId(6) };
+        let resp = service
+            .submit(request_for(
+                &train,
+                i,
+                &key,
+                Duration::from_secs(10),
+                tenant,
+            ))
+            .expect("answered");
+        assert_eq!(resp.tenant, tenant, "response carries the tenant");
+    }
+    // An unregistered tenant folds into the default (tenant 0).
+    let resp = service
+        .submit(request_for(
+            &train,
+            7,
+            &key,
+            Duration::from_secs(10),
+            TenantId(999),
+        ))
+        .expect("answered");
+    assert_eq!(resp.tenant, qpp_serve::DEFAULT_TENANT);
+
+    let snap = service.stats();
+    assert_eq!(snap.per_tenant.len(), 3);
+    let by_id = |id: u32| {
+        snap.per_tenant
+            .iter()
+            .find(|t| t.tenant == id)
+            .unwrap_or_else(|| panic!("tenant {id} missing"))
+    };
+    assert_eq!(by_id(0).submitted, 1);
+    assert_eq!(by_id(5).submitted, 3);
+    assert_eq!(by_id(5).weight, 3);
+    assert_eq!(by_id(6).submitted, 3);
+    assert_eq!(
+        snap.per_tenant.iter().map(|t| t.submitted).sum::<u64>(),
+        snap.submitted
+    );
+    assert_eq!(
+        snap.per_tenant
+            .iter()
+            .map(|t| t.completed + t.fallbacks)
+            .sum::<u64>(),
+        snap.completed + snap.fallbacks
+    );
 }

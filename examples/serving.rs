@@ -88,6 +88,7 @@ fn main() {
                     let r = &live.records[(p * per_producer + i) % live.records.len()];
                     let outcome = service.submit(PredictRequest {
                         key: key.clone(),
+                        tenant: qpp::serve::DEFAULT_TENANT,
                         spec: r.spec.clone(),
                         plan: r.optimized.plan.clone(),
                         deadline,

@@ -62,6 +62,7 @@ fn replay(
         let response = service
             .submit(PredictRequest {
                 key: key.clone(),
+                tenant: qpp::serve::DEFAULT_TENANT,
                 spec: record.spec.clone(),
                 plan: record.optimized.plan.clone(),
                 deadline: Duration::from_secs(5),

@@ -153,6 +153,124 @@ fn tracing_does_not_perturb_prediction_bits() {
     );
 }
 
+/// The sharded multi-tenant serve pipeline is worker-count invariant:
+/// the same scripted arrival sequence produces identical per-tenant
+/// admission, completion, and rejection ledgers whether one worker
+/// drains all four shards or eight workers race over them. Shard
+/// assignment is a pure function of the tenant, and the stats merge
+/// folds cells in fixed shard-major order, so nothing about worker
+/// scheduling may leak into the merged counts.
+#[test]
+fn sharded_serve_ledger_is_identical_across_worker_counts() {
+    use qpp::core::baselines::OptimizerCostModel;
+    use qpp::core::FeatureKind;
+    use qpp::serve::{
+        ModelKey, ModelRegistry, PredictRequest, PredictionService, ServeOptions, TenantId,
+        TenantSpec,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let config = SystemConfig::neoview_4();
+    let train = collect_tpcds(120, 47, &config, 2);
+    let pool = collect_tpcds(40, 48, &config, 2);
+
+    // Fixed arrival script: 300 requests over three tenants in a
+    // deterministic interleaving (weights 3/2/1).
+    let script: Vec<u32> = (0..300u32).map(|i| 1 + (i * 7 + i / 11) % 3).collect();
+
+    let run = |workers: usize| -> Vec<(u32, u64, u64, u64, u64, u64)> {
+        let model = KccaPredictor::train(&train, PredictorOptions::default()).unwrap();
+        let fallback = OptimizerCostModel::train(&train).unwrap();
+        let key = ModelKey::new("neoview-4", FeatureKind::QueryPlan);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.install(key.clone(), model, fallback);
+        let service = PredictionService::start(
+            Arc::clone(&registry),
+            ServeOptions {
+                workers,
+                shards: 4,
+                queue_capacity: 1024,
+                max_batch: 8,
+                tenants: vec![
+                    TenantSpec::new(TenantId(1), "interactive").weight(3),
+                    TenantSpec::new(TenantId(2), "reporting").weight(2),
+                    TenantSpec::new(TenantId(3), "batch").weight(1),
+                ],
+                ..ServeOptions::default()
+            },
+        );
+
+        let pending: Vec<_> = script
+            .iter()
+            .enumerate()
+            .map(|(i, &tenant)| {
+                let r = &pool.records[i % pool.records.len()];
+                let expect = TenantId(tenant);
+                let p = service
+                    .submit_async(PredictRequest {
+                        key: key.clone(),
+                        tenant: expect,
+                        spec: r.spec.clone(),
+                        plan: r.optimized.plan.clone(),
+                        deadline: Duration::from_secs(30),
+                    })
+                    .expect("capacity 1024 over 4 shards never fills");
+                (expect, p)
+            })
+            .collect();
+        for (expect, p) in pending {
+            let resp = p.wait().expect("generous deadline always answers");
+            assert_eq!(
+                resp.tenant, expect,
+                "responses carry the tenant they served"
+            );
+        }
+
+        // The worker hands the answer to the client *before* bumping
+        // the completion counters (a failed hand-off must count as a
+        // late answer, not a completion), so the ledger trails the last
+        // `wait` by one scheduler beat. Let it quiesce before
+        // snapshotting.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let snap = loop {
+            let snap = service.stats();
+            if snap.completed + snap.fallbacks == snap.submitted
+                || std::time::Instant::now() > deadline
+            {
+                break snap;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(snap.submitted, script.len() as u64);
+        assert_eq!(snap.completed + snap.fallbacks, snap.submitted);
+        snap.per_tenant
+            .iter()
+            .map(|t| {
+                (
+                    t.tenant,
+                    t.submitted,
+                    t.completed,
+                    t.fallbacks,
+                    t.rejected_queue_full,
+                    t.rejected_quota,
+                )
+            })
+            .collect()
+    };
+
+    let single = run(1);
+    let racing = run(8);
+    assert_eq!(
+        single, racing,
+        "per-tenant ledger must not depend on worker count"
+    );
+    // And the script actually exercised every tenant.
+    for row in &single[1..] {
+        assert!(row.1 > 0, "tenant {} never admitted anything", row.0);
+    }
+}
+
 /// The continuous-learning bookkeeping must be observationally free on
 /// the predict path: folding every `(prediction, observed)` pair into
 /// the adaptation error tracker — while other threads hammer the same
