@@ -6,9 +6,23 @@ cd "$(dirname "$0")"
 echo "==> qpp-lint: workspace invariants (hot path, determinism, error handling)"
 # Enforces no-vecvec (superseding the old Vec<Vec<f64>> grep gate),
 # no-alloc-hot-path, no-unordered-float-reduce, no-hashmap-iter-order,
-# no-unwrap-lib and no-wallclock-in-model. Rationale and fixes:
-#   cargo run -p qpp-lint -- --explain <rule>
+# no-unwrap-lib, no-wallclock-in-model, plus the workspace-level passes
+# added with the call graph: hot-path propagation (the alloc/wallclock/
+# unwrap rules fire in any function reachable from a hot-path root),
+# atomic-ordering-audit, and lock-order cycle detection. Rationale and
+# fixes: cargo run -p qpp-lint -- --explain <rule>
 cargo run -q -p qpp-lint --release -- crates
+# Machine-readable run (graph stats + provenance) published next to the
+# BENCH_*.json artifacts; the human gate above already failed on any
+# violation, so this run must agree.
+cargo run -q -p qpp-lint --release -- --json crates > lint.json
+grep -q '"version": 2' lint.json || { echo "lint.json: expected --json v2 output"; exit 1; }
+grep -q '"count": 0' lint.json || { echo "lint.json: violations leaked past the human gate"; exit 1; }
+if grep -rq "allow(atomic-ordering-audit)" --include="*.rs" crates/*/src; then
+    echo "qpp-lint: an atomic-ordering-audit waiver crept in; write the // ordering: justification instead"
+    exit 1
+fi
+echo "qpp-lint OK: workspace clean, lint.json artifact written"
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

@@ -602,6 +602,9 @@ impl AdaptiveController {
             if let Some(task) = queue.pop_front() {
                 return Some(task);
             }
+            // ordering: Acquire pairs with the Release store in
+            // `shutdown_tasks`, so a waiter woken by `notify_all` sees
+            // the flag and exits instead of re-blocking forever.
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
             }
@@ -629,6 +632,8 @@ impl AdaptiveController {
     ///
     /// [`wait_task`]: AdaptiveController::wait_task
     pub fn shutdown_tasks(&self) {
+        // ordering: Release publishes the flag before `notify_all`;
+        // pairs with the Acquire load in `wait_task`.
         self.shutdown.store(true, Ordering::Release);
         self.task_ready.notify_all();
     }

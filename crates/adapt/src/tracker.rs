@@ -280,11 +280,16 @@ impl ErrorTracker {
         let start = (key % TENANT_SLOTS as u64) as usize;
         for probe in 0..TENANT_SLOTS {
             let slot = &self.tenant_slots[(start + probe) % TENANT_SLOTS];
+            // ordering: Acquire pairs with the AcqRel claim below so a
+            // reader that sees the key also sees the claimed slot.
             let current = slot.id.load(Ordering::Acquire);
             if current == key {
                 return Some(slot);
             }
             if current == 0 {
+                // ordering: AcqRel publishes the claim and synchronizes
+                // with racing claimants; failure Acquire observes the
+                // winner's key for the `existing == key` check.
                 match slot
                     .id
                     .compare_exchange(0, key, Ordering::AcqRel, Ordering::Acquire)
@@ -305,11 +310,16 @@ impl ErrorTracker {
         let start = (hash % TEMPLATE_SLOTS as u64) as usize;
         for probe in 0..TEMPLATE_SLOTS {
             let slot = &self.slots[(start + probe) % TEMPLATE_SLOTS];
+            // ordering: Acquire pairs with the AcqRel claim below so a
+            // reader that sees the hash also sees the claimed slot.
             let current = slot.hash.load(Ordering::Acquire);
             if current == hash {
                 return Some(slot);
             }
             if current == 0 {
+                // ordering: AcqRel publishes the claim and synchronizes
+                // with racing claimants; failure Acquire observes the
+                // winner's hash for the `existing == hash` check.
                 match slot
                     .hash
                     .compare_exchange(0, hash, Ordering::AcqRel, Ordering::Acquire)
@@ -370,6 +380,8 @@ impl ErrorTracker {
             .tenant_slots
             .iter()
             .filter_map(|s| {
+                // ordering: Acquire pairs with the AcqRel claim in
+                // `claim_tenant`; a visible key means a settled slot.
                 let key = s.id.load(Ordering::Acquire);
                 if key == 0 {
                     None
@@ -388,6 +400,8 @@ impl ErrorTracker {
         let start = (key % TENANT_SLOTS as u64) as usize;
         for probe in 0..TENANT_SLOTS {
             let slot = &self.tenant_slots[(start + probe) % TENANT_SLOTS];
+            // ordering: Acquire pairs with the AcqRel claim in
+            // `claim_tenant`; a visible key means a settled slot.
             let current = slot.id.load(Ordering::Acquire);
             if current == key {
                 return Some(slot);
@@ -430,6 +444,10 @@ impl ErrorTracker {
         let mut rows: Vec<TemplateErrors> = self
             .slots
             .iter()
+            // ordering: both Acquires pair with their Release writers
+            // (`claim`'s AcqRel for the hash, `publish_name`'s Release
+            // for `named`), so a slot passing both gates has a settled
+            // name behind the RwLock below.
             .filter(|s| s.hash.load(Ordering::Acquire) != 0 && s.named.load(Ordering::Acquire) != 0)
             .map(|s| {
                 let count = s.count.get();
@@ -458,6 +476,8 @@ impl ErrorTracker {
 #[cold]
 fn publish_name(slot: &Slot, template: &str) {
     *slot.name.write() = template.to_string();
+    // ordering: Release publishes the name write above; pairs with the
+    // Acquire gate in `template_snapshot`.
     slot.named.store(1, Ordering::Release);
 }
 

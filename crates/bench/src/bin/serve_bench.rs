@@ -224,6 +224,8 @@ fn run_burst(
                 let mut shed = 0u64;
                 let mut lat_us = Vec::new();
                 let mut i = c * 1009;
+                // ordering: best-effort stop flag; a late iteration or
+                // two after the store is harmless in a benchmark.
                 while !stop.load(Ordering::Relaxed) {
                     let t = Instant::now();
                     match service.submit(request(&live, i, &key, TenantId(id))) {
@@ -246,6 +248,8 @@ fn run_burst(
         .collect();
     let t0 = Instant::now();
     std::thread::sleep(args.burst);
+    // ordering: no payload rides on the flag; `join` below is the real
+    // synchronization point for the per-thread tallies.
     stop.store(true, Ordering::Relaxed);
     let mut per_tenant: Vec<(u64, u64, Vec<f64>)> = vec![(0, 0, Vec::new()); 3];
     for h in herds {

@@ -1,9 +1,22 @@
 //! Minimal JSON emission for `--json` output.
 //!
-//! The linter is dependency-free by design, so this is a ~40-line
-//! writer for exactly the one shape we emit, with correct string
-//! escaping per RFC 8259.
+//! The linter is dependency-free by design, so this is a small writer
+//! for exactly the one shape we emit, with correct string escaping per
+//! RFC 8259.
+//!
+//! The v2 document adds the call-graph statistics and per-diagnostic
+//! provenance chains introduced by the workspace-level passes:
+//!
+//! ```text
+//! {
+//!   "version": 2,
+//!   "count": N,
+//!   "graph": { "files": .., "functions": .., ... },
+//!   "diagnostics": [ { ..v1 fields.., "provenance": [".."] } ]
+//! }
+//! ```
 
+use crate::graph::GraphStats;
 use crate::rules::Diagnostic;
 use std::fmt::Write as _;
 
@@ -24,13 +37,34 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-/// Serializes diagnostics as a stable, pretty-printed JSON document:
-/// `{"version":1,"count":N,"diagnostics":[...]}`.
-pub fn to_json(diags: &[Diagnostic]) -> String {
+/// Serializes a full lint run as the stable, pretty-printed v2 JSON
+/// document described in the module docs.
+pub fn to_json(diags: &[Diagnostic], stats: &GraphStats) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"version\": 2,\n");
     let _ = writeln!(out, "  \"count\": {},", diags.len());
+    out.push_str("  \"graph\": {\n");
+    for (i, (k, v)) in [
+        ("files", stats.files),
+        ("functions", stats.functions),
+        ("call_edges", stats.call_edges),
+        ("hot_roots", stats.hot_roots),
+        ("hot_propagated", stats.hot_propagated),
+        ("lock_sites", stats.lock_sites),
+        ("lock_edges", stats.lock_edges),
+        ("atomic_sites", stats.atomic_sites),
+        ("atomic_justified", stats.atomic_justified),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "    \"{k}\": {v}");
+    }
+    out.push_str("\n  },\n");
     out.push_str("  \"diagnostics\": [");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
@@ -58,7 +92,19 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
             escape_into(&mut out, v);
             out.push('"');
         }
-        out.push_str("\n    }");
+        out.push_str(",\n      \"provenance\": [");
+        for (j, step) in d.provenance.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        \"");
+            escape_into(&mut out, step);
+            out.push('"');
+        }
+        if !d.provenance.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }");
     }
     if !diags.is_empty() {
         out.push_str("\n  ");

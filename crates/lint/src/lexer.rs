@@ -12,6 +12,8 @@
 //!   of hashes), byte strings (`b"..."`, `br#"..."#`);
 //! * char literals vs. lifetimes (`'a'` vs. `'a`), including escaped
 //!   chars (`'\''`, `'\u{1F600}'`);
+//! * raw identifiers (`r#fn`, `r#match`) — lexed as one `Ident` token
+//!   so the keyword scanner never sees a phantom `fn`/`match`;
 //! * identifiers, numbers (without swallowing `..` range punctuation),
 //!   and single-character punctuation.
 //!
@@ -132,6 +134,13 @@ impl<'a> Lexer<'a> {
                 b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line, col),
                 b'"' => self.string_literal(start, line, col),
                 b'r' if self.raw_string_ahead(0) => self.raw_string(start, line, col, 1),
+                b'r' if self.raw_ident_ahead() => {
+                    // `r#fn` must lex as ONE identifier token: splitting
+                    // it into `r` + `#` + `fn` would hand the item
+                    // scanner a phantom `fn` keyword.
+                    self.bump_n(2);
+                    self.ident(start, line, col);
+                }
                 b'b' if self.peek(1) == Some(b'"') => {
                     self.bump();
                     self.string_literal(start, line, col);
@@ -239,6 +248,14 @@ impl<'a> Lexer<'a> {
             }
         }
         self.push(TokenKind::Literal, start, line, col);
+    }
+
+    /// True when the cursor sits on a raw identifier: `r#` followed by
+    /// an identifier start (`r#fn`, `r#type`). A raw *string* (`r#"`)
+    /// never matches because `"` is not an identifier start.
+    fn raw_ident_ahead(&self) -> bool {
+        self.peek(1) == Some(b'#')
+            && matches!(self.peek(2), Some(b) if b == b'_' || b.is_ascii_alphabetic())
     }
 
     /// True when the bytes at `pos + offset` start a raw-string opener:
@@ -427,6 +444,110 @@ mod tests {
             .map(|t| &src[t.start..t.end])
             .collect();
         assert_eq!(nums, vec!["0", "10", "1.5e", "3"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents() {
+        // `r#fn` split into `r`+`#`+`fn` would hand the item scanner a
+        // phantom `fn` keyword; it must arrive as one ident.
+        let src = "let r#fn = 1; struct r#type { r#match: u32 }";
+        let ids = idents(src);
+        assert!(ids.contains(&"r#fn"));
+        assert!(ids.contains(&"r#type"));
+        assert!(ids.contains(&"r#match"));
+        assert!(!ids.contains(&"fn"));
+        assert!(!ids.contains(&"match"));
+    }
+
+    #[test]
+    fn raw_strings_hide_ticks_braces_and_directives() {
+        // A raw string containing `'`, braces, comment markers, and a
+        // directive-looking body must lex as ONE literal: leaking any of
+        // it would corrupt brace matching, char-literal detection, or
+        // the allow-directive parser in the scanner.
+        let src = r###"let s = r#"can't { } // qpp-lint: allow(no-unwrap-lib) fn fake() {"#; x.unwrap();"###;
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 0, "no comment inside a raw string");
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap"));
+        assert!(!ids.contains(&"fake"));
+        let braces = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct && matches!(&src[t.start..t.end], "{" | "}"))
+            .count();
+        assert_eq!(braces, 0, "braces inside the raw string must not leak");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            0,
+            "the tick inside the raw string is not a lifetime"
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_inner_hash_quote_runs_terminate_correctly() {
+        let src = r####"let a = r##"x "# y"##; let b = r#""#; foo.unwrap()"####;
+        let ids = idents(src);
+        assert!(
+            ids.contains(&"unwrap"),
+            "lexer must resync after raw strings"
+        );
+        assert!(!ids.contains(&"x"));
+        assert!(!ids.contains(&"y"));
+    }
+
+    #[test]
+    fn lifetime_ticks_never_become_char_literals() {
+        // Every common lifetime position: generics, references, bounds,
+        // labeled loops, turbofish, `'_`, `'static` — none may lex as a
+        // char literal (which would swallow following tokens).
+        let src = "fn f<'a, 'b: 'a>(x: &'a str, y: &'b mut [u8], z: &'_ u32) -> &'static str {\n    'outer: loop { break 'outer; }\n    g::<'a>(x)\n}";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| &src[t.start..t.end])
+            .collect();
+        assert_eq!(
+            lifetimes,
+            vec!["'a", "'b", "'a", "'a", "'b", "'_", "'static", "'outer", "'outer", "'a"]
+        );
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            0,
+            "no lifetime tick may be read as a char literal"
+        );
+    }
+
+    #[test]
+    fn char_literals_with_brace_quote_and_escape_payloads() {
+        // `'{'` / `'}'` must stay literals (leaked braces would corrupt
+        // fn-body matching); `'\''` and `'\\'` must not desync the lexer.
+        let src = r"let open = '{'; let close = '}'; let q = '\''; let b = '\\'; h.unwrap()";
+        let lexed = lex(src);
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| &src[t.start..t.end])
+            .collect();
+        assert_eq!(lits, vec!["'{'", "'}'", r"'\''", r"'\\'"]);
+        assert!(idents(src).contains(&"unwrap"));
+        let braces = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct && matches!(&src[t.start..t.end], "{" | "}"))
+            .count();
+        assert_eq!(braces, 0);
     }
 
     #[test]

@@ -16,26 +16,41 @@
 //!
 //! See `DESIGN.md` §11 for the rule table and how to add a rule.
 
+pub mod graph;
 pub mod json;
 pub mod lexer;
 pub mod rules;
 pub mod scanner;
 
+pub use graph::GraphStats;
 pub use rules::{check_file, rule_info, Diagnostic, RuleInfo, RULES};
 pub use scanner::FileModel;
 
 use std::path::{Path, PathBuf};
 
-/// Lints one in-memory source file (fixture tests use this directly).
+/// Lints one in-memory source file with the per-file rules only (the
+/// workspace passes need every file at once; see [`lint_report`]).
 pub fn lint_source(path: &str, src: String) -> Vec<Diagnostic> {
     check_file(&FileModel::build(path, src))
 }
 
+/// A full lint run: diagnostics from both the per-file rules and the
+/// workspace-level passes, walk errors, and call-graph statistics.
+pub struct LintReport {
+    /// All findings, sorted by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Unreadable paths.
+    pub errors: Vec<String>,
+    /// Call-graph / lock-graph / atomic-audit counters.
+    pub stats: GraphStats,
+}
+
 /// Lints every `.rs` file under `roots` (files are linted as given;
 /// directories are walked recursively in sorted order, skipping
-/// `target` and nested `fixtures` directories). Returns diagnostics
-/// sorted by (file, line, col) plus the list of unreadable paths.
-pub fn lint_paths(roots: &[String]) -> (Vec<Diagnostic>, Vec<String>) {
+/// `target` and nested `fixtures` directories), then runs the
+/// workspace-level passes (hot-path propagation, lock-order,
+/// atomic-ordering audit) over the whole file set.
+pub fn lint_report(roots: &[String]) -> LintReport {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut errors: Vec<String> = Vec::new();
     for root in roots {
@@ -50,16 +65,31 @@ pub fn lint_paths(roots: &[String]) -> (Vec<Diagnostic>, Vec<String>) {
     }
     files.sort();
     files.dedup();
-    let mut diags = Vec::new();
+    let mut models: Vec<FileModel> = Vec::new();
     for f in files {
         let shown = f.to_string_lossy().into_owned();
         match std::fs::read_to_string(&f) {
-            Ok(src) => diags.extend(lint_source(&shown, src)),
+            Ok(src) => models.push(FileModel::build(&shown, src)),
             Err(e) => errors.push(format!("{shown}: {e}")),
         }
     }
+    let mut diags: Vec<Diagnostic> = models.iter().flat_map(check_file).collect();
+    let (graph_diags, stats) = graph::check_workspace(&models);
+    diags.extend(graph_diags);
     diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
-    (diags, errors)
+    diags.dedup();
+    LintReport {
+        diagnostics: diags,
+        errors,
+        stats,
+    }
+}
+
+/// Compatibility wrapper around [`lint_report`] for callers that only
+/// need the diagnostics and errors.
+pub fn lint_paths(roots: &[String]) -> (Vec<Diagnostic>, Vec<String>) {
+    let r = lint_report(roots);
+    (r.diagnostics, r.errors)
 }
 
 fn walk(dir: &Path, depth: usize, files: &mut Vec<PathBuf>, errors: &mut Vec<String>) {
@@ -103,6 +133,9 @@ pub fn render_human(diags: &[Diagnostic]) -> String {
             d.path, d.line, d.col, d.rule, d.message
         );
         let _ = writeln!(out, "    {}", d.snippet);
+        for step in &d.provenance {
+            let _ = writeln!(out, "    note: {step}");
+        }
     }
     if !diags.is_empty() {
         let _ = writeln!(

@@ -68,12 +68,13 @@ fn main() -> ExitCode {
     if paths.is_empty() {
         paths.push("crates".to_string());
     }
-    let (diags, errors) = qpp_lint::lint_paths(&paths);
+    let report = qpp_lint::lint_report(&paths);
+    let (diags, errors) = (report.diagnostics, report.errors);
     for e in &errors {
         eprintln!("qpp-lint: {e}");
     }
     if json {
-        print!("{}", qpp_lint::json::to_json(&diags));
+        print!("{}", qpp_lint::json::to_json(&diags, &report.stats));
     } else if diags.is_empty() {
         println!(
             "qpp-lint: clean ({} rule{} enforced)",

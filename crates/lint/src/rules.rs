@@ -25,6 +25,9 @@ pub struct Diagnostic {
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// For workspace-level findings: the chain of call-graph /
+    /// lock-graph steps that led here (empty for per-file findings).
+    pub provenance: Vec<String>,
 }
 
 /// Static description of one rule.
@@ -157,6 +160,61 @@ timing to the serving/bench layer. There is deliberately no sanctioned\n\
 in-crate opt-out pattern; if you think you need one, the code belongs\n\
 in a different crate.",
     },
+    RuleInfo {
+        id: "atomic-ordering-audit",
+        summary: "every atomic Ordering use carries an `// ordering:` justification",
+        explain: "\
+The lock-free plumbing (obs ring buffer, sharded admission queue,\n\
+registry epoch counters, adapt trackers) is exactly the code where a\n\
+wrong memory ordering is invisible to every test and fatal under load.\n\
+This rule turns each `Ordering::{Relaxed,Acquire,Release,AcqRel,\n\
+SeqCst}` use into a reviewed decision: the statement must carry a\n\
+`// ordering: <why>` comment on the same line, within the statement,\n\
+or on the line above it.\n\
+\n\
+Fires on: (a) any atomic `Ordering::*` variant in non-test code with\n\
+no `// ordering:` justification in range; (b) a `Relaxed` *store* to a\n\
+field whose *loads* elsewhere in the workspace use `Acquire` — the\n\
+Acquire load synchronizes with nothing unless the store is `Release`,\n\
+so the pair is either a bug or two sites that disagree about the\n\
+protocol (pairing is heuristic, keyed by field name).\n\
+\n\
+Fix: write the one-line reason the chosen ordering is sufficient\n\
+(`// ordering: Release publishes the slot payload written above`).\n\
+For (b), publish with `Release` or downgrade the load to `Relaxed`,\n\
+then document whichever you chose. Sites the heuristic mispairs may\n\
+opt out with `// qpp-lint: allow(atomic-\
+ordering-audit)`.",
+    },
+    RuleInfo {
+        id: "lock-order",
+        summary: "lock acquisition order must be cycle-free across the workspace",
+        explain: "\
+Two functions that take the same two locks in opposite orders deadlock\n\
+under the right interleaving — and the acquisitions are usually in\n\
+different files, composed through helper calls, where no local review\n\
+can see the cycle. This pass extracts every `Mutex::lock` /\n\
+`RwLock::{read,write}` / `Condvar::wait*` acquisition per function,\n\
+tracks guard lifetimes (let-bound guards to end of scope or `drop`,\n\
+temporaries to end of statement), composes held-sets through the call\n\
+graph, and reports any cycle in the resulting lock-order graph.\n\
+\n\
+Fires on: a cycle `A -> B -> ... -> A` in the workspace lock-order\n\
+graph. The diagnostic points at the first edge's acquisition site and\n\
+carries the full witness path (every edge with its file:line) in the\n\
+provenance, so the report is actionable without re-deriving the\n\
+analysis. Locks are identified by (crate, field-or-constructor name);\n\
+two instances of the same field (e.g. per-shard locks ordered by\n\
+index) are indistinguishable, so same-lock self-edges are not\n\
+reported.\n\
+\n\
+Fix: pick one global acquisition order (document it where the locks\n\
+are declared) and restructure the odd function out — usually by\n\
+dropping the first guard before taking the second, or by hoisting the\n\
+second acquisition out of the critical section. A cycle the analysis\n\
+cannot see past (e.g. instance-disambiguated ordering) may opt out\n\
+with `// qpp-lint: allow(lock-order)` on the witness line.",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -190,6 +248,7 @@ fn emit(m: &FileModel, out: &mut Vec<Diagnostic>, rule: &'static str, tok_idx: u
         col: t.col,
         message: msg,
         snippet: m.line_text(t.line).trim_start().to_string(),
+        provenance: Vec::new(),
     });
 }
 
@@ -215,49 +274,60 @@ fn no_vecvec(m: &FileModel, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Classifies token `i` as an allocating construct (`Vec::new`,
+/// `.collect()`, `vec![..]`, …). Shared by the per-file hot-path rule
+/// and the call-graph propagation pass; returns the construct name and
+/// a short reason.
+pub(crate) fn alloc_finding(m: &FileModel, i: usize) -> Option<(&str, &'static str)> {
+    let toks = &m.lexed.tokens;
+    let t = toks.get(i)?;
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    let txt = |k: usize| toks.get(k).map(|t| &m.src[t.start..t.end]);
+    let name = m.text(t);
+    let prev = if i > 0 { txt(i - 1) } else { None };
+    let next = txt(i + 1);
+    // `.name(` or `.name::<..>(` — a method call (the `::` of a
+    // turbofish lexes as two `:` tokens).
+    let is_method_call =
+        prev == Some(".") && (next == Some("(") || (next == Some(":") && txt(i + 2) == Some(":")));
+    match name {
+        "to_vec" | "collect" | "clone" | "to_owned" | "to_string" if is_method_call => {
+            Some((name, "allocates a fresh buffer"))
+        }
+        // `Vec::new`, `Vec::with_capacity`, `Box::new`, `String::new`,
+        // `String::from` — match the *type* token before `::`.
+        "Vec" | "Box" | "String"
+            if next == Some(":")
+                && txt(i + 2) == Some(":")
+                && matches!(
+                    txt(i + 3).map(|s| (name, s)),
+                    Some(("Vec", "new"))
+                        | Some(("Vec", "with_capacity"))
+                        | Some(("Box", "new"))
+                        | Some(("String", "new"))
+                        | Some(("String", "from"))
+                ) =>
+        {
+            Some((name, "constructs a fresh allocation"))
+        }
+        // `vec![...]`, `format!(...)`.
+        "vec" | "format" if next == Some("!") => Some((name, "allocates a fresh buffer")),
+        _ => None,
+    }
+}
+
 /// Allocating constructs inside `// qpp-lint: hot-path` function bodies.
 fn no_alloc_hot_path(m: &FileModel, out: &mut Vec<Diagnostic>) {
     if m.hot_fns.is_empty() {
         return;
     }
-    let toks = &m.lexed.tokens;
-    let txt = |k: usize| toks.get(k).map(|t| &m.src[t.start..t.end]);
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokenKind::Ident || !m.in_hot_fn(t.start) {
+    for i in 0..m.lexed.tokens.len() {
+        if !m.in_hot_fn(m.lexed.tokens[i].start) {
             continue;
         }
-        let name = m.text(t);
-        let prev = if i > 0 { txt(i - 1) } else { None };
-        let next = txt(i + 1);
-        // `.name(` or `.name::<..>(` — a method call (the `::` of a
-        // turbofish lexes as two `:` tokens).
-        let is_method_call = prev == Some(".")
-            && (next == Some("(") || (next == Some(":") && txt(i + 2) == Some(":")));
-        let finding: Option<&str> = match name {
-            "to_vec" | "collect" | "clone" | "to_owned" | "to_string" if is_method_call => {
-                Some("allocates a fresh buffer")
-            }
-            // `Vec::new`, `Vec::with_capacity`, `Box::new`, `String::new`,
-            // `String::from` — match the *type* token before `::`.
-            "Vec" | "Box" | "String"
-                if next == Some(":")
-                    && txt(i + 2) == Some(":")
-                    && matches!(
-                        txt(i + 3).map(|s| (name, s)),
-                        Some(("Vec", "new"))
-                            | Some(("Vec", "with_capacity"))
-                            | Some(("Box", "new"))
-                            | Some(("String", "new"))
-                            | Some(("String", "from"))
-                    ) =>
-            {
-                Some("constructs a fresh allocation")
-            }
-            // `vec![...]`, `format!(...)`.
-            "vec" | "format" if next == Some("!") => Some("allocates a fresh buffer"),
-            _ => None,
-        };
-        if let Some(why) = finding {
+        if let Some((name, why)) = alloc_finding(m, i) {
             emit(
                 m,
                 out,

@@ -12,12 +12,50 @@
 //! * **allow directives** — per-line `// qpp-lint: allow(rule, ...)`
 //!   opt-outs (plus the legacy `// allow-vecvec` spelling);
 //! * **map-typed identifiers** — names declared with a `HashMap` /
-//!   `HashSet` type, used by the iteration-order rule.
+//!   `HashSet` type, used by the iteration-order rule;
+//! * **function items** — every `fn` with its enclosing impl type and
+//!   inline-module path, body span, receiver/return facts, and
+//!   `hot-path` / `cold-path` markers, feeding the workspace call
+//!   graph (`graph` module);
+//! * **struct field types** — `field: Type` pairs from struct bodies,
+//!   used to type method receivers and identify lock/condvar fields.
 
 use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 use std::path::Path;
+
+/// One `fn` item, as the call-graph layer sees it.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name (`r#`-prefixed raw identifiers keep the prefix).
+    pub name: String,
+    /// Enclosing `impl` self type (`Foo` for `impl Foo`, the type after
+    /// `for` in trait impls, the trait name inside `trait` bodies).
+    pub self_type: Option<String>,
+    /// Inline-module path from the file root (`["tests"]` inside
+    /// `mod tests { .. }`), excluding the file's own module name.
+    pub mods: Vec<String>,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token indices of the body's `{` and matching `}` (None for
+    /// bodyless trait-method declarations).
+    pub body_toks: Option<(usize, usize)>,
+    /// Byte range of the body including braces.
+    pub body: Option<Range<usize>>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// Marked `// qpp-lint: hot-path`.
+    pub marked_hot: bool,
+    /// Marked `// qpp-lint: cold-path` (stops hot propagation).
+    pub marked_cold: bool,
+    /// Identifiers appearing in the return type (for guard-returning
+    /// helpers: a fn returning a `RwLock`/`Mutex` reference names a
+    /// lock the caller acquires through it).
+    pub ret_types: BTreeSet<String>,
+}
 
 /// Everything the rules need to know about one source file.
 pub struct FileModel {
@@ -45,6 +83,15 @@ pub struct FileModel {
     pub is_test_file: bool,
     /// True for binary targets (`src/bin/...` or `main.rs`).
     pub is_bin_file: bool,
+    /// Module path of the file itself within its crate (`["vector"]`
+    /// for `crates/linalg/src/vector.rs`, empty for `lib.rs`).
+    pub file_mods: Vec<String>,
+    /// Every `fn` item in the file, in source order.
+    pub fns: Vec<FnItem>,
+    /// Struct-field declarations: field name → type identifiers seen in
+    /// its declared type (`state: Mutex<ControlState>` yields
+    /// `state → {Mutex, ControlState}`).
+    pub field_types: BTreeMap<String, BTreeSet<String>>,
 }
 
 impl FileModel {
@@ -59,9 +106,12 @@ impl FileModel {
         }
         let (crate_name, is_test_file, is_bin_file) = classify(path);
         let test_regions = find_test_regions(&lexed.tokens, &src);
-        let hot_fns = find_hot_fns(&lexed, &src);
+        let hot_fns = find_marked_fn_bodies(&lexed, &src, "hot-path");
+        let cold_fns = find_marked_fn_bodies(&lexed, &src, "cold-path");
         let allows = find_allows(&lexed.comments, &line_starts, &src);
         let map_idents = find_map_idents(&lexed.tokens, &src);
+        let file_mods = file_mods(path);
+        let (fns, field_types) = scan_items(&lexed, &src, &hot_fns, &cold_fns);
         FileModel {
             path: path.to_string(),
             src,
@@ -74,6 +124,9 @@ impl FileModel {
             crate_name,
             is_test_file,
             is_bin_file,
+            file_mods,
+            fns,
+            field_types,
         }
     }
 
@@ -250,11 +303,13 @@ fn match_test_attribute(tokens: &[Token], i: usize, src: &str) -> Option<usize> 
     }
 }
 
-/// Body ranges of `fn`s preceded by a `qpp-lint: hot-path` comment.
-fn find_hot_fns(lexed: &Lexed, src: &str) -> Vec<Range<usize>> {
+/// Body ranges of `fn`s preceded by a `qpp-lint: <word>` marker comment
+/// (`hot-path` roots the allocation rule; `cold-path` documents a
+/// reviewed off-steady-state helper and stops hot propagation).
+fn find_marked_fn_bodies(lexed: &Lexed, src: &str, word: &str) -> Vec<Range<usize>> {
     let mut out = Vec::new();
     for c in &lexed.comments {
-        if !is_marker(&c.text, "hot-path") {
+        if !is_marker(&c.text, word) {
             continue;
         }
         // First `fn` token after the marker (attributes and doc comments
@@ -285,7 +340,15 @@ fn find_hot_fns(lexed: &Lexed, src: &str) -> Vec<Range<usize>> {
 /// not mark anything.
 fn is_marker(text: &str, word: &str) -> bool {
     match text.trim_start().strip_prefix("qpp-lint:") {
-        Some(rest) => rest.trim() == word,
+        Some(rest) => {
+            let rest = rest.trim();
+            // Allow an explanation after the marker word, separated by
+            // whitespace (`// qpp-lint: cold-path — delegates …`).
+            rest == word
+                || rest
+                    .strip_prefix(word)
+                    .is_some_and(|tail| tail.starts_with(char::is_whitespace))
+        }
         None => false,
     }
 }
@@ -385,6 +448,342 @@ fn find_map_idents(tokens: &[Token], src: &str) -> BTreeSet<String> {
     out
 }
 
+/// The file's own module path within its crate: the `.rs` stem for
+/// ordinary modules, empty for crate roots (`lib.rs`, `main.rs`) and
+/// `mod.rs`.
+fn file_mods(path: &str) -> Vec<String> {
+    let stem = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    match stem {
+        "" | "lib" | "main" | "mod" => Vec::new(),
+        s => vec![s.to_string()],
+    }
+}
+
+/// What opened a brace, for the item-context stack.
+#[derive(Debug, Clone)]
+enum BraceCtx {
+    Mod(String),
+    Impl(String),
+    Struct,
+    Other,
+}
+
+/// Walks the token stream once, extracting every `fn` item (with its
+/// impl/module context) and every struct field's declared type idents.
+fn scan_items(
+    lexed: &Lexed,
+    src: &str,
+    hot_fns: &[Range<usize>],
+    cold_fns: &[Range<usize>],
+) -> (Vec<FnItem>, BTreeMap<String, BTreeSet<String>>) {
+    let toks = &lexed.tokens;
+    let txt = |k: usize| toks.get(k).map(|t| &src[t.start..t.end]);
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut fields: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    // Brace token index → what it opens, precomputed at item keywords.
+    let mut openers: BTreeMap<usize, BraceCtx> = BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Ident {
+            match &src[toks[i].start..toks[i].end] {
+                "mod" => {
+                    if let (Some(name), Some("{")) = (txt(i + 1), txt(i + 2)) {
+                        if toks[i + 1].kind == TokenKind::Ident {
+                            openers.insert(i + 2, BraceCtx::Mod(name.to_string()));
+                        }
+                    }
+                }
+                "impl" => {
+                    if let Some((ty, open)) = parse_impl_header(toks, i, src) {
+                        openers.insert(open, BraceCtx::Impl(ty));
+                    }
+                }
+                "trait" => {
+                    // Trait bodies give default methods their trait name
+                    // as a self type (good enough for name resolution).
+                    if let Some(name) = txt(i + 1) {
+                        if toks[i + 1].kind == TokenKind::Ident {
+                            if let Some(open) = find_body_open(toks, i + 2, src) {
+                                openers.insert(open, BraceCtx::Impl(name.to_string()));
+                            }
+                        }
+                    }
+                }
+                "struct" if txt(i + 1).is_some_and(|_| toks[i + 1].kind == TokenKind::Ident) => {
+                    if let Some(open) = find_body_open(toks, i + 2, src) {
+                        openers.insert(open, BraceCtx::Struct);
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+
+    // Main walk: maintain the context stack and collect items.
+    let mut stack: Vec<BraceCtx> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let s = &src[t.start..t.end];
+        if t.kind == TokenKind::Punct {
+            match s {
+                "{" => stack.push(openers.get(&i).cloned().unwrap_or(BraceCtx::Other)),
+                "}" => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident && s == "fn" {
+            // Skip `fn` inside type positions (`impl Fn(..)`, `dyn Fn`)
+            // — those lex as `Fn`, capital, so a bare lowercase `fn`
+            // followed by an identifier is reliably an item.
+            if let Some(name) = txt(i + 1) {
+                if toks[i + 1].kind == TokenKind::Ident {
+                    let item = parse_fn_item(toks, i, src, &stack, hot_fns, cold_fns);
+                    i += 1;
+                    if let Some(item) = item {
+                        fns.push(item);
+                    }
+                    continue;
+                }
+                let _ = name;
+            }
+        }
+        if t.kind == TokenKind::Ident && matches!(stack.last(), Some(BraceCtx::Struct)) {
+            // `field : Type` at struct-body level (not `::` paths).
+            if txt(i + 1) == Some(":")
+                && txt(i + 2) != Some(":")
+                && txt(i.wrapping_sub(1)) != Some(":")
+            {
+                let entry = fields.entry(s.to_string()).or_default();
+                let mut k = i + 2;
+                let mut depth = 0i32;
+                while k < toks.len() {
+                    match txt(k) {
+                        Some("<") | Some("(") | Some("[") => depth += 1,
+                        Some(">") | Some(")") | Some("]")
+                            if txt(k.wrapping_sub(1)) != Some("-") =>
+                        {
+                            depth -= 1;
+                            if depth < 0 {
+                                break;
+                            }
+                        }
+                        Some(",") if depth == 0 => break,
+                        Some("}") if depth == 0 => break,
+                        Some(w)
+                            if toks[k].kind == TokenKind::Ident
+                                && !matches!(
+                                    w,
+                                    "pub" | "crate" | "dyn" | "mut" | "const" | "in"
+                                ) =>
+                        {
+                            entry.insert(w.to_string());
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    (fns, fields)
+}
+
+/// Parses an `impl` header starting at token `i` (`impl`), returning
+/// the self-type name and the body-opening brace's token index.
+/// `impl<T> Foo<T>` → Foo; `impl Trait for Bar` → Bar.
+fn parse_impl_header(toks: &[Token], i: usize, src: &str) -> Option<(String, usize)> {
+    let txt = |k: usize| toks.get(k).map(|t| &src[t.start..t.end]);
+    let mut k = i + 1;
+    // Generic parameter list on the impl itself.
+    k = skip_angles(toks, k, src);
+    let mut last_ident: Option<String> = None;
+    while k < toks.len() {
+        match txt(k)? {
+            "{" => return last_ident.map(|ty| (ty, k)),
+            "for" => {
+                last_ident = None;
+                k += 1;
+            }
+            "where" => {
+                // The self type is settled; find the body brace.
+                let open = toks[k..]
+                    .iter()
+                    .position(|t| t.kind == TokenKind::Punct && &src[t.start..t.end] == "{")
+                    .map(|off| k + off)?;
+                return last_ident.map(|ty| (ty, open));
+            }
+            "<" => k = skip_angles(toks, k, src),
+            "(" | "[" => {
+                // `impl Trait for (A, B)` and friends: give up on a
+                // nameable self type but still locate the body.
+                let open = toks[k..]
+                    .iter()
+                    .position(|t| t.kind == TokenKind::Punct && &src[t.start..t.end] == "{")
+                    .map(|off| k + off)?;
+                return last_ident.map(|ty| (ty, open));
+            }
+            w if toks[k].kind == TokenKind::Ident => {
+                if w != "dyn" && w != "crate" && w != "self" && w != "super" {
+                    last_ident = Some(w.to_string());
+                }
+                k += 1;
+            }
+            _ => k += 1,
+        }
+    }
+    None
+}
+
+/// If token `k` is `<`, returns the index one past its matching `>`
+/// (treating the `>` of `->` as plain punctuation); otherwise `k`.
+pub(crate) fn skip_angles(toks: &[Token], k: usize, src: &str) -> usize {
+    let txt = |k: usize| toks.get(k).map(|t| &src[t.start..t.end]);
+    if txt(k) != Some("<") {
+        return k;
+    }
+    let mut depth = 0i32;
+    let mut j = k;
+    while j < toks.len() {
+        match txt(j) {
+            Some("<") => depth += 1,
+            Some(">") if txt(j.wrapping_sub(1)) != Some("-") => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            Some(";") | Some("{") => return j, // malformed; bail
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Finds the `{` opening an item body, scanning from `k` and skipping
+/// generic-parameter lists; `None` when a `;` ends the item first.
+fn find_body_open(toks: &[Token], k: usize, src: &str) -> Option<usize> {
+    let txt = |k: usize| toks.get(k).map(|t| &src[t.start..t.end]);
+    let mut j = k;
+    while j < toks.len() {
+        match txt(j)? {
+            "{" => return Some(j),
+            ";" => return None,
+            "(" => return None, // tuple struct
+            "<" => j = skip_angles(toks, j, src),
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Parses the `fn` item whose `fn` keyword sits at token `i`.
+fn parse_fn_item(
+    toks: &[Token],
+    i: usize,
+    src: &str,
+    stack: &[BraceCtx],
+    hot_fns: &[Range<usize>],
+    cold_fns: &[Range<usize>],
+) -> Option<FnItem> {
+    let txt = |k: usize| toks.get(k).map(|t| &src[t.start..t.end]);
+    let name = txt(i + 1)?.to_string();
+    let mut k = skip_angles(toks, i + 2, src);
+    if txt(k)? != "(" {
+        return None;
+    }
+    // Parameter list: `self` in the first parameter ⇒ method receiver.
+    let params_open = k;
+    let mut depth = 0i32;
+    let mut has_self = false;
+    let mut first_param = true;
+    while k < toks.len() {
+        match txt(k)? {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "," if depth == 1 => first_param = false,
+            "self" if depth == 1 && first_param => has_self = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    let params_close = k;
+    // Return type + body locator.
+    let mut ret_types = BTreeSet::new();
+    let mut k = params_close + 1;
+    let mut body_open: Option<usize> = None;
+    let mut in_where = false;
+    while k < toks.len() {
+        match txt(k)? {
+            "{" => {
+                body_open = Some(k);
+                break;
+            }
+            ";" => break,
+            "where" => {
+                in_where = true;
+                k += 1;
+            }
+            w if toks[k].kind == TokenKind::Ident => {
+                if !in_where && !matches!(w, "dyn" | "impl" | "mut" | "const" | "Send" | "Sync") {
+                    ret_types.insert(w.to_string());
+                }
+                k += 1;
+            }
+            _ => k += 1,
+        }
+    }
+    let body_toks =
+        body_open.and_then(|open| match_brace(toks, open, src).map(|close| (open, close)));
+    let body = body_toks.map(|(open, close)| toks[open].start..toks[close].end);
+    let marked = |ranges: &[Range<usize>]| match &body {
+        Some(b) => ranges.iter().any(|r| r.start == b.start),
+        None => false,
+    };
+    let marked_hot = marked(hot_fns);
+    let marked_cold = marked(cold_fns);
+    let self_type = stack.iter().rev().find_map(|c| match c {
+        BraceCtx::Impl(ty) => Some(ty.clone()),
+        _ => None,
+    });
+    let mods = stack
+        .iter()
+        .filter_map(|c| match c {
+            BraceCtx::Mod(m) => Some(m.clone()),
+            _ => None,
+        })
+        .collect();
+    let _ = params_open;
+    Some(FnItem {
+        name,
+        self_type,
+        mods,
+        fn_tok: i,
+        body_toks,
+        body,
+        line: toks[i].line,
+        has_self,
+        marked_hot,
+        marked_cold,
+        ret_types,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +843,85 @@ mod tests {
         assert!(m.is_allowed(3, "no-unwrap-lib"));
         assert!(m.is_allowed(3, "no-vecvec"));
         assert!(!m.is_allowed(2, "no-vecvec"));
+    }
+
+    #[test]
+    fn fn_items_carry_impl_and_module_context() {
+        let m = model(
+            "pub struct Engine { pool: Pool }\n\
+             impl Engine {\n\
+                 pub fn new(cap: usize) -> Self { Engine { pool: Pool::new(cap) } }\n\
+                 // qpp-lint: hot-path\n\
+                 pub fn predict(&self, q: &Query) -> f64 { self.score(q) }\n\
+                 fn score(&self, q: &Query) -> f64 { 0.0 }\n\
+             }\n\
+             mod inner {\n\
+                 pub fn helper() {}\n\
+             }\n\
+             fn free() -> Vec<f64> { Vec::new() }\n",
+        );
+        let by_name = |n: &str| m.fns.iter().find(|f| f.name == n).expect(n);
+        let new = by_name("new");
+        assert_eq!(new.self_type.as_deref(), Some("Engine"));
+        assert!(!new.has_self);
+        assert!(new.ret_types.contains("Self"));
+        let predict = by_name("predict");
+        assert!(predict.has_self && predict.marked_hot && !predict.marked_cold);
+        assert!(by_name("score").has_self);
+        let helper = by_name("helper");
+        assert_eq!(helper.mods, vec!["inner".to_string()]);
+        assert!(helper.self_type.is_none());
+        let free = by_name("free");
+        assert!(free.ret_types.contains("Vec") && free.ret_types.contains("f64"));
+        assert_eq!(
+            m.field_types.get("pool").map(|t| t.contains("Pool")),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn trait_impls_resolve_self_type_after_for() {
+        let m = model(
+            "impl<T: Clone> Runner for Sharded<T> where T: Send {\n\
+                 fn run(&mut self) { self.step(); }\n\
+             }\n\
+             impl Default for Config {\n\
+                 fn default() -> Self { Config }\n\
+             }\n",
+        );
+        let run = m.fns.iter().find(|f| f.name == "run").expect("run");
+        assert_eq!(run.self_type.as_deref(), Some("Sharded"));
+        let default = m.fns.iter().find(|f| f.name == "default").expect("default");
+        assert_eq!(default.self_type.as_deref(), Some("Config"));
+    }
+
+    #[test]
+    fn cold_marker_and_generic_signatures_parse() {
+        let m = model(
+            "// qpp-lint: hot-path\n\
+             fn hot<T: Into<f64>>(xs: &[T]) -> Result<f64, Error> { cold_fallback() }\n\
+             // qpp-lint: cold-path\n\
+             fn cold_fallback() -> f64 { 0.0 }\n",
+        );
+        let hot = m.fns.iter().find(|f| f.name == "hot").expect("hot");
+        assert!(hot.marked_hot);
+        assert!(hot.ret_types.contains("Result") && hot.ret_types.contains("Error"));
+        let cold = m
+            .fns
+            .iter()
+            .find(|f| f.name == "cold_fallback")
+            .expect("cold");
+        assert!(cold.marked_cold && !cold.marked_hot);
+    }
+
+    #[test]
+    fn file_mods_uses_stem_except_crate_roots() {
+        assert_eq!(
+            file_mods("crates/serve/src/queue.rs"),
+            vec!["queue".to_string()]
+        );
+        assert!(file_mods("crates/serve/src/lib.rs").is_empty());
+        assert!(file_mods("crates/lint/src/main.rs").is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@ fn lint_fixture(rule: &str, which: &str) -> Vec<Diagnostic> {
     // Integration tests run with the package root as cwd.
     let crate_dir = match rule {
         "no-unordered-float-reduce" | "no-wallclock-in-model" => "ml",
-        "no-hashmap-iter-order" => "serve",
+        "no-hashmap-iter-order" | "atomic-ordering-audit" | "lock-order" => "serve",
         _ => "core",
     };
     let path = format!("tests/fixtures/{rule}/crates/{crate_dir}/src/{which}.rs");
@@ -25,6 +25,11 @@ const ALL_RULES: &[(&str, usize)] = &[
     ("no-hashmap-iter-order", 2),
     ("no-unwrap-lib", 3),
     ("no-wallclock-in-model", 2),
+    // Workspace-level passes: fires.rs yields 3 atomic findings (two
+    // unjustified sites plus the Relaxed-store/Acquire-load pairing)
+    // and exactly one lock-order cycle report.
+    ("atomic-ordering-audit", 3),
+    ("lock-order", 1),
 ];
 
 #[test]

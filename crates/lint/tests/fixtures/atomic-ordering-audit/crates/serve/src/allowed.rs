@@ -1,0 +1,21 @@
+//! Fixture: the same unjustified sites as `fires.rs`, each waived with
+//! an allow directive (which also suppresses the pairing check anchored
+//! at the store site).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flags {
+    ready: AtomicU64,
+}
+
+impl Flags {
+    pub fn publish(&self) {
+        // qpp-lint: allow(atomic-ordering-audit)
+        self.ready.store(1, Ordering::Relaxed);
+    }
+
+    pub fn is_ready(&self) -> bool {
+        // qpp-lint: allow(atomic-ordering-audit)
+        self.ready.load(Ordering::Acquire) == 1
+    }
+}

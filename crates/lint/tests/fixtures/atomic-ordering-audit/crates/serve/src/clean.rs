@@ -1,0 +1,21 @@
+//! Fixture: every `Ordering` use carries an `// ordering:`
+//! justification, and the store/load pair is Release/Acquire — nothing
+//! fires.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flags {
+    ready: AtomicU64,
+}
+
+impl Flags {
+    pub fn publish(&self) {
+        // ordering: Release publishes the flag; pairs with the Acquire
+        // load in `is_ready`.
+        self.ready.store(1, Ordering::Release);
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire) == 1 // ordering: pairs with `publish`
+    }
+}

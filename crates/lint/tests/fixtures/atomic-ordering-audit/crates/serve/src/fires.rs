@@ -1,0 +1,19 @@
+//! Fixture: unjustified `Ordering` uses fire the audit, and the
+//! Relaxed-store/Acquire-load mismatch on `ready` fires the pairing
+//! check on top of them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flags {
+    ready: AtomicU64,
+}
+
+impl Flags {
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Relaxed);
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire) == 1
+    }
+}

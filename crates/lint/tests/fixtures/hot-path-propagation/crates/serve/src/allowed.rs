@@ -1,0 +1,19 @@
+//! Fixture: the same allocating chain as `fires.rs`, but `reshape` is
+//! declared a deliberate boundary with `// qpp-lint: cold-path` — the
+//! sanctioned way to stop propagation (preferred over a per-line
+//! allow, because it documents the design decision at the function).
+
+// qpp-lint: hot-path
+pub fn admit(xs: &[f64], out: &mut Vec<f64>) {
+    stage(xs, out);
+}
+
+fn stage(xs: &[f64], out: &mut Vec<f64>) {
+    reshape(xs, out);
+}
+
+// qpp-lint: cold-path — slow-path reshaping is allowed to allocate.
+fn reshape(xs: &[f64], out: &mut Vec<f64>) {
+    let scratch = xs.to_vec();
+    out.extend_from_slice(&scratch);
+}

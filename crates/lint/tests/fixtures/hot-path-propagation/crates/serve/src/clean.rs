@@ -1,0 +1,18 @@
+//! Fixture: the same call chain as `fires.rs`, but the leaf writes
+//! into the caller-provided buffer instead of allocating — nothing
+//! propagates.
+
+// qpp-lint: hot-path
+pub fn admit(xs: &[f64], out: &mut Vec<f64>) {
+    stage(xs, out);
+}
+
+fn stage(xs: &[f64], out: &mut Vec<f64>) {
+    reshape(xs, out);
+}
+
+fn reshape(xs: &[f64], out: &mut Vec<f64>) {
+    for x in xs {
+        out.push(*x * 2.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: the hot-path root `admit` never allocates itself, but it
+//! reaches `reshape` two calls down, and `reshape` does — the
+//! propagated `no-alloc-hot-path` check fires there with the full call
+//! chain as provenance.
+
+// qpp-lint: hot-path
+pub fn admit(xs: &[f64], out: &mut Vec<f64>) {
+    stage(xs, out);
+}
+
+fn stage(xs: &[f64], out: &mut Vec<f64>) {
+    reshape(xs, out);
+}
+
+fn reshape(xs: &[f64], out: &mut Vec<f64>) {
+    let scratch = xs.to_vec();
+    out.extend_from_slice(&scratch);
+}

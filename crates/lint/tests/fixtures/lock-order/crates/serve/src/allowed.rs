@@ -1,0 +1,22 @@
+//! Fixture: the same cycle as `fires.rs`, waived at the reported
+//! anchor site (the first edge of the cycle's witness path).
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        // qpp-lint: allow(lock-order)
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga - *gb
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: both functions respect the same global order (`a` before
+//! `b`), and `release_early` drops its first guard before taking the
+//! second — no cycle either way.
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn release_early(&self) -> u64 {
+        let gb = self.b.lock();
+        let x = *gb;
+        drop(gb);
+        let ga = self.a.lock();
+        *ga + x
+    }
+}

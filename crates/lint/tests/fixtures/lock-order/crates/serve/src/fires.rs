@@ -1,0 +1,23 @@
+//! Fixture: `forward` acquires `a` then `b`; `backward` acquires `b`
+//! then `a`. The composed lock graph has the cycle
+//! `serve::a -> serve::b -> serve::a`, reported once with both edges
+//! as the witness.
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga - *gb
+    }
+}

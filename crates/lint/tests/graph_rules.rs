@@ -1,0 +1,122 @@
+//! Acceptance tests for the workspace-level passes: hot-path
+//! propagation through the call graph, the lock-order deadlock
+//! detector, and the atomic-ordering audit. The seeded fixtures pin
+//! exact spans and witness paths so the analyses stay deterministic.
+
+use qpp_lint::lint_report;
+
+fn fixture(rule: &str, which: &str) -> String {
+    format!("tests/fixtures/{rule}/crates/serve/src/{which}.rs")
+}
+
+#[test]
+fn cross_function_allocation_fires_with_call_chain_witness() {
+    let path = fixture("hot-path-propagation", "fires");
+    let r = lint_report(std::slice::from_ref(&path));
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+    let d = &r.diagnostics[0];
+    assert_eq!(d.rule, "no-alloc-hot-path");
+    // Exact file:line witness at the allocation two calls from the root.
+    assert_eq!((d.line, d.col), (16, 22));
+    assert_eq!(d.snippet, "let scratch = xs.to_vec();");
+    assert!(d.message.contains("`to_vec`"), "{}", d.message);
+    assert!(d.message.contains("`reshape`"), "{}", d.message);
+    // Root-to-leaf provenance chain, one step per call edge.
+    assert_eq!(
+        d.provenance,
+        vec![
+            format!("{path}:8: `admit` (hot-path root) calls `stage`"),
+            format!("{path}:12: `stage` calls `reshape`"),
+        ]
+    );
+    // Graph bookkeeping: one root, two functions hot by propagation.
+    assert_eq!(r.stats.hot_roots, 1);
+    assert_eq!(r.stats.hot_propagated, 2);
+    assert_eq!(r.stats.call_edges, 2);
+}
+
+#[test]
+fn cold_path_marker_stops_propagation() {
+    let r = lint_report(&[fixture("hot-path-propagation", "allowed")]);
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    // The chain is cut at `reshape`: only `stage` becomes hot.
+    assert_eq!(r.stats.hot_roots, 1);
+    assert_eq!(r.stats.hot_propagated, 1);
+}
+
+#[test]
+fn seeded_lock_cycle_reports_deterministic_witness_path() {
+    let path = fixture("lock-order", "fires");
+    let r = lint_report(std::slice::from_ref(&path));
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+    let d = &r.diagnostics[0];
+    assert_eq!(d.rule, "lock-order");
+    // Anchored at the first edge of the cycle (smallest lock first).
+    assert_eq!((d.line, d.col), (14, 25));
+    assert_eq!(d.snippet, "let gb = self.b.lock();");
+    assert!(
+        d.message
+            .contains("lock-order cycle serve::a -> serve::b -> serve::a"),
+        "{}",
+        d.message
+    );
+    // Both edges of the cycle, as file:line witnesses.
+    assert_eq!(
+        d.provenance,
+        vec![
+            format!("{path}:14: `Pair::forward` acquires `serve::b` while holding `serve::a`"),
+            format!("{path}:20: `Pair::backward` acquires `serve::a` while holding `serve::b`"),
+        ]
+    );
+    assert_eq!(r.stats.lock_sites, 4);
+    assert_eq!(r.stats.lock_edges, 2);
+
+    // Determinism: repeated runs produce the identical report.
+    let again = lint_report(&[path]);
+    assert_eq!(again.diagnostics.len(), 1);
+    assert_eq!(again.diagnostics[0].message, d.message);
+    assert_eq!(again.diagnostics[0].provenance, d.provenance);
+}
+
+#[test]
+fn guard_dropped_before_second_lock_is_not_an_edge() {
+    let r = lint_report(&[fixture("lock-order", "clean")]);
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    // `forward` contributes the one a→b edge; `release_early` drops its
+    // `b` guard before taking `a`, so no b→a edge exists.
+    assert_eq!(r.stats.lock_edges, 1);
+}
+
+#[test]
+fn atomic_audit_counts_justified_and_unjustified_sites() {
+    let r = lint_report(&[fixture("atomic-ordering-audit", "fires")]);
+    assert_eq!(r.stats.atomic_sites, 2);
+    assert_eq!(r.stats.atomic_justified, 0);
+    let pairing = r
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("synchronizes with nothing"))
+        .expect("Relaxed-store/Acquire-load pairing fires");
+    assert!(
+        pairing.provenance[0].contains("Acquire load of `ready`"),
+        "{:?}",
+        pairing.provenance
+    );
+
+    let clean = lint_report(&[fixture("atomic-ordering-audit", "clean")]);
+    assert!(clean.diagnostics.is_empty(), "{:?}", clean.diagnostics);
+    assert_eq!(clean.stats.atomic_sites, 2);
+    assert_eq!(clean.stats.atomic_justified, 2);
+}
+
+#[test]
+fn new_rules_have_explanations() {
+    for rule in ["atomic-ordering-audit", "lock-order"] {
+        let info = qpp_lint::rule_info(rule).expect("rule is registered");
+        assert!(!info.explain.is_empty(), "{rule} has --explain text");
+    }
+}

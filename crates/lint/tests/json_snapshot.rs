@@ -2,18 +2,30 @@
 //!
 //! The JSON shape is consumed by CI tooling; changing it is a breaking
 //! change and must be deliberate — update the snapshot alongside the
-//! version field.
+//! version field. v2 added the `graph` statistics block and the
+//! per-diagnostic `provenance` array.
 
-use qpp_lint::{json, lint_paths};
+use qpp_lint::{json, lint_report};
 
 #[test]
 fn json_output_matches_snapshot() {
     let path = "tests/fixtures/no-vecvec/crates/core/src/fires.rs";
-    let (diags, errors) = lint_paths(&[path.to_string()]);
-    assert!(errors.is_empty(), "{errors:?}");
+    let r = lint_report(&[path.to_string()]);
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
     let expected = r#"{
-  "version": 1,
+  "version": 2,
   "count": 1,
+  "graph": {
+    "files": 1,
+    "functions": 1,
+    "call_edges": 0,
+    "hot_roots": 0,
+    "hot_propagated": 0,
+    "lock_sites": 0,
+    "lock_edges": 0,
+    "atomic_sites": 0,
+    "atomic_justified": 0
+  },
   "diagnostics": [
     {
       "rule": "no-vecvec",
@@ -21,12 +33,28 @@ fn json_output_matches_snapshot() {
       "line": 3,
       "col": 18,
       "message": "nested `Vec<Vec<f64>>` in library code — use a contiguous `Matrix`/`MatrixView` instead",
-      "snippet": "pub fn rows() -> Vec<Vec<f64>> {"
+      "snippet": "pub fn rows() -> Vec<Vec<f64>> {",
+      "provenance": []
     }
   ]
 }
 "#;
-    assert_eq!(json::to_json(&diags), expected);
+    assert_eq!(json::to_json(&r.diagnostics, &r.stats), expected);
+}
+
+#[test]
+fn json_carries_provenance_for_workspace_findings() {
+    let path = "tests/fixtures/lock-order/crates/serve/src/fires.rs";
+    let r = lint_report(&[path.to_string()]);
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    let out = json::to_json(&r.diagnostics, &r.stats);
+    assert!(out.contains("\"rule\": \"lock-order\""), "{out}");
+    assert!(out.contains("\"lock_sites\": 4"), "{out}");
+    assert!(out.contains("\"lock_edges\": 2"), "{out}");
+    assert!(
+        out.contains("acquires `serve::a` while holding `serve::b`"),
+        "{out}"
+    );
 }
 
 #[test]
@@ -36,9 +64,10 @@ fn json_escapes_special_characters() {
         "pub fn f(v: Option<u64>) -> u64 {\n    v.expect(\"tab\\there\")\n}\n".to_string(),
     );
     assert_eq!(diags.len(), 1);
-    let out = json::to_json(&diags);
+    let stats = qpp_lint::GraphStats::default();
+    let out = json::to_json(&diags, &stats);
     // The snippet contains a quoted string: it must arrive escaped.
     assert!(out.contains(r#"v.expect(\"tab\\there\")"#), "{out}");
-    let empty = json::to_json(&[]);
+    let empty = json::to_json(&[], &stats);
     assert!(empty.contains("\"count\": 0"), "{empty}");
 }

@@ -53,6 +53,45 @@ fn obs_crate_is_lint_clean_with_no_alloc_waivers() {
     }
 }
 
+/// Every atomic `Ordering` choice in the workspace is justified by a
+/// real `// ordering:` comment — never waived. A waiver would let an
+/// undocumented ordering through the audit, which defeats its purpose:
+/// the justification IS the deliverable, and writing one is never
+/// harder than writing the allow directive.
+#[test]
+fn workspace_has_zero_atomic_ordering_waivers() {
+    let crates_dir = format!("{}/../../crates", env!("CARGO_MANIFEST_DIR"));
+    // Assembled at runtime so this test's own source never contains
+    // the needle it hunts for.
+    let needle = format!("allow({})", "atomic-ordering-audit");
+    let mut stack = vec![std::path::PathBuf::from(&crates_dir)];
+    let mut sources = 0usize;
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read workspace dir") {
+            let path = entry.expect("dir entry").path();
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if name != "target" && name != "fixtures" && name != ".git" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                sources += 1;
+                let text = std::fs::read_to_string(&path).expect("read source");
+                assert!(
+                    !text.contains(&needle),
+                    "{} waives the atomic-ordering audit; justify the ordering \
+                     with an `// ordering:` comment instead",
+                    path.display()
+                );
+            }
+        }
+    }
+    assert!(sources > 50, "workspace walk found only {sources} sources");
+}
+
 /// The sharded serve data plane (queue push/drain, stats cells, tenant
 /// resolution, registry routing) is covered by `no-alloc-hot-path`
 /// markers rather than exempted from them: the admission gate and the

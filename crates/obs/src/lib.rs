@@ -88,6 +88,7 @@ impl Recorder {
     /// Fresh trace ID; starts at 1 so 0 can mean "untraced".
     // qpp-lint: hot-path
     pub fn next_trace_id(&self) -> u64 {
+        // ordering: IDs only need uniqueness, not ordering with events.
         self.next_trace.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -102,8 +103,8 @@ impl Recorder {
             dur_ns,
             value,
         });
-        self.stage_ns[stage.index()].fetch_add(dur_ns, Ordering::Relaxed);
-        self.stage_hits[stage.index()].fetch_add(1, Ordering::Relaxed);
+        self.stage_ns[stage.index()].fetch_add(dur_ns, Ordering::Relaxed); // ordering: statistical counter
+        self.stage_hits[stage.index()].fetch_add(1, Ordering::Relaxed); // ordering: statistical counter
     }
 
     /// Records an instantaneous marker (counted in `hits`, adds no
@@ -118,7 +119,7 @@ impl Recorder {
             dur_ns: 0,
             value,
         });
-        self.stage_hits[stage.index()].fetch_add(1, Ordering::Relaxed);
+        self.stage_hits[stage.index()].fetch_add(1, Ordering::Relaxed); // ordering: statistical counter
     }
 
     /// Total events ever recorded (monotonic, exceeds ring capacity
@@ -144,6 +145,7 @@ impl Recorder {
     pub fn stage_summary(&self) -> Vec<StageSummary> {
         let mut out = Vec::with_capacity(Stage::COUNT);
         for stage in Stage::ALL {
+            // ordering: totals are racy-but-monotone by contract.
             let hits = self.stage_hits[stage.index()].load(Ordering::Relaxed);
             if hits == 0 {
                 continue;
@@ -151,7 +153,7 @@ impl Recorder {
             out.push(StageSummary {
                 stage,
                 hits,
-                total_ns: self.stage_ns[stage.index()].load(Ordering::Relaxed),
+                total_ns: self.stage_ns[stage.index()].load(Ordering::Relaxed), // ordering: racy-but-monotone
             });
         }
         out

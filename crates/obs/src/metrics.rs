@@ -22,28 +22,33 @@ impl Counter {
     /// Adds 1.
     // qpp-lint: hot-path
     pub fn incr(&self) {
+        // ordering: pure statistic; nothing is published through it.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n`.
     // qpp-lint: hot-path
     pub fn add(&self, n: u64) {
+        // ordering: pure statistic; nothing is published through it.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Raises the value to at least `v` (high-watermark semantics).
     // qpp-lint: hot-path
     pub fn observe_max(&self, v: u64) {
+        // ordering: monotone max; readers tolerate any interleaving.
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Overwrites the value (gauge semantics).
     pub fn set(&self, v: u64) {
+        // ordering: last-writer-wins gauge; no payload to publish.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: any recent value is acceptable for a statistic.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -70,11 +75,13 @@ impl Gauge {
     /// Overwrites the gauge.
     // qpp-lint: hot-path
     pub fn set(&self, value: f64) {
+        // ordering: single-word bit pattern; last-writer-wins gauge.
         self.0.store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// The last value set (0.0 if never set).
     pub fn get(&self) -> f64 {
+        // ordering: any recent value is acceptable for a gauge read.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -108,14 +115,14 @@ impl Histogram {
     pub fn record(&self, value_us: u64) {
         let v = value_us.max(1);
         let bucket = (63 - v.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed); // ordering: statistical counter
     }
 
     /// Per-bucket counts (a racy-but-monotone snapshot).
     pub fn counts(&self) -> [u64; BUCKETS] {
         let mut out = [0u64; BUCKETS];
         for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
-            *o = b.load(Ordering::Relaxed);
+            *o = b.load(Ordering::Relaxed); // ordering: racy-but-monotone snapshot by contract
         }
         out
     }

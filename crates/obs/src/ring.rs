@@ -94,6 +94,7 @@ impl EventRing {
     /// Total events ever pushed (monotonic; exceeds `capacity()` once
     /// the ring has wrapped).
     pub fn recorded(&self) -> u64 {
+        // ordering: a monotonic statistic; no payload hangs off it.
         self.head.load(Ordering::Relaxed)
     }
 
@@ -101,19 +102,27 @@ impl EventRing {
     /// `fetch_add` plus six word stores.
     // qpp-lint: hot-path
     pub fn push(&self, e: &Event) {
+        // ordering: the ticket only claims a slot index; the seq stamps
+        // below carry all payload visibility, so Relaxed suffices here.
         let t = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(t & self.mask) as usize];
         let tag = e.tag();
+        // ordering: odd stamp marks the write in flight before any
+        // payload store can be observed.
         slot.seq.store(2 * t + 1, Ordering::Release);
-        slot.trace_id.store(e.trace_id, Ordering::Relaxed);
-        slot.tag.store(tag, Ordering::Relaxed);
-        slot.start_ns.store(e.start_ns, Ordering::Relaxed);
-        slot.dur_ns.store(e.dur_ns, Ordering::Relaxed);
-        slot.value.store(e.value, Ordering::Relaxed);
+        slot.trace_id.store(e.trace_id, Ordering::Relaxed); // ordering: guarded by seq stamps
+        slot.tag.store(tag, Ordering::Relaxed); // ordering: guarded by seq stamps
+        slot.start_ns.store(e.start_ns, Ordering::Relaxed); // ordering: guarded by seq stamps
+        slot.dur_ns.store(e.dur_ns, Ordering::Relaxed); // ordering: guarded by seq stamps
+        slot.value.store(e.value, Ordering::Relaxed); // ordering: guarded by seq stamps
+                                                      // ordering: guarded by seq stamps; readers that race us fail the
+                                                      // checksum and drop the slot.
         slot.check.store(
             checksum(e.trace_id, tag, e.start_ns, e.dur_ns, e.value),
             Ordering::Relaxed,
         );
+        // ordering: even stamp publishes the payload; pairs with the
+        // Acquire load at the top of `snapshot`.
         slot.seq.store(2 * t + 2, Ordering::Release);
     }
 
@@ -123,17 +132,22 @@ impl EventRing {
     pub fn snapshot(&self) -> Vec<Event> {
         let mut keyed: Vec<(u64, Event)> = Vec::with_capacity(self.slots.len());
         for slot in self.slots.iter() {
+            // ordering: pairs with the even-stamp Release in `push`;
+            // everything stored before that stamp is visible below.
             let s1 = slot.seq.load(Ordering::Acquire);
             if s1 == 0 || s1 % 2 == 1 {
                 continue; // never written, or a write is in flight
             }
-            let trace_id = slot.trace_id.load(Ordering::Relaxed);
-            let tag = slot.tag.load(Ordering::Relaxed);
-            let start_ns = slot.start_ns.load(Ordering::Relaxed);
-            let dur_ns = slot.dur_ns.load(Ordering::Relaxed);
-            let value = slot.value.load(Ordering::Relaxed);
-            let check = slot.check.load(Ordering::Relaxed);
+            let trace_id = slot.trace_id.load(Ordering::Relaxed); // ordering: validated by s1 == s2 + checksum
+            let tag = slot.tag.load(Ordering::Relaxed); // ordering: validated by s1 == s2 + checksum
+            let start_ns = slot.start_ns.load(Ordering::Relaxed); // ordering: validated by s1 == s2 + checksum
+            let dur_ns = slot.dur_ns.load(Ordering::Relaxed); // ordering: validated by s1 == s2 + checksum
+            let value = slot.value.load(Ordering::Relaxed); // ordering: validated by s1 == s2 + checksum
+            let check = slot.check.load(Ordering::Relaxed); // ordering: validated by s1 == s2 + checksum
+                                                            // ordering: the fence orders the payload loads above before
+                                                            // the re-check of seq below (the classic seqlock read).
             fence(Ordering::Acquire);
+            // ordering: the fence above already orders this re-check.
             let s2 = slot.seq.load(Ordering::Relaxed);
             if s1 != s2 || check != checksum(trace_id, tag, start_ns, dur_ns, value) {
                 continue; // rewritten or mixed while we read; drop it

@@ -202,6 +202,9 @@ unsafe impl Sync for Region {}
 impl Region {
     /// Claims the next unclaimed chunk, if any.
     fn claim(&self) -> Option<usize> {
+        // ordering: the counter only partitions chunk indices; chunk
+        // data visibility is carried by the Acquire/Release handshake
+        // on `Region::enter`/`leave`, not by this ticket.
         let c = self.next.fetch_add(1, Ordering::Relaxed);
         (c < self.chunks).then_some(c)
     }
@@ -253,10 +256,14 @@ impl Pool {
     fn ensure_workers(&self, want: usize) {
         let want = want.min(MAX_WORKERS);
         loop {
+            // ordering: `spawned` is only a spawn-count reservation; the
+            // channel handoff synchronizes the worker threads themselves.
             let have = self.spawned.load(Ordering::Relaxed);
             if have >= want {
                 return;
             }
+            // ordering: Relaxed CAS suffices — losing the race just
+            // retries, and no data is published through this counter.
             if self
                 .spawned
                 .compare_exchange(have, have + 1, Ordering::Relaxed, Ordering::Relaxed)

@@ -181,6 +181,9 @@ impl<T> ShardedQueue<T> {
 
     /// Requests tenant `tenant_idx` currently holds across shards.
     pub fn queued_for(&self, tenant_idx: usize) -> usize {
+        // ordering: Acquire pairs with the AcqRel updates in
+        // `try_push`/`drr_drain` so monitors never see a count ahead of
+        // the quota decisions it reflects.
         self.queued[tenant_idx].load(Ordering::Acquire)
     }
 
@@ -205,8 +208,13 @@ impl<T> ShardedQueue<T> {
     // qpp-lint: hot-path
     pub fn try_push(&self, tenant_idx: usize, item: T) -> Result<PushReceipt, PushError> {
         let quota = self.quotas[tenant_idx];
+        // ordering: AcqRel makes the quota reservation a single
+        // read-modify-write total order across tenant threads — two
+        // racing pushes cannot both observe the last free slot.
         let held = self.queued[tenant_idx].fetch_add(1, Ordering::AcqRel);
         if held >= quota {
+            // ordering: AcqRel keeps the rollback in the same total
+            // order as the reservation above.
             self.queued[tenant_idx].fetch_sub(1, Ordering::AcqRel);
             return Err(PushError::QuotaExceeded {
                 tenant: self.ids[tenant_idx],
@@ -218,6 +226,8 @@ impl<T> ShardedQueue<T> {
             let mut state = self.shards[shard].state.lock();
             if state.shutdown {
                 drop(state);
+                // ordering: AcqRel keeps the rollback in the same total
+                // order as the reservation above.
                 self.queued[tenant_idx].fetch_sub(1, Ordering::AcqRel);
                 return Err(PushError::ShuttingDown);
             }
@@ -239,6 +249,8 @@ impl<T> ShardedQueue<T> {
                 break;
             }
         }
+        // ordering: AcqRel keeps the rollback in the same total order
+        // as the reservation above.
         self.queued[tenant_idx].fetch_sub(1, Ordering::AcqRel);
         Err(PushError::Full {
             capacity: self.capacity,
@@ -284,6 +296,10 @@ impl<T> ShardedQueue<T> {
                             state.deficits[t] -= 1;
                             state.occupancy -= 1;
                             drained += 1;
+                            // ordering: AcqRel releases the quota slot in
+                            // the same total order `try_push` reserves it,
+                            // so a blocked tenant sees the free slot no
+                            // earlier than the drain that created it.
                             self.queued[t].fetch_sub(1, Ordering::AcqRel);
                         }
                         None => break,

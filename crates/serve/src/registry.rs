@@ -192,6 +192,8 @@ impl ModelRegistry {
         });
         let replaced = self.shard_of(&key).write().insert(key, entry).is_some();
         if replaced {
+            // ordering: pure statistic; the shard write lock above is
+            // what orders the install itself.
             self.swaps.fetch_add(1, Ordering::Relaxed);
         }
         // Untraced marker (trace 0): installs happen outside any request,
@@ -203,6 +205,9 @@ impl ModelRegistry {
 
     /// Mints the next monotonic entry version.
     fn next_version(&self) -> u64 {
+        // ordering: fetch_add is atomic at any ordering, which is all
+        // version uniqueness needs; monotonic publication of the entry
+        // itself rides on the shard locks.
         self.installs.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -243,6 +248,8 @@ impl ModelRegistry {
             }),
         );
         drop(models);
+        // ordering: pure statistic; the guarded swap was ordered by the
+        // shard write lock above.
         self.swaps.fetch_add(1, Ordering::Relaxed);
         qpp_obs::recorder().record_mark(0, qpp_obs::Stage::ModelSwap, version);
         Ok(version)
@@ -275,6 +282,8 @@ impl ModelRegistry {
             }),
         );
         drop(models);
+        // ordering: pure statistic; the guarded demotion was ordered by
+        // the shard write lock above.
         self.demotions.fetch_add(1, Ordering::Relaxed);
         qpp_obs::recorder().record_mark(0, qpp_obs::Stage::KillSwitch, version);
         Ok(version)
@@ -354,16 +363,19 @@ impl ModelRegistry {
 
     /// Number of installs that replaced an existing model.
     pub fn swap_count(&self) -> u64 {
+        // ordering: monitoring read; any recent value is acceptable.
         self.swaps.load(Ordering::Relaxed)
     }
 
     /// Total installs, including first-time installs.
     pub fn install_count(&self) -> u64 {
+        // ordering: monitoring read; any recent value is acceptable.
         self.installs.load(Ordering::Relaxed)
     }
 
     /// Kill-switch demotions performed.
     pub fn demote_count(&self) -> u64 {
+        // ordering: monitoring read; any recent value is acceptable.
         self.demotions.load(Ordering::Relaxed)
     }
 }
