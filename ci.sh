@@ -79,15 +79,20 @@ fi
 echo "adapt smoke OK: drift -> retrain -> shadow_score -> canary_swap chain traced, $SWAPS swap(s)"
 rm -f "$ADAPT_OUT"
 
-echo "==> eigensolve gate: train-rows sweep, solver must stay sub-dominant"
-# The reduced-SVD eigensolver (DESIGN.md §14) must keep train_eigensolve
-# under 50% of train_total at the largest sweep size; the sweep is also
-# what refreshes the train_sweep block of BENCH_predict.json. A smaller
-# request count keeps the predict half of the bench quick — the gate
-# only reads the sweep.
+echo "==> eigensolve + knn-flat gates: solver sub-dominant, IVF p99 flat"
+# Two gates off one bench run. (a) The reduced-SVD eigensolver
+# (DESIGN.md §14) must keep train_eigensolve under 50% of train_total
+# at the largest sweep size. (b) The IVF index (DESIGN.md §17) must
+# hold its query p99 within 3x from 1k to 100k reference rows — the
+# sub-linear claim — while the same sweep documents the brute scan
+# blowing up linearly. The run also refreshes the train_sweep and
+# knn_sweep blocks of BENCH_predict.json. A smaller request count
+# keeps the predict half of the bench quick — the gates only read
+# the sweeps.
 cargo build -q --release -p qpp-bench --bin predict_bench
 ./target/release/predict_bench --requests 1000 --sweep 400,5000,20000 \
-    --gate-share 0.5 >/dev/null
+    --gate-share 0.5 \
+    --knn-sweep 1000,10000,100000 --gate-knn-flat 3.0 >/dev/null
 
 echo "==> serve soak gate: multi-tenant fairness, latency, and throughput"
 # The sharded serve pipeline must (a) ration completions by tenant
@@ -123,5 +128,19 @@ if [ -z "$EQUIV_PASSED" ] || [ "$EQUIV_PASSED" -lt 6 ]; then
     exit 1
 fi
 echo "equivalence gate OK: $EQUIV_PASSED reduced-vs-dense tests ran"
+
+echo "==> ann equivalence gate: IVF vs brute bitwise suite must actually run"
+# The ann_equivalence suite proves the IVF index returns bitwise-
+# identical neighbors to the serial brute scan (exhaustive probe, ties,
+# non-finite rows, thread counts, predictor wiring); a filtered-out or
+# silently skipped run must fail CI.
+ANN_OUT=$(cargo test -q -p qpp-ml --test ann_equivalence 2>&1) || {
+    echo "$ANN_OUT"; exit 1; }
+ANN_PASSED=$(echo "$ANN_OUT" | sed -n 's/.*test result: ok\. \([0-9]*\) passed.*/\1/p' | head -1)
+if [ -z "$ANN_PASSED" ] || [ "$ANN_PASSED" -lt 7 ]; then
+    echo "ann equivalence gate: expected >= 7 ann_equivalence tests to run, got '${ANN_PASSED:-none}'"
+    exit 1
+fi
+echo "ann equivalence gate OK: $ANN_PASSED ivf-vs-brute tests ran"
 
 echo "CI OK"

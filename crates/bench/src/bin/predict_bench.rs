@@ -15,6 +15,10 @@ use qpp_core::features::query_features;
 use qpp_core::pipeline::collect_tpcds;
 use qpp_core::{KccaPredictor, PredictorOptions};
 use qpp_engine::SystemConfig;
+use qpp_linalg::Matrix;
+use qpp_ml::{DistanceMetric, IvfIndex, IvfOptions, KnnScratch, NearestNeighbors};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 #[global_allocator]
@@ -29,6 +33,13 @@ struct Args {
     /// When set, exit non-zero if `train_eigensolve` exceeds this share
     /// of `train_total` at the largest sweep size (the CI gate).
     gate_share: Option<f64>,
+    /// Reference-row counts for the kNN scaling sweep
+    /// (`--knn-sweep 1000,10000,100000`).
+    knn_sweep: Vec<usize>,
+    /// When set, exit non-zero if IVF query p99 at the largest kNN-sweep
+    /// size exceeds this multiple of its smallest-size p99 (the
+    /// flat-latency CI gate; brute force documents the linear blow-up).
+    gate_knn_flat: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +49,8 @@ fn parse_args() -> Args {
         batch: 64,
         sweep: vec![400, 5_000, 20_000],
         gate_share: None,
+        knn_sweep: vec![1_000, 10_000, 100_000],
+        gate_knn_flat: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -72,11 +85,33 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| panic!("--gate-share needs a fraction")),
                 );
             }
+            "--knn-sweep" => {
+                args.knn_sweep = argv
+                    .get(i + 1)
+                    .map(|v| {
+                        v.split(',')
+                            .map(|n| {
+                                n.parse::<usize>()
+                                    .unwrap_or_else(|_| panic!("bad --knn-sweep entry {n}"))
+                                    .max(200)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            }
+            "--gate-knn-flat" => {
+                args.gate_knn_flat = Some(
+                    argv.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--gate-knn-flat needs a multiplier")),
+                );
+            }
             other => panic!("unknown flag {other}"),
         }
         i += 2;
     }
     args.sweep.sort_unstable();
+    args.knn_sweep.sort_unstable();
     args
 }
 
@@ -185,6 +220,141 @@ fn sweep_json(points: &[SweepPoint]) -> String {
     format!("[\n{}\n  ]", entries.join(",\n"))
 }
 
+/// One row of the kNN scaling sweep: brute vs IVF query latency over a
+/// synthetic clustered reference of `rows` points.
+struct KnnSweepPoint {
+    rows: usize,
+    nlist: usize,
+    nprobe: usize,
+    ivf_build_ms: f64,
+    recall_at_k: f64,
+    brute_p50_us: f64,
+    brute_p99_us: f64,
+    ivf_p50_us: f64,
+    ivf_p99_us: f64,
+}
+
+/// Dimensionality of the synthetic kNN-sweep reference — matches the
+/// KCCA projection space (≤ 16 canonical dims).
+const KNN_SWEEP_DIM: usize = 16;
+const KNN_SWEEP_PROBES: usize = 400;
+const KNN_SWEEP_K: usize = 3;
+
+/// Clustered synthetic rows (256 centers, ±2 jitter per component) —
+/// the shape a KCCA query projection has (§VI's clustering effect),
+/// and the regime IVF is built for.
+fn knn_sweep_rows(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centers = Matrix::zeros(256, KNN_SWEEP_DIM);
+    for i in 0..centers.rows() {
+        for j in 0..KNN_SWEEP_DIM {
+            centers[(i, j)] = rng.random_range(0.0..100.0);
+        }
+    }
+    let mut rows = Matrix::zeros(n, KNN_SWEEP_DIM);
+    for i in 0..n {
+        let c = rng.random_range(0..centers.rows());
+        for j in 0..KNN_SWEEP_DIM {
+            rows[(i, j)] = centers[(c, j)] + rng.random_range(-2.0..2.0);
+        }
+    }
+    rows
+}
+
+/// Times brute vs IVF top-k queries per reference size. Brute runs the
+/// production `query_into` path (serial within a scan chunk, chunked
+/// parallel past it); IVF runs the default auto-sized index. Recall is
+/// measured against the brute results (k·probes denominator).
+fn run_knn_sweep(sizes: &[usize]) -> Vec<KnnSweepPoint> {
+    let mut points = Vec::with_capacity(sizes.len());
+    for &rows in sizes {
+        eprintln!("knn sweep: {rows} reference rows …");
+        let reference = knn_sweep_rows(rows, 17);
+        let probes = knn_sweep_rows(KNN_SWEEP_PROBES, 18);
+        let brute = NearestNeighbors::new(reference.clone(), DistanceMetric::Euclidean);
+        let t_build = Instant::now();
+        let ivf = IvfIndex::build(reference, DistanceMetric::Euclidean, IvfOptions::default())
+            .expect("ivf build");
+        let ivf_build_ms = t_build.elapsed().as_secs_f64() * 1e3;
+
+        let mut brute_scratch = Vec::new();
+        let mut ivf_scratch = KnnScratch::new();
+
+        // Time each arm in its own homogeneous pass. Interleaving them
+        // would poison the measurement at large N: a brute query streams
+        // the whole reference matrix through the cache, evicting the
+        // IVF centroids and packed lists right before the IVF timing —
+        // a state no real serving deployment (which runs one arm, not
+        // both) ever sees. Each pass gets one untimed warm-up sweep so
+        // the timed pass measures steady state.
+        let mut brute_results: Vec<Vec<qpp_ml::Neighbor>> = Vec::with_capacity(KNN_SWEEP_PROBES);
+        let mut brute_us = Vec::with_capacity(KNN_SWEEP_PROBES);
+        for p in 0..KNN_SWEEP_PROBES {
+            brute.query_into(probes.row(p), KNN_SWEEP_K, &mut brute_scratch);
+        }
+        for p in 0..KNN_SWEEP_PROBES {
+            let t = Instant::now();
+            brute.query_into(probes.row(p), KNN_SWEEP_K, &mut brute_scratch);
+            brute_us.push(t.elapsed().as_secs_f64() * 1e6);
+            brute_results.push(brute_scratch.clone());
+        }
+
+        let mut ivf_us = Vec::with_capacity(KNN_SWEEP_PROBES);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for p in 0..KNN_SWEEP_PROBES {
+            ivf.query_into(probes.row(p), KNN_SWEEP_K, &mut ivf_scratch);
+        }
+        for (p, exact) in brute_results.iter().enumerate() {
+            let t = Instant::now();
+            ivf.query_into(probes.row(p), KNN_SWEEP_K, &mut ivf_scratch);
+            ivf_us.push(t.elapsed().as_secs_f64() * 1e6);
+            total += exact.len();
+            for b in exact {
+                if ivf_scratch.neighbors.iter().any(|a| a.index == b.index) {
+                    hits += 1;
+                }
+            }
+        }
+        brute_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        ivf_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        points.push(KnnSweepPoint {
+            rows,
+            nlist: ivf.nlist(),
+            nprobe: ivf.nprobe(),
+            ivf_build_ms,
+            recall_at_k: hits as f64 / total.max(1) as f64,
+            brute_p50_us: quantile(&brute_us, 0.50),
+            brute_p99_us: quantile(&brute_us, 0.99),
+            ivf_p50_us: quantile(&ivf_us, 0.50),
+            ivf_p99_us: quantile(&ivf_us, 0.99),
+        });
+    }
+    points
+}
+
+fn knn_sweep_json(points: &[KnnSweepPoint]) -> String {
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"rows\": {}, \"nlist\": {}, \"nprobe\": {}, \"ivf_build_ms\": {:.1}, \"recall_at_{}\": {:.4}, \"brute_p50_us\": {:.3}, \"brute_p99_us\": {:.3}, \"ivf_p50_us\": {:.3}, \"ivf_p99_us\": {:.3}}}",
+                p.rows,
+                p.nlist,
+                p.nprobe,
+                p.ivf_build_ms,
+                KNN_SWEEP_K,
+                p.recall_at_k,
+                p.brute_p50_us,
+                p.brute_p99_us,
+                p.ivf_p50_us,
+                p.ivf_p99_us,
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", entries.join(",\n"))
+}
+
 fn main() {
     let args = parse_args();
     let config = SystemConfig::neoview_4();
@@ -258,8 +428,19 @@ fn main() {
         );
     }
 
+    // kNN scaling sweep: brute vs IVF query latency as the reference
+    // grows. Brute documents the linear blow-up; IVF must stay flat-ish
+    // (CI gates on the p99 ratio via --gate-knn-flat).
+    let knn_sweep = run_knn_sweep(&args.knn_sweep);
+    for p in &knn_sweep {
+        eprintln!(
+            "knn sweep {} rows: brute p99 {:.1} µs, ivf p99 {:.1} µs (nlist {}, nprobe {}, recall {:.3}, build {:.0} ms)",
+            p.rows, p.brute_p99_us, p.ivf_p99_us, p.nlist, p.nprobe, p.recall_at_k, p.ivf_build_ms,
+        );
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"predict\",\n  \"train_rows\": {},\n  \"requests\": {},\n  \"single_query\": {{\n    \"p50_us\": {:.3},\n    \"p99_us\": {:.3},\n    \"throughput_per_sec\": {:.1},\n    \"allocs_per_request\": {:.4}\n  }},\n  \"batch\": {{\n    \"batch_size\": {},\n    \"throughput_per_sec\": {:.1}\n  }},\n  \"train_sweep\": {},\n  \"train_stages\": {},\n  \"predict_stages\": {}\n}}\n",
+        "{{\n  \"bench\": \"predict\",\n  \"train_rows\": {},\n  \"requests\": {},\n  \"single_query\": {{\n    \"p50_us\": {:.3},\n    \"p99_us\": {:.3},\n    \"throughput_per_sec\": {:.1},\n    \"allocs_per_request\": {:.4}\n  }},\n  \"batch\": {{\n    \"batch_size\": {},\n    \"throughput_per_sec\": {:.1}\n  }},\n  \"train_sweep\": {},\n  \"knn_sweep\": {},\n  \"train_stages\": {},\n  \"predict_stages\": {}\n}}\n",
         args.train,
         args.requests,
         p50,
@@ -269,6 +450,7 @@ fn main() {
         specs.len(),
         batch_throughput,
         sweep_json(&sweep),
+        knn_sweep_json(&knn_sweep),
         stages_json(&train_stages, "  "),
         stages_json(&predict_stages, "  "),
     );
@@ -293,6 +475,30 @@ fn main() {
             share * 100.0,
             max_share * 100.0,
             largest.rows,
+        );
+    }
+
+    if let Some(max_ratio) = args.gate_knn_flat {
+        let first = knn_sweep
+            .first()
+            .expect("non-empty sweep for --gate-knn-flat");
+        let last = knn_sweep
+            .last()
+            .expect("non-empty sweep for --gate-knn-flat");
+        let ratio = last.ivf_p99_us / first.ivf_p99_us.max(1e-9);
+        if ratio > max_ratio {
+            eprintln!(
+                "GATE FAIL: ivf p99 grew {ratio:.2}x from {} to {} rows (limit {max_ratio:.2}x)",
+                first.rows, last.rows,
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "gate ok: ivf p99 ratio {ratio:.2}x <= {max_ratio:.2}x from {} to {} rows \
+             (brute grew {:.2}x)",
+            first.rows,
+            last.rows,
+            last.brute_p99_us / first.brute_p99_us.max(1e-9),
         );
     }
 }

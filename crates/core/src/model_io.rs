@@ -12,7 +12,11 @@ use std::path::Path;
 
 /// Format version written by this build. Bump on any incompatible
 /// change to the serialized model layout.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: `KccaPredictor` stores an `AnnIndex` (brute/IVF enum) where v1
+/// stored a bare `NearestNeighbors`, and `PredictorOptions` gained the
+/// `ann` block.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Errors from model (de)serialization.
 #[derive(Debug)]
@@ -216,7 +220,7 @@ mod tests {
     fn envelope_records_current_version() {
         let (m, _) = model();
         let json = to_json(&m).unwrap();
-        assert!(json.contains("\"format_version\":1"));
+        assert!(json.contains("\"format_version\":2"));
         assert!(json.contains("fnv1a64:"));
     }
 
@@ -224,7 +228,7 @@ mod tests {
     fn future_version_rejected_with_typed_error() {
         let (m, _) = model();
         let json = to_json(&m).unwrap();
-        let bumped = json.replace("\"format_version\":1", "\"format_version\":99");
+        let bumped = json.replace("\"format_version\":2", "\"format_version\":99");
         match from_json(&bumped) {
             Err(ModelIoError::UnsupportedVersion { found, supported }) => {
                 assert_eq!(found, 99);

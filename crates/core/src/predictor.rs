@@ -17,7 +17,7 @@ use crate::features::{feature_dim, query_features, query_features_to, FeatureKin
 use qpp_engine::{PerfMetrics, Plan};
 use qpp_linalg::{stats::Standardizer, vector, Matrix, MatrixView};
 use qpp_ml::{
-    DistanceMetric, Kcca, KccaOptions, KnnScratch, NearestNeighbors, NeighborWeighting,
+    AnnIndex, AnnOptions, DistanceMetric, Kcca, KccaOptions, KnnScratch, NeighborWeighting,
     ProjectionScratch,
 };
 use qpp_workload::QuerySpec;
@@ -45,6 +45,10 @@ pub struct PredictorOptions {
     /// measurably tightens the relative-error tail (see the `ablation`
     /// bench).
     pub log_space_average: bool,
+    /// Neighbor-index selection: brute scan at paper scale, a
+    /// deterministic IVF index once the reference outgrows
+    /// `ann.ivf_threshold` rows (DESIGN.md §17).
+    pub ann: AnnOptions,
 }
 
 impl Default for PredictorOptions {
@@ -56,6 +60,7 @@ impl Default for PredictorOptions {
             metric: DistanceMetric::Euclidean,
             weighting: NeighborWeighting::Equal,
             log_space_average: false,
+            ann: AnnOptions::default(),
         }
     }
 }
@@ -185,7 +190,7 @@ pub struct KccaPredictor {
     options: PredictorOptions,
     scaler: Standardizer,
     kcca: Kcca,
-    neighbors: NearestNeighbors,
+    index: AnnIndex,
     /// Raw measured metrics of training queries (row-aligned with the
     /// query projection).
     raw_performance: Matrix,
@@ -230,15 +235,20 @@ impl KccaPredictor {
         };
         let y = dataset.kernel_performance_matrix();
         let kcca = Kcca::fit(x.view(), y.view(), options.kcca).ctx("fitting kcca")?;
-        let neighbors = {
+        let index = {
             let _s = qpp_obs::span(qpp_obs::Stage::TrainKnnBuild);
-            NearestNeighbors::new(kcca.query_projection().clone(), options.metric)
+            AnnIndex::build(
+                kcca.query_projection().clone(),
+                options.metric,
+                &options.ann,
+            )
+            .ctx("building the neighbor index")?
         };
         Ok(KccaPredictor {
             options,
             scaler,
             kcca,
-            neighbors,
+            index,
             raw_performance: dataset.performance_matrix(),
             log_performance: y,
         })
@@ -262,6 +272,13 @@ impl KccaPredictor {
     /// The underlying KCCA model.
     pub fn kcca(&self) -> &Kcca {
         &self.kcca
+    }
+
+    /// The neighbor index the model predicts through — brute scan or
+    /// IVF, depending on the training-set size vs
+    /// `options.ann.ivf_threshold`.
+    pub fn index(&self) -> &AnnIndex {
+        &self.index
     }
 
     /// Predicts from a raw query feature vector.
@@ -353,7 +370,7 @@ impl KccaPredictor {
         };
         let mut knn_span = qpp_obs::span(qpp_obs::Stage::PredictKnn);
         knn_span.set_value(self.options.neighbors as u64);
-        self.neighbors
+        self.index
             .predict_into(
                 projected,
                 targets,

@@ -5,6 +5,13 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+/// Output columns fixed per pass of
+/// [`Matrix::gemv_t_centered_into`] — a stack-resident accumulator
+/// block (128 bytes, two cache lines) that one streaming pass over the
+/// matrix keeps hot. Covers the workspace's KCCA projections (≤ 16
+/// canonical dims) in a single pass.
+const GEMV_COL_BLOCK: usize = 16;
+
 /// A dense, row-major `f64` matrix.
 ///
 /// Sized for the workloads in this workspace: kernel factors with a few
@@ -214,6 +221,56 @@ impl Matrix {
             .row_iter()
             .map(|row| crate::vector::dot(row, v))
             .collect())
+    }
+
+    /// Centered vector-matrix product `out = (row - means)ᵀ · self`,
+    /// column-blocked for cache reuse.
+    ///
+    /// This is the projection kernel of the predict hot path: `self` is
+    /// a tall-thin weight matrix (`p x keep`, row-major), and the naive
+    /// loop re-touches the whole `out` vector once per matrix row. Here
+    /// each pass fixes a block of [`GEMV_COL_BLOCK`] output columns in a
+    /// stack-resident accumulator and streams the matrix rows once per
+    /// block, the lane loop unrolled 4 wide.
+    ///
+    /// Bitwise equal to the naive loop: per output element the partial
+    /// sums accumulate in exactly the same order (ascending row index,
+    /// zero centered components skipped, one `+=` per touched row) —
+    /// blocking changes *which* elements a pass touches, never the
+    /// association within one. `tests/properties.rs` pins this.
+    // qpp-lint: hot-path
+    pub fn gemv_t_centered_into(&self, row: &[f64], means: &[f64], out: &mut Vec<f64>) {
+        debug_assert_eq!(row.len(), self.rows);
+        debug_assert_eq!(means.len(), self.rows);
+        let cols = self.cols;
+        out.clear();
+        out.resize(cols, 0.0);
+        let mut k0 = 0;
+        while k0 < cols {
+            let width = GEMV_COL_BLOCK.min(cols - k0);
+            let mut acc = [0.0f64; GEMV_COL_BLOCK];
+            for (i, (&v, &mu)) in row.iter().zip(means.iter()).enumerate() {
+                let c = v - mu;
+                if c == 0.0 {
+                    continue;
+                }
+                let w = &self.data[i * cols + k0..i * cols + k0 + width];
+                let mut lane = 0;
+                while lane + 4 <= width {
+                    acc[lane] += c * w[lane];
+                    acc[lane + 1] += c * w[lane + 1];
+                    acc[lane + 2] += c * w[lane + 2];
+                    acc[lane + 3] += c * w[lane + 3];
+                    lane += 4;
+                }
+                while lane < width {
+                    acc[lane] += c * w[lane];
+                    lane += 1;
+                }
+            }
+            out[k0..k0 + width].copy_from_slice(&acc[..width]);
+            k0 += width;
+        }
     }
 
     /// `selfᵀ * self` computed without forming the transpose.

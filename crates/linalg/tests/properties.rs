@@ -150,3 +150,39 @@ proptest! {
         prop_assert_eq!(m.transpose().transpose(), m);
     }
 }
+
+proptest! {
+    #[test]
+    fn blocked_gemv_is_bitwise_equal_to_naive_loop(
+        // Odd shapes on purpose: cols spans sub-block, block-remainder,
+        // and multi-block widths so every lane/remainder path runs.
+        rows in 1usize..24,
+        cols in 1usize..40,
+        seed_vals in proptest::collection::vec(-3.0f64..3.0, 24 * 40 + 2 * 24),
+    ) {
+        let w = Matrix::from_vec(rows, cols, seed_vals[..rows * cols].to_vec()).unwrap();
+        let row = &seed_vals[rows * cols..rows * cols + rows];
+        let mut means: Vec<f64> = seed_vals[rows * cols + rows..rows * cols + 2 * rows].to_vec();
+        // Force some exact zero centers to exercise the skip branch.
+        if rows > 2 {
+            means[1] = row[1];
+        }
+        // The naive kernel the blocked gemv replaced in Cca::project_into.
+        let mut naive = vec![0.0; cols];
+        for i in 0..rows {
+            let c = row[i] - means[i];
+            if c == 0.0 {
+                continue;
+            }
+            for (k, o) in naive.iter_mut().enumerate() {
+                *o += c * w[(i, k)];
+            }
+        }
+        let mut blocked = Vec::new();
+        w.gemv_t_centered_into(row, &means, &mut blocked);
+        prop_assert_eq!(blocked.len(), naive.len());
+        for (b, n) in blocked.iter().zip(naive.iter()) {
+            prop_assert_eq!(b.to_bits(), n.to_bits());
+        }
+    }
+}

@@ -302,20 +302,15 @@ fn project(row: &[f64], means: &[f64], w: &Matrix) -> Vec<f64> {
     out
 }
 
+// The cache-blocked gemv is bitwise equal to the naive
+// center-skip-accumulate loop that used to live here (see
+// `Matrix::gemv_t_centered_into` and the property test pinning it), so
+// this stays the single projection kernel for both owned and `_into`
+// paths.
 // qpp-lint: hot-path
 fn project_into(row: &[f64], means: &[f64], w: &Matrix, out: &mut Vec<f64>) {
     debug_assert_eq!(row.len(), w.rows());
-    out.clear();
-    out.resize(w.cols(), 0.0);
-    for (i, (&v, &mu)) in row.iter().zip(means.iter()).enumerate() {
-        let c = v - mu;
-        if c == 0.0 {
-            continue;
-        }
-        for (k, o) in out.iter_mut().enumerate() {
-            *o += c * w[(i, k)];
-        }
-    }
+    w.gemv_t_centered_into(row, means, out);
 }
 
 #[cfg(test)]

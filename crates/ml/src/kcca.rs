@@ -196,8 +196,14 @@ impl Kcca {
         &self,
         features: &[f64],
     ) -> Result<(Vec<f64>, f64), LinalgError> {
-        let mut k_row = Vec::with_capacity(self.x_pivots.rows());
-        self.project_into(features, &mut k_row)
+        // One pipeline, two entry points: the owned path is just the
+        // `_into` path with cold buffers, so the kernel-row/similarity/
+        // ICD steps can never drift apart again (they used to be
+        // hand-duplicated here).
+        let mut scratch = ProjectionScratch::new();
+        let mut out = Vec::with_capacity(self.components());
+        let similarity = self.project_query_into(features, &mut scratch, &mut out)?;
+        Ok((out, similarity))
     }
 
     /// Projects a batch of query feature vectors (one per row of the
@@ -254,23 +260,6 @@ impl Kcca {
             .transform_new_into(&scratch.k_row, &mut scratch.embedded)?;
         self.cca.project_x_into(&scratch.embedded, out);
         Ok(similarity)
-    }
-
-    /// Shared per-row projection; `k_row` is a scratch buffer.
-    fn project_into(
-        &self,
-        features: &[f64],
-        k_row: &mut Vec<f64>,
-    ) -> Result<(Vec<f64>, f64), LinalgError> {
-        k_row.clear();
-        k_row.extend(
-            self.x_pivots
-                .row_iter()
-                .map(|p| self.x_kernel.eval(features, p)),
-        );
-        let similarity = vector::max_iter(0.0, k_row.iter().copied());
-        let g = self.x_icd.transform_new(k_row)?;
-        Ok((self.cca.project_x(&g), similarity))
     }
 }
 

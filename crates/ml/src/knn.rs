@@ -10,6 +10,7 @@
 //! * weighting — equal vs. 3:2:1 vs. distance-proportional (Table III;
 //!   no consistent winner, equal chosen).
 
+use crate::kmeans::KMeansError;
 use qpp_linalg::{vector, Matrix};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -36,6 +37,9 @@ pub enum KnnError {
         /// Rows in the reference matrix.
         reference: usize,
     },
+    /// Building the IVF coarse quantizer failed (degenerate k or an
+    /// all-corrupt reference); see [`crate::ann::IvfIndex::build`].
+    IndexBuild(KMeansError),
 }
 
 impl fmt::Display for KnnError {
@@ -50,11 +54,25 @@ impl fmt::Display for KnnError {
                 "targets must align with reference rows ({targets} target rows \
                  vs {reference} reference rows)"
             ),
+            KnnError::IndexBuild(e) => write!(f, "ann index build failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for KnnError {}
+impl std::error::Error for KnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KnnError::IndexBuild(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KMeansError> for KnnError {
+    fn from(e: KMeansError) -> Self {
+        KnnError::IndexBuild(e)
+    }
+}
 
 /// Distance metric for neighbor search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -150,6 +168,11 @@ impl NearestNeighbors {
         self.reference.rows()
     }
 
+    /// The distance metric this index was built with.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
     /// True when the index is empty.
     pub fn is_empty(&self) -> bool {
         self.reference.rows() == 0
@@ -179,22 +202,7 @@ impl NearestNeighbors {
             let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
             for i in chunk.range.clone() {
                 let d = self.metric.distance(probe, self.reference.row(i));
-                if !d.is_finite() {
-                    continue;
-                }
-                if best.len() < k || d < best.last().map_or(f64::INFINITY, |n| n.distance) {
-                    let pos = best.partition_point(|n| n.distance <= d);
-                    best.insert(
-                        pos,
-                        Neighbor {
-                            index: i,
-                            distance: d,
-                        },
-                    );
-                    if best.len() > k {
-                        best.pop();
-                    }
-                }
+                push_top_k(&mut best, k, i, d);
             }
             best
         });
@@ -222,22 +230,7 @@ impl NearestNeighbors {
         out.reserve(k + 1);
         for i in 0..self.len() {
             let d = self.metric.distance(probe, self.reference.row(i));
-            if !d.is_finite() {
-                continue;
-            }
-            if out.len() < k || d < out.last().map_or(f64::INFINITY, |n| n.distance) {
-                let pos = out.partition_point(|n| n.distance <= d);
-                out.insert(
-                    pos,
-                    Neighbor {
-                        index: i,
-                        distance: d,
-                    },
-                );
-                if out.len() > k {
-                    out.pop();
-                }
-            }
+            push_top_k(out, k, i, d);
         }
     }
 
@@ -290,26 +283,80 @@ impl NearestNeighbors {
         if scratch.neighbors.is_empty() {
             return Err(KnnError::NoFiniteNeighbors);
         }
-        weighting.weights_into(&scratch.neighbors, &mut scratch.weights);
-        out.clear();
-        out.resize(targets.cols(), 0.0);
-        for (n, &w) in scratch.neighbors.iter().zip(scratch.weights.iter()) {
-            vector::axpy(w, targets.row(n.index), out);
-        }
+        combine_neighbors(
+            targets,
+            &scratch.neighbors,
+            weighting,
+            &mut scratch.weights,
+            out,
+        );
         Ok(())
     }
 }
 
-/// Reusable buffers for [`NearestNeighbors::predict_into`]: the sorted
-/// neighbor list and the combination weights. One scratch per worker
-/// thread is enough; buffers grow to `k` entries on first use and are
-/// then recycled.
+/// Offers `(index, distance)` to a sorted top-`k` buffer.
+///
+/// This is *the* selection step of every scan in this crate — the serial
+/// probe, each parallel chunk, and the IVF list rescans all funnel
+/// through it, which is what makes their results bitwise comparable.
+/// Non-finite distances are rejected (a NaN would land unsorted at the
+/// front, because `NaN <= d` is false for every `d`); finite ones are
+/// placed by `partition_point(|n| n.distance <= d)`, so equal distances
+/// keep first-seen (ascending-index) order, and the buffer never grows
+/// past `k` entries.
+// qpp-lint: hot-path
+pub(crate) fn push_top_k(best: &mut Vec<Neighbor>, k: usize, index: usize, distance: f64) {
+    if !distance.is_finite() {
+        return;
+    }
+    if best.len() < k || distance < best.last().map_or(f64::INFINITY, |n| n.distance) {
+        let pos = best.partition_point(|n| n.distance <= distance);
+        best.insert(pos, Neighbor { index, distance });
+        if best.len() > k {
+            best.pop();
+        }
+    }
+}
+
+/// Combines the `targets` rows of already-found neighbors into a
+/// prediction under `weighting` — the shared tail of
+/// [`NearestNeighbors::predict_into`] and the IVF predict path.
+// qpp-lint: hot-path
+pub(crate) fn combine_neighbors(
+    targets: &Matrix,
+    neighbors: &[Neighbor],
+    weighting: NeighborWeighting,
+    weights: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    weighting.weights_into(neighbors, weights);
+    out.clear();
+    out.resize(targets.cols(), 0.0);
+    for (n, &w) in neighbors.iter().zip(weights.iter()) {
+        vector::axpy(w, targets.row(n.index), out);
+    }
+}
+
+/// Reusable buffers for [`NearestNeighbors::predict_into`] and the IVF
+/// probe path: the sorted neighbor list, the combination weights, and
+/// the per-list buffers the inverted-file rescan fills. One scratch per
+/// worker thread is enough; buffers grow on first use (the list pool is
+/// grow-only) and are then recycled.
 #[derive(Debug, Default, Clone)]
 pub struct KnnScratch {
     /// Neighbors found by the last `predict_into` call, ascending by
     /// distance.
     pub neighbors: Vec<Neighbor>,
-    weights: Vec<f64>,
+    pub(crate) weights: Vec<f64>,
+    /// Nearest coarse centroids (IVF probe step).
+    pub(crate) probed: Vec<Neighbor>,
+    /// Per-probed-list top-k buffers, merged by [`merge_top_k_into`].
+    /// `Vec<Vec<Neighbor>>` is deliberate: each inner buffer must keep
+    /// its capacity across calls so the steady-state rescan is
+    /// alloc-free.
+    pub(crate) lists: Vec<Vec<Neighbor>>,
+    /// Merge cursors, one per probed list.
+    pub(crate) heads: Vec<usize>,
 }
 
 impl KnnScratch {
@@ -329,8 +376,27 @@ fn merge_top_k(mut lists: Vec<Vec<Neighbor>>, k: usize) -> Vec<Neighbor> {
     if let [single] = &mut lists[..] {
         return std::mem::take(single);
     }
-    let mut heads = vec![0usize; lists.len()];
+    let mut heads = Vec::with_capacity(lists.len());
     let mut out = Vec::with_capacity(k);
+    merge_top_k_into(&lists, k, &mut heads, &mut out);
+    out
+}
+
+/// The allocation-free core of [`merge_top_k`], shared with the IVF
+/// probe path: `heads` holds one cursor per list, `out` receives at most
+/// `k` merged neighbors. Both buffers are cleared and refilled, so warm
+/// callers pay no heap traffic. An empty `lists` slice — or lists with
+/// fewer than `k` entries in total — simply yields fewer results.
+// qpp-lint: hot-path
+pub(crate) fn merge_top_k_into(
+    lists: &[Vec<Neighbor>],
+    k: usize,
+    heads: &mut Vec<usize>,
+    out: &mut Vec<Neighbor>,
+) {
+    heads.clear();
+    heads.resize(lists.len(), 0);
+    out.clear();
     while out.len() < k {
         let mut best: Option<(usize, Neighbor)> = None;
         for (li, list) in lists.iter().enumerate() {
@@ -352,7 +418,6 @@ fn merge_top_k(mut lists: Vec<Vec<Neighbor>>, k: usize) -> Vec<Neighbor> {
             None => break,
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -500,5 +565,72 @@ mod tests {
         // Inverse-distance weighting must survive a zero distance.
         let w = NeighborWeighting::InverseDistance.weights(&[0.0, 1.0]);
         assert!(w[0] > 0.99);
+    }
+
+    fn n(index: usize, distance: f64) -> Neighbor {
+        Neighbor { index, distance }
+    }
+
+    #[test]
+    fn merge_of_no_lists_is_empty() {
+        // The IVF probe path hits this when every probed list is empty
+        // (all-corrupt partitions) or nothing was probed at all.
+        assert!(merge_top_k(Vec::new(), 3).is_empty());
+        let mut heads = Vec::new();
+        let mut out = vec![n(9, 9.0)]; // stale content must be cleared
+        merge_top_k_into(&[], 3, &mut heads, &mut out);
+        assert!(out.is_empty());
+        merge_top_k_into(&[Vec::new(), Vec::new()], 3, &mut heads, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merge_with_fewer_than_k_total_returns_everything_in_order() {
+        let lists = vec![vec![n(4, 2.0)], Vec::new(), vec![n(1, 0.5), n(7, 3.0)]];
+        let merged = merge_top_k(lists.clone(), 10);
+        assert_eq!(merged, vec![n(1, 0.5), n(4, 2.0), n(7, 3.0)]);
+        // The `_into` core agrees and reuses warm buffers.
+        let mut heads = Vec::new();
+        let mut out = Vec::new();
+        merge_top_k_into(&lists, 10, &mut heads, &mut out);
+        assert_eq!(out, merged);
+        assert_eq!(heads, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn merge_ties_resolve_to_lowest_index_across_lists() {
+        // Equal distances in *different* lists must still come out in
+        // ascending index order — the serial scan's first-seen rule.
+        let lists = vec![vec![n(5, 1.0), n(6, 1.0)], vec![n(0, 1.0), n(9, 2.0)]];
+        let merged = merge_top_k(lists, 3);
+        assert_eq!(merged, vec![n(0, 1.0), n(5, 1.0), n(6, 1.0)]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn merged_lists_match_serial_scan(
+            // u8 distances collide often, exercising the index tie-break.
+            raw in proptest::collection::vec(0u8..16, 0..64),
+            chunk in 1usize..9,
+            k in 0usize..8,
+        ) {
+            let mut serial = Vec::new();
+            for (i, &d) in raw.iter().enumerate() {
+                push_top_k(&mut serial, k, i, d as f64);
+            }
+            let lists: Vec<Vec<Neighbor>> = raw
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, ds)| {
+                    let mut best = Vec::new();
+                    for (j, &d) in ds.iter().enumerate() {
+                        push_top_k(&mut best, k, ci * chunk + j, d as f64);
+                    }
+                    best
+                })
+                .collect();
+            let merged = merge_top_k(lists, k);
+            proptest::prop_assert_eq!(&merged, &serial);
+        }
     }
 }

@@ -14,6 +14,9 @@
 //!   regime;
 //! * [`knn`] — nearest-neighbor lookup in projection space with the
 //!   distance metrics and weighting schemes of Tables I–III;
+//! * [`ann`] — sub-linear neighbor lookup: a deterministic IVF index
+//!   (k-means inverted lists) with a size-triggered brute/IVF switch,
+//!   for reference sets far past paper scale;
 //! * [`metrics`] — the predictive-risk score used throughout §VI–VII;
 //! * [`decision_tree`] — a small CART classifier backing the PQR-style
 //!   runtime-range baseline from the related work (§III).
@@ -21,6 +24,7 @@
 // Library code must degrade into typed errors, never panics.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod ann;
 pub mod cca;
 pub mod decision_tree;
 pub mod kcca;
@@ -31,11 +35,12 @@ pub mod metrics;
 pub mod pca;
 pub mod regression;
 
+pub use ann::{AnnIndex, AnnOptions, IvfIndex, IvfOptions};
 pub use cca::{Cca, CcaMethod, CcaOptions};
 pub use decision_tree::{DecisionTree, TreeOptions};
 pub use kcca::{Kcca, KccaOptions, ProjectionScratch};
 pub use kernel::GaussianKernel;
-pub use kmeans::KMeans;
+pub use kmeans::{KMeans, KMeansError};
 pub use knn::{
     DistanceMetric, KnnError, KnnScratch, NearestNeighbors, Neighbor, NeighborWeighting,
 };

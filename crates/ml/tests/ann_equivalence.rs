@@ -1,0 +1,306 @@
+//! IVF-vs-brute-force equivalence suite — the correctness oracle for
+//! the sub-linear neighbor index (DESIGN.md §17).
+//!
+//! The IVF rescan is exact over the probed cells, so whenever those
+//! cells cover the true top-k the result must be *bitwise* identical to
+//! the serial brute scan: same neighbor indices, same distance bits,
+//! same `(distance, index)` tie-breaking. Exhaustive probing
+//! (`nprobe == nlist`) guarantees coverage unconditionally; clustered
+//! data with the default probe width exercises the approximate regime.
+//! Every comparison is repeated under 1 and 8 worker threads — results
+//! must not depend on the pool size, at build time or query time.
+//!
+//! `ci.sh` gates on this suite actually running (≥ 7 tests), the same
+//! pattern as the svd_equivalence gate.
+
+use qpp_linalg::Matrix;
+use qpp_ml::{
+    AnnIndex, AnnOptions, DistanceMetric, IvfIndex, IvfOptions, NearestNeighbors, NeighborWeighting,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tight, well-separated blobs: `clusters` centers on a coarse grid,
+/// `per` points jittered ±0.05 around each. Neighbors of any probe near
+/// a center are that blob's points, so a coarse quantizer that finds
+/// the blobs gives the default probe width full top-k coverage.
+fn blobs(clusters: usize, per: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new(); // allow-vecvec: test fixture
+    for c in 0..clusters {
+        let cx = (c % 8) as f64 * 10.0;
+        let cy = (c / 8) as f64 * 10.0;
+        for _ in 0..per {
+            rows.push(vec![
+                cx + rng.random_range(-0.05..0.05),
+                cy + rng.random_range(-0.05..0.05),
+            ]);
+        }
+    }
+    Matrix::from_rows(&rows).unwrap()
+}
+
+fn assert_bitwise_equal(brute: &[qpp_ml::Neighbor], ivf: &[qpp_ml::Neighbor], what: &str) {
+    assert_eq!(brute.len(), ivf.len(), "{what}: neighbor count differs");
+    for (i, (b, a)) in brute.iter().zip(ivf.iter()).enumerate() {
+        assert_eq!(b.index, a.index, "{what}: neighbor {i} index differs");
+        assert_eq!(
+            b.distance.to_bits(),
+            a.distance.to_bits(),
+            "{what}: neighbor {i} distance bits differ"
+        );
+    }
+}
+
+#[test]
+fn exhaustive_probe_is_bitwise_identical_to_serial_brute() {
+    let data = blobs(24, 200, 1); // 4800 rows
+    let nn = NearestNeighbors::new(data.clone(), DistanceMetric::Euclidean);
+    let ivf = IvfIndex::build(
+        data,
+        DistanceMetric::Euclidean,
+        IvfOptions {
+            nlist: 32,
+            nprobe: 32, // exhaustive: coverage holds for every probe
+            ..IvfOptions::default()
+        },
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    for q in 0..200 {
+        let probe = [rng.random_range(-5.0..80.0), rng.random_range(-5.0..30.0)];
+        for k in [1, 3, 9] {
+            let brute = qpp_par::with_threads(1, || nn.query(&probe, k));
+            let approx = ivf.query(&probe, k);
+            assert_bitwise_equal(&brute, &approx, &format!("probe {q} k {k}"));
+        }
+    }
+}
+
+#[test]
+fn default_nprobe_is_bitwise_identical_on_clustered_data() {
+    // The approximate regime: 8 of 24 lists probed. On separated blobs
+    // the probed cells still cover the true top-k for probes near the
+    // data, so equality stays bitwise — this is the recall argument of
+    // DESIGN.md §17 made executable.
+    let data = blobs(24, 200, 3);
+    let nn = NearestNeighbors::new(data.clone(), DistanceMetric::Euclidean);
+    let ivf = IvfIndex::build(
+        data.clone(),
+        DistanceMetric::Euclidean,
+        IvfOptions {
+            nlist: 24,
+            ..IvfOptions::default() // nprobe: 8
+        },
+    )
+    .unwrap();
+    assert_eq!(ivf.nprobe(), 8);
+    // Probe at every 17th reference row: its blob-mates are the true
+    // neighbors and share its cell.
+    for i in (0..data.rows()).step_by(17) {
+        let probe = data.row(i);
+        let brute = qpp_par::with_threads(1, || nn.query(probe, 5));
+        let approx = ivf.query(probe, 5);
+        assert_bitwise_equal(&brute, &approx, &format!("reference probe {i}"));
+    }
+}
+
+#[test]
+fn ties_resolve_identically_with_duplicated_rows() {
+    // Duplicate every row: equal distances everywhere, so results are
+    // decided purely by the (distance, index) tie-break — which must
+    // match the serial scan's first-seen order exactly.
+    let base = blobs(8, 60, 5);
+    let mut rows = Vec::new(); // allow-vecvec: test fixture
+    for i in 0..base.rows() {
+        rows.push(base.row(i).to_vec());
+    }
+    for i in 0..base.rows() {
+        rows.push(base.row(i).to_vec());
+    }
+    let data = Matrix::from_rows(&rows).unwrap();
+    let nn = NearestNeighbors::new(data.clone(), DistanceMetric::Euclidean);
+    let ivf = IvfIndex::build(
+        data.clone(),
+        DistanceMetric::Euclidean,
+        IvfOptions {
+            nlist: 12,
+            nprobe: 12,
+            ..IvfOptions::default()
+        },
+    )
+    .unwrap();
+    for i in (0..data.rows()).step_by(23) {
+        let brute = qpp_par::with_threads(1, || nn.query(data.row(i), 6));
+        let approx = ivf.query(data.row(i), 6);
+        assert_bitwise_equal(&brute, &approx, &format!("duplicated probe {i}"));
+        // The probe row itself (distance 0) and its duplicate must both
+        // surface, lower index first.
+        assert_eq!(brute[0].distance, 0.0);
+        assert!(brute[0].index < brute[1].index);
+    }
+}
+
+#[test]
+fn build_and_query_are_thread_count_invariant() {
+    let data = blobs(20, 180, 7); // 3600 rows
+    let opts = IvfOptions {
+        nlist: 20,
+        nprobe: 20,
+        ..IvfOptions::default()
+    };
+    let ivf1 = qpp_par::with_threads(1, || {
+        IvfIndex::build(data.clone(), DistanceMetric::Euclidean, opts).unwrap()
+    });
+    let ivf8 = qpp_par::with_threads(8, || {
+        IvfIndex::build(data.clone(), DistanceMetric::Euclidean, opts).unwrap()
+    });
+    // The whole structure must agree bitwise: centroids, list layout.
+    assert_eq!(ivf1.centroids(), ivf8.centroids());
+    assert_eq!(ivf1.nlist(), ivf8.nlist());
+    for c in 0..ivf1.nlist() {
+        assert_eq!(ivf1.list(c), ivf8.list(c), "list {c} differs across pools");
+    }
+    // And so must every query, from either build, under either pool —
+    // all equal to the serial brute scan.
+    let nn = NearestNeighbors::new(data.clone(), DistanceMetric::Euclidean);
+    let mut rng = StdRng::seed_from_u64(8);
+    for q in 0..50 {
+        let probe = [rng.random_range(0.0..70.0), rng.random_range(0.0..20.0)];
+        let brute = qpp_par::with_threads(1, || nn.query(&probe, 7));
+        let a1 = qpp_par::with_threads(1, || ivf1.query(&probe, 7));
+        let a8 = qpp_par::with_threads(8, || ivf8.query(&probe, 7));
+        assert_bitwise_equal(&brute, &a1, &format!("probe {q} (1 thread)"));
+        assert_bitwise_equal(&brute, &a8, &format!("probe {q} (8 threads)"));
+    }
+}
+
+#[test]
+fn non_finite_reference_rows_are_skipped_like_brute() {
+    let base = blobs(6, 80, 9);
+    let mut rows = Vec::new(); // allow-vecvec: test fixture
+    for i in 0..base.rows() {
+        rows.push(base.row(i).to_vec());
+        if i % 37 == 0 {
+            rows.push(vec![f64::NAN, 0.0]);
+        }
+    }
+    let data = Matrix::from_rows(&rows).unwrap();
+    let nn = NearestNeighbors::new(data.clone(), DistanceMetric::Euclidean);
+    let ivf = IvfIndex::build(
+        data,
+        DistanceMetric::Euclidean,
+        IvfOptions {
+            nlist: 8,
+            nprobe: 8,
+            ..IvfOptions::default()
+        },
+    )
+    .unwrap();
+    for probe in [[0.1, 0.2], [50.0, 10.0], [20.0, 0.0]] {
+        let brute = qpp_par::with_threads(1, || nn.query(&probe, 5));
+        let approx = ivf.query(&probe, 5);
+        assert_bitwise_equal(&brute, &approx, "corrupt-reference probe");
+        assert!(approx.iter().all(|n| n.distance.is_finite()));
+    }
+}
+
+#[test]
+fn fewer_finite_rows_than_k_yields_the_same_short_list() {
+    let data = Matrix::from_rows(&[
+        vec![0.0, 0.0],
+        vec![f64::NAN, 1.0],
+        vec![3.0, 4.0],
+        vec![f64::INFINITY, f64::INFINITY],
+        vec![1.0, 1.0],
+    ])
+    .unwrap();
+    let nn = NearestNeighbors::new(data.clone(), DistanceMetric::Euclidean);
+    let ivf = IvfIndex::build(
+        data,
+        DistanceMetric::Euclidean,
+        IvfOptions {
+            nlist: 2,
+            nprobe: 2,
+            ..IvfOptions::default()
+        },
+    )
+    .unwrap();
+    let brute = qpp_par::with_threads(1, || nn.query(&[0.0, 0.0], 10));
+    let approx = ivf.query(&[0.0, 0.0], 10);
+    assert_eq!(brute.len(), 3); // only the finite rows
+    assert_bitwise_equal(&brute, &approx, "short-list probe");
+}
+
+#[test]
+fn auto_switch_arms_agree_bitwise_across_the_threshold() {
+    let data = blobs(16, 150, 11); // 2400 rows
+    let brute_arm = AnnIndex::build(
+        data.clone(),
+        DistanceMetric::Euclidean,
+        &AnnOptions {
+            ivf_threshold: 10_000, // stay brute
+            ..AnnOptions::default()
+        },
+    )
+    .unwrap();
+    let ivf_arm = AnnIndex::build(
+        data,
+        DistanceMetric::Euclidean,
+        &AnnOptions {
+            ivf_threshold: 100, // force IVF
+            ivf: IvfOptions {
+                nlist: 16,
+                nprobe: 16,
+                ..IvfOptions::default()
+            },
+        },
+    )
+    .unwrap();
+    assert!(!brute_arm.is_ivf());
+    assert!(ivf_arm.is_ivf());
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..50 {
+        let probe = [rng.random_range(0.0..70.0), rng.random_range(0.0..20.0)];
+        let brute = qpp_par::with_threads(1, || brute_arm.query(&probe, 3));
+        let approx = ivf_arm.query(&probe, 3);
+        assert_bitwise_equal(&brute, &approx, "auto-switch probe");
+    }
+}
+
+#[test]
+fn ivf_predictions_are_bitwise_equal_to_brute_predictions() {
+    // The full predict tail: same neighbors in, same weights and axpy
+    // combination out — shared code, so predictions must agree bitwise
+    // for every weighting scheme.
+    let data = blobs(12, 120, 13);
+    let mut rng = StdRng::seed_from_u64(14);
+    let targets = Matrix::from_fn(data.rows(), 6, |_, _| rng.random_range(0.0..100.0));
+    let nn = NearestNeighbors::new(data.clone(), DistanceMetric::Euclidean);
+    let ivf = IvfIndex::build(
+        data.clone(),
+        DistanceMetric::Euclidean,
+        IvfOptions {
+            nlist: 12,
+            nprobe: 12,
+            ..IvfOptions::default()
+        },
+    )
+    .unwrap();
+    for weighting in [
+        NeighborWeighting::Equal,
+        NeighborWeighting::RankRatio,
+        NeighborWeighting::InverseDistance,
+    ] {
+        for i in (0..data.rows()).step_by(31) {
+            let probe = data.row(i);
+            let (bp, bn) = nn.predict(probe, &targets, 3, weighting).unwrap();
+            let (ap, an) = ivf.predict(probe, &targets, 3, weighting).unwrap();
+            assert_bitwise_equal(&bn, &an, "prediction neighbors");
+            assert_eq!(bp.len(), ap.len());
+            for (x, y) in bp.iter().zip(ap.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "prediction value differs");
+            }
+        }
+    }
+}

@@ -601,7 +601,10 @@ mod tests {
             .unwrap();
         assert_eq!(registry.get(&key).unwrap().version, v);
 
-        let bad = json.replace("\"format_version\":1", "\"format_version\":7");
+        let bad = json.replace(
+            &format!("\"format_version\":{}", model_io::FORMAT_VERSION),
+            "\"format_version\":9999",
+        );
         let err = registry.install_from_json(key, &bad, f).unwrap_err();
         match err {
             QppError::ModelIo { context, source } => {

@@ -10,6 +10,8 @@ use counting_alloc::CountingAllocator;
 use qpp::core::pipeline::collect_tpcds;
 use qpp::core::{KccaPredictor, PredictorOptions};
 use qpp::engine::SystemConfig;
+use qpp::linalg::Matrix;
+use qpp::ml::{DistanceMetric, IvfIndex, IvfOptions, KnnScratch, NeighborWeighting};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator::new();
@@ -61,4 +63,44 @@ fn predict_features_steady_state_allocates_nothing() {
         warm.confidence_distance.to_bits(),
         last.confidence_distance.to_bits()
     );
+
+    // Same guarantee for the IVF arm of the neighbor index: once the
+    // probe/list/merge scratch has warmed up, the coarse probe, exact
+    // rescan, ordered merge, and weighted combine are all alloc-free.
+    // (Measured in this same test because the counting allocator is
+    // process-global — concurrent tests would see each other's traffic.)
+    let data = Matrix::from_fn(3000, 4, |i, j| ((i * 31 + j * 7) % 211) as f64 * 0.125);
+    let targets = Matrix::from_fn(3000, 6, |i, j| ((i * 13 + j) % 97) as f64);
+    let probe: Vec<f64> = data.row(997).to_vec();
+    let ivf = IvfIndex::build(data, DistanceMetric::Euclidean, IvfOptions::default()).unwrap();
+    let mut scratch = KnnScratch::new();
+    let mut combined = Vec::new();
+    ivf.predict_into(
+        &probe,
+        &targets,
+        3,
+        NeighborWeighting::Equal,
+        &mut scratch,
+        &mut combined,
+    )
+    .unwrap();
+    let warm_neighbors = scratch.neighbors.clone();
+    let before = ALLOC.allocation_events();
+    for _ in 0..32 {
+        ivf.predict_into(
+            &probe,
+            &targets,
+            3,
+            NeighborWeighting::Equal,
+            &mut scratch,
+            &mut combined,
+        )
+        .unwrap();
+    }
+    let ivf_events = ALLOC.allocation_events() - before;
+    assert_eq!(
+        ivf_events, 0,
+        "steady-state IVF predict_into performed {ivf_events} heap allocations over 32 calls"
+    );
+    assert_eq!(scratch.neighbors, warm_neighbors);
 }

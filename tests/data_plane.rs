@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use qpp::linalg::stats::Standardizer;
 use qpp::linalg::Matrix;
 use qpp::ml::{
-    DistanceMetric, GaussianKernel, Kcca, KccaOptions, KnnScratch, NearestNeighbors,
-    NeighborWeighting, ProjectionScratch,
+    DistanceMetric, GaussianKernel, IvfIndex, IvfOptions, Kcca, KccaOptions, KnnScratch,
+    NearestNeighbors, NeighborWeighting, ProjectionScratch,
 };
 use qpp_core::NeighborIds;
 use rand::rngs::StdRng;
@@ -125,6 +125,41 @@ proptest! {
             prop_assert_eq!(bits(&owned), bits(&combined));
             prop_assert_eq!(found_owned.len(), scratch.neighbors.len());
             for (a, b) in found_owned.iter().zip(scratch.neighbors.iter()) {
+                prop_assert_eq!(a.index, b.index);
+                prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+        }
+    }
+
+    /// IVF query through reused (and dirty) scratch is bitwise-equal to
+    /// the owned IVF path and to the brute scan; with `nprobe == nlist`
+    /// the probed lists cover the whole reference, so equality is exact
+    /// for arbitrary inputs.
+    #[test]
+    fn ivf_query_into_matches_owned_and_brute(seed in 0u64..300, n in 30usize..120, k in 1usize..6) {
+        let reference = random_matrix(n, 4, seed);
+        let ivf = IvfIndex::build(
+            reference.clone(),
+            DistanceMetric::Euclidean,
+            IvfOptions { nlist: 4, nprobe: 4, ..IvfOptions::default() },
+        )
+        .unwrap();
+        let brute = NearestNeighbors::new(reference.clone(), DistanceMetric::Euclidean);
+        let probe: Vec<f64> = reference.row(n / 3).to_vec();
+        let owned = ivf.query(&probe, k);
+        let exact = brute.query(&probe, k);
+        prop_assert_eq!(owned.len(), exact.len());
+        for (a, b) in owned.iter().zip(exact.iter()) {
+            prop_assert_eq!(a.index, b.index);
+            prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+        let mut scratch = KnnScratch::new();
+        // Run twice through the same scratch: the second pass must not
+        // see residue from the first (per-list buffers are recycled).
+        for _ in 0..2 {
+            ivf.query_into(&probe, k, &mut scratch);
+            prop_assert_eq!(owned.len(), scratch.neighbors.len());
+            for (a, b) in owned.iter().zip(scratch.neighbors.iter()) {
                 prop_assert_eq!(a.index, b.index);
                 prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
             }
